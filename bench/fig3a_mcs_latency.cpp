@@ -1,0 +1,13 @@
+// Figure 3a: latency benchmark (LB) — foMPI-Spin vs D-MCS vs RMA-MCS.
+#include "fig_helpers.hpp"
+
+int main() {
+  using namespace rmalock;
+  using namespace rmalock::bench;
+  const auto report =
+      run_fig3("fig3a", Workload::kEcsb,
+               "LB: mean acquire+release latency [us] vs P",
+               /*latency_figure=*/true);
+  report.print();
+  return 0;
+}

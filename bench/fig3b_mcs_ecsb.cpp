@@ -1,0 +1,23 @@
+// Figure 3b: empty-critical-section benchmark (ECSB) throughput.
+#include "fig_helpers.hpp"
+
+int main() {
+  using namespace rmalock;
+  using namespace rmalock::bench;
+  auto report = run_fig3("fig3b", Workload::kEcsb,
+                         "ECSB: throughput [mln locks/s] vs P",
+                         /*latency_figure=*/false);
+  // The paper's "interesting spike": single-node configurations benefit
+  // from intra-node bandwidth before inter-node communication kicks in.
+  // It is most visible on D-MCS (RMA-MCS's T_L batching hides most of the
+  // first inter-node step).
+  if (report.has("D-MCS", 16, "throughput_mlocks_s") &&
+      report.has("D-MCS", 32, "throughput_mlocks_s")) {
+    report.check("intra-node spike",
+                 report.value("D-MCS", 16, "throughput_mlocks_s") >
+                     report.value("D-MCS", 32, "throughput_mlocks_s"),
+                 "P=16 (one node) outperforms P=32 (first inter-node step)");
+  }
+  report.print();
+  return 0;
+}

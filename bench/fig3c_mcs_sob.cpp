@@ -1,0 +1,13 @@
+// Figure 3c: single-operation benchmark (SOB) throughput — one remote
+// memory access inside the CS (fine-grained irregular workloads).
+#include "fig_helpers.hpp"
+
+int main() {
+  using namespace rmalock;
+  using namespace rmalock::bench;
+  const auto report = run_fig3("fig3c", Workload::kSob,
+                               "SOB: throughput [mln locks/s] vs P",
+                               /*latency_figure=*/false);
+  report.print();
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 3d: workload-critical-section benchmark (WCSB) — shared-counter
+// increment plus 1-4 us local compute inside the CS.
+#include "fig_helpers.hpp"
+
+int main() {
+  using namespace rmalock;
+  using namespace rmalock::bench;
+  const auto report = run_fig3("fig3d", Workload::kWcsb,
+                               "WCSB: throughput [mln locks/s] vs P",
+                               /*latency_figure=*/false);
+  report.print();
+  return 0;
+}

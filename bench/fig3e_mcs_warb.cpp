@@ -1,0 +1,13 @@
+// Figure 3e: wait-after-release benchmark (WARB) — 1-4 us pause between
+// release and the next acquire varies the contention level.
+#include "fig_helpers.hpp"
+
+int main() {
+  using namespace rmalock;
+  using namespace rmalock::bench;
+  const auto report = run_fig3("fig3e", Workload::kWarb,
+                               "WARB: throughput [mln locks/s] vs P",
+                               /*latency_figure=*/false);
+  report.print();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 4a (§5.2.1): influence of T_DC — SOB, F_W = 2%.
+//
+// T_DC is the number of processes sharing one physical counter (T_DC = 16
+// is one counter per compute node). Small T_DC multiplies counters, which
+// burdens writers (they flag and drain every counter); very large T_DC
+// concentrates reader traffic on few counters.
+#include "fig_helpers.hpp"
+
+int main() {
+  using namespace rmalock;
+  using namespace rmalock::bench;
+  const BenchEnv env = BenchEnv::from_env();
+  FigureReport report(
+      "fig4a", "T_DC analysis: SOB throughput [mln locks/s], F_W = 2%",
+      "lower T_DC (more counters) costs writers; larger T_DC helps until "
+      "reader contention dominates (Fig. 4a)");
+  for (const i32 p : env.ps) {
+    for (const i32 tdc : {2, 4, 8, 16, 32, 64}) {
+      if (tdc > p) continue;
+      run_rw_point(
+          env, p, Workload::kSob, /*fw=*/0.02,
+          [tdc](rma::World& w) {
+            return std::make_unique<locks::RmaRw>(
+                w, rw_params(w.topology(), tdc, /*tl_leaf=*/16,
+                             /*tl_root=*/16, /*tr=*/1000));
+          },
+          report, "TDC=" + std::to_string(tdc),
+          harness::RoleMode::kStaticRanks);
+    }
+  }
+  const i32 pmax = env.ps.back();
+  report.check(
+      "per-node counters beat per-2-procs counters",
+      report.value("TDC=16", pmax, "throughput_mlocks_s") >
+          report.value("TDC=2", pmax, "throughput_mlocks_s"),
+      "T_DC=16 vs T_DC=2 at max P");
+  report.print();
+  return 0;
+}

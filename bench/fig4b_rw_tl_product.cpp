@@ -1,0 +1,40 @@
+// Figure 4b (§5.2.2): influence of ∏ T_L,i — SOB, F_W = 25%.
+//
+// The product T_L,1 * T_L,2 = T_W is the maximum number of consecutive
+// writer acquires before the lock is passed to the readers. We keep the
+// leaf threshold fixed (T_L,2 = 25) and scale the root threshold.
+#include "fig_helpers.hpp"
+
+int main() {
+  using namespace rmalock;
+  using namespace rmalock::bench;
+  const BenchEnv env = BenchEnv::from_env();
+  FigureReport report(
+      "fig4b",
+      "prod(T_L,i) analysis: SOB throughput [mln locks/s], F_W = 25%",
+      "smaller product = higher throughput (readers get the lock more "
+      "often) at the cost of writer fairness (Fig. 4b)");
+  const i64 tl_leaf = 25;
+  for (const i32 p : env.ps) {
+    for (const i64 product : {500, 1000, 2500, 5000, 7500}) {
+      const i64 tl_root = product / tl_leaf;
+      run_rw_point(
+          env, p, Workload::kSob, /*fw=*/0.25,
+          [tl_root, tl_leaf](rma::World& w) {
+            return std::make_unique<locks::RmaRw>(
+                w, rw_params(w.topology(), /*tdc=*/16, tl_leaf, tl_root,
+                             /*tr=*/1000));
+          },
+          report, "prod=" + std::to_string(product),
+          harness::RoleMode::kStaticRanks,
+          env.quick ? 6'000'000 : 15'000'000);
+    }
+  }
+  const i32 pmax = env.ps.back();
+  report.check("small product wins",
+               report.value("prod=500", pmax, "throughput_mlocks_s") >
+                   report.value("prod=7500", pmax, "throughput_mlocks_s"),
+               "500 vs 7500 at max P");
+  report.print();
+  return 0;
+}

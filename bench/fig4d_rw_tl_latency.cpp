@@ -1,0 +1,38 @@
+// Figure 4d (§5.2.2): the same T_L splits as Fig. 4c, measured as LB
+// latency, F_W = 25%. The paper observes that the throughput-optimal split
+// (50-20) *increases* average latency: better locality means other writers
+// wait longer.
+#include "fig_helpers.hpp"
+
+int main() {
+  using namespace rmalock;
+  using namespace rmalock::bench;
+  const BenchEnv env = BenchEnv::from_env();
+  FigureReport report(
+      "fig4d", "T_L,i split analysis: LB latency [us], F_W = 25%",
+      "throughput-friendly splits (50-20) show the higher mean latency "
+      "(Fig. 4d)");
+  const std::pair<i64, i64> splits[] = {{50, 20}, {25, 40}, {10, 100}};
+  for (const i32 p : env.ps) {
+    for (const auto& [tl_leaf, tl_root] : splits) {
+      run_rw_point(
+          env, p, Workload::kEcsb, /*fw=*/0.25,
+          [tl_leaf, tl_root](rma::World& w) {
+            return std::make_unique<locks::RmaRw>(
+                w, rw_params(w.topology(), /*tdc=*/16, tl_leaf, tl_root,
+                             /*tr=*/1000));
+          },
+          report,
+          std::to_string(tl_leaf) + "-" + std::to_string(tl_root),
+          harness::RoleMode::kStaticRanks,
+          env.quick ? 6'000'000 : 15'000'000);
+    }
+  }
+  const i32 pmax = env.ps.back();
+  report.check("locality raises mean latency",
+               report.value("50-20", pmax, "latency_us_mean") >=
+                   report.value("10-100", pmax, "latency_us_mean") * 0.8,
+               "50-20 latency should not be dramatically below 10-100");
+  report.print();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 4e (§5.2.3): influence of T_R — ECSB, F_W = 0.2%.
+//
+// T_R is the number of readers a physical counter admits before its
+// readers back off in favor of waiting writers. With almost no writers,
+// larger T_R means fewer unnecessary back-off cycles, i.e., higher
+// read throughput; small T_R triggers frequent writer handoff overhead.
+#include "fig_helpers.hpp"
+
+int main() {
+  using namespace rmalock;
+  using namespace rmalock::bench;
+  const BenchEnv env = BenchEnv::from_env();
+  FigureReport report(
+      "fig4e", "T_R analysis: ECSB throughput [mln locks/s], F_W = 0.2%",
+      "throughput for T_R in {1000, 2000} drops at high P; larger T_R "
+      "prefers the (cheaper) readers and wins (Fig. 4e)");
+  for (const i32 p : env.ps) {
+    for (const i64 tr : {1000, 2000, 3000, 4000, 5000, 6000}) {
+      run_rw_point(
+          env, p, Workload::kEcsb, /*fw=*/0.002,
+          [tr](rma::World& w) {
+            return std::make_unique<locks::RmaRw>(
+                w, rw_params(w.topology(), /*tdc=*/16, /*tl_leaf=*/16,
+                             /*tl_root=*/16, tr));
+          },
+          report, "TR=" + std::to_string(tr));
+    }
+  }
+  const i32 pmax = env.ps.back();
+  report.check("large T_R wins at scale",
+               report.value("TR=6000", pmax, "throughput_mlocks_s") >=
+                   report.value("TR=1000", pmax, "throughput_mlocks_s"),
+               "TR=6000 vs TR=1000 at max P");
+  report.print();
+  return 0;
+}

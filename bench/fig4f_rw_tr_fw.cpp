@@ -1,0 +1,48 @@
+// Figure 4f (§5.2.3): T_R vs F_W — ECSB, F_W in {2%, 5%},
+// T_R in {3000, 4000, 5000}.
+//
+// The paper finds no consistent advantage of one T_R over another within a
+// fixed F_W (<1% relative difference for most P) — the workload mix, not
+// T_R, dominates at these writer rates.
+#include "fig_helpers.hpp"
+
+#include <cmath>
+
+int main() {
+  using namespace rmalock;
+  using namespace rmalock::bench;
+  const BenchEnv env = BenchEnv::from_env();
+  FigureReport report(
+      "fig4f",
+      "T_R x F_W analysis: ECSB throughput [mln locks/s], F_W in {2%, 5%}",
+      "within one F_W the T_R choices are nearly indistinguishable; lower "
+      "F_W gives the higher band (Fig. 4f)");
+  for (const i32 p : env.ps) {
+    for (const double fw : {0.02, 0.05}) {
+      for (const i64 tr : {3000, 4000, 5000}) {
+        const std::string series = std::to_string(tr) + "-" +
+                                   std::to_string(static_cast<int>(fw * 100));
+        run_rw_point(
+            env, p, Workload::kEcsb, fw,
+            [tr](rma::World& w) {
+              return std::make_unique<locks::RmaRw>(
+                  w, rw_params(w.topology(), /*tdc=*/16, /*tl_leaf=*/16,
+                               /*tl_root=*/16, tr));
+            },
+            report, series);
+      }
+    }
+  }
+  const i32 pmax = env.ps.back();
+  const double band2 = report.value("3000-2", pmax, "throughput_mlocks_s");
+  const double band2b = report.value("5000-2", pmax, "throughput_mlocks_s");
+  report.check("T_R choices within a band are close",
+               std::abs(band2 - band2b) <= 0.35 * std::max(band2, band2b),
+               "3000-2 vs 5000-2 at max P");
+  report.check("lower F_W band on top",
+               report.value("4000-2", pmax, "throughput_mlocks_s") >=
+                   report.value("4000-5", pmax, "throughput_mlocks_s"),
+               "F_W=2% vs F_W=5% at T_R=4000, max P");
+  report.print();
+  return 0;
+}

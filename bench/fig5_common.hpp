@@ -1,0 +1,60 @@
+// Shared driver for Figure 5 (§5.2.4): RMA-RW vs foMPI-RW across
+// F_W in {0.2%, 2%, 5%}.
+#pragma once
+
+#include "fig_helpers.hpp"
+
+namespace rmalock::bench {
+
+inline FigureReport run_fig5(const std::string& figure_id, Workload workload,
+                             const std::string& title, bool latency_figure) {
+  const BenchEnv env = BenchEnv::from_env();
+  FigureReport report(
+      figure_id, title,
+      "RMA-RW outperforms foMPI-RW by >6x for P >= 64; lower F_W gives "
+      "higher throughput (max 0.2%-vs-2% gap 1.8x, 0.2%-vs-5% gap 4.4x) "
+      "(Fig. 5)");
+  const double fws[] = {0.002, 0.02, 0.05};
+  for (const i32 p : env.ps) {
+    for (const double fw : fws) {
+      const std::string suffix =
+          fw == 0.002 ? "0.2%" : (fw == 0.02 ? "2%" : "5%");
+      run_rw_point(
+          env, p, workload, fw,
+          [](rma::World& w) {
+            return std::make_unique<locks::RmaRw>(
+                w, rw_params(w.topology(), /*tdc=*/16, /*tl_leaf=*/16,
+                             /*tl_root=*/16, /*tr=*/1000));
+          },
+          report, "RMA-RW " + suffix);
+      run_rw_point(
+          env, p, workload, fw,
+          [](rma::World& w) { return std::make_unique<locks::FompiRw>(w); },
+          report, "foMPI-RW " + suffix);
+    }
+  }
+  // Shape checks at the largest P.
+  const i32 pmax = env.ps.back();
+  if (latency_figure) {
+    report.check("rma-rw lower latency",
+                 report.value("RMA-RW 0.2%", pmax, "latency_us_mean") <
+                     report.value("foMPI-RW 0.2%", pmax, "latency_us_mean"),
+                 "F_W=0.2% at max P");
+  } else {
+    for (const char* fw : {"0.2%", "2%", "5%"}) {
+      const double rma = report.value(std::string("RMA-RW ") + fw, pmax,
+                                      "throughput_mlocks_s");
+      const double fompi = report.value(std::string("foMPI-RW ") + fw, pmax,
+                                        "throughput_mlocks_s");
+      report.check(std::string("rma-rw >3x at F_W=") + fw, rma > 3.0 * fompi,
+                   "paper reports >6x on Aries hardware");
+    }
+    report.check("lower F_W on top (RMA-RW)",
+                 report.value("RMA-RW 0.2%", pmax, "throughput_mlocks_s") >=
+                     report.value("RMA-RW 5%", pmax, "throughput_mlocks_s"),
+                 "0.2% vs 5% at max P");
+  }
+  return report;
+}
+
+}  // namespace rmalock::bench

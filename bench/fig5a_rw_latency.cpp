@@ -1,0 +1,12 @@
+// Figure 5a: LB latency — RMA-RW vs foMPI-RW, F_W in {0.2%, 2%, 5%}.
+#include "fig5_common.hpp"
+
+int main() {
+  using namespace rmalock;
+  using namespace rmalock::bench;
+  const auto report = run_fig5("fig5a", Workload::kEcsb,
+                               "LB: mean acquire+release latency [us] vs P",
+                               /*latency_figure=*/true);
+  report.print();
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 5c: SOB throughput — RMA-RW vs foMPI-RW, F_W in {0.2%, 2%, 5%}.
+#include "fig5_common.hpp"
+
+int main() {
+  using namespace rmalock;
+  using namespace rmalock::bench;
+  const auto report = run_fig5("fig5c", Workload::kSob,
+                               "SOB: throughput [mln locks/s] vs P",
+                               /*latency_figure=*/false);
+  report.print();
+  return 0;
+}

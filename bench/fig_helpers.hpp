@@ -1,0 +1,157 @@
+// Shared sweep drivers for the figure-reproduction binaries.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "harness/bench_common.hpp"
+#include "harness/microbench.hpp"
+#include "locks/d_mcs.hpp"
+#include "locks/fompi_rw.hpp"
+#include "locks/fompi_spin.hpp"
+#include "locks/rma_mcs.hpp"
+#include "locks/rma_rw.hpp"
+
+namespace rmalock::bench {
+
+using harness::BenchEnv;
+using harness::BenchResult;
+using harness::FigureReport;
+using harness::MicrobenchConfig;
+using harness::Workload;
+
+inline locks::RmaMcsParams default_mcs_params(const topo::Topology& topo) {
+  locks::RmaMcsParams params;
+  params.locality.assign(static_cast<usize>(topo.num_levels()), 32);
+  return params;
+}
+
+inline locks::RmaRwParams rw_params(const topo::Topology& topo, i32 tdc,
+                                    i64 tl_leaf, i64 tl_root, i64 tr) {
+  locks::RmaRwParams params;
+  params.tdc = tdc;
+  params.locality.assign(static_cast<usize>(topo.num_levels()), tl_leaf);
+  params.locality[0] = tl_root;
+  params.tr = tr;
+  return params;
+}
+
+/// Runs one exclusive-lock configuration and records both metrics.
+inline BenchResult run_exclusive_point(
+    const BenchEnv& env, i32 p, Workload workload, i32 total_ops,
+    const std::function<std::unique_ptr<locks::ExclusiveLock>(rma::World&)>&
+        factory,
+    FigureReport& report, const std::string& series) {
+  auto world = rma::SimWorld::create(env.sim_options_for(p));
+  const auto lock = factory(*world);
+  MicrobenchConfig config;
+  config.workload = workload;
+  config.ops_per_proc = env.ops_for(p, total_ops);
+  const BenchResult result = harness::run_exclusive_bench(*world, *lock, config);
+  report.add(series, p, "throughput_mlocks_s", result.throughput_mlocks_s);
+  report.add(series, p, "latency_us_mean", result.latency_us.mean);
+  return result;
+}
+
+/// Virtual measurement window for RW benchmarks at process count p: sized
+/// so the aggregate op count stays bounded as P grows (the DES executes
+/// every op), but never below a floor that spans several reader/writer
+/// mode cycles — a window inside a single phase measures that phase, not
+/// the lock (mode-change sweeps take O(#counters) remote ops, ~0.5 ms at
+/// 64 counters).
+inline Nanos rw_duration_ns(const BenchEnv& env, i32 p) {
+  const i64 budget = env.quick ? 40'000'000 : 100'000'000;
+  const Nanos floor = env.quick ? 1'500'000 : 2'500'000;
+  return std::max<Nanos>(floor, budget / p);
+}
+
+/// Runs one reader-writer configuration and records both metrics.
+/// Methodology (§5): throughput is the aggregate acquire count over a
+/// fixed virtual time window. Role assignment is per-op by default (an op
+/// is a write with probability F_W — the request-mix reading of the
+/// Facebook workload); parameter studies that need "multiple writers per
+/// machine element" (§5.2.2) pass kStaticRanks.
+inline BenchResult run_rw_point(
+    const BenchEnv& env, i32 p, Workload workload, double fw,
+    const std::function<std::unique_ptr<locks::RwLock>(rma::World&)>& factory,
+    FigureReport& report, const std::string& series,
+    harness::RoleMode role_mode = harness::RoleMode::kPerOp,
+    Nanos duration_override_ns = 0) {
+  auto world = rma::SimWorld::create(env.sim_options_for(p));
+  const auto lock = factory(*world);
+  MicrobenchConfig config;
+  config.workload = workload;
+  config.duration_ns = duration_override_ns > 0 ? duration_override_ns
+                                                : rw_duration_ns(env, p);
+  config.fw = fw;
+  config.role_mode = role_mode;
+  const BenchResult result = harness::run_rw_bench(*world, *lock, config);
+  report.add(series, p, "throughput_mlocks_s", result.throughput_mlocks_s);
+  report.add(series, p, "latency_us_mean", result.latency_us.mean);
+  return result;
+}
+
+/// Fig. 3 driver: the three exclusive schemes over the P sweep.
+/// `metric_hint` selects the headline metric for shape checks.
+inline FigureReport run_fig3(const std::string& figure_id, Workload workload,
+                             const std::string& title, bool latency_figure) {
+  const BenchEnv env = BenchEnv::from_env();
+  FigureReport report(
+      figure_id, title,
+      latency_figure
+          ? "RMA-MCS has the lowest latency; foMPI-Spin the highest "
+            "(~10x at P=1024); D-MCS in between (Fig. 3a)"
+          : "RMA-MCS sustains the highest throughput at every P >= 32; "
+            "foMPI-Spin is the slowest (Fig. 3b-e)");
+  for (const i32 p : env.ps) {
+    run_exclusive_point(
+        env, p, workload, /*total_ops=*/4000,
+        [](rma::World& w) { return std::make_unique<locks::FompiSpin>(w); },
+        report, "foMPI-Spin");
+    run_exclusive_point(
+        env, p, workload, /*total_ops=*/16000,
+        [](rma::World& w) { return std::make_unique<locks::DMcs>(w); },
+        report, "D-MCS");
+    run_exclusive_point(
+        env, p, workload, /*total_ops=*/16000,
+        [](rma::World& w) {
+          return std::make_unique<locks::RmaMcs>(
+              w, default_mcs_params(w.topology()));
+        },
+        report, "RMA-MCS");
+  }
+  const i32 pmax = env.ps.back();
+  if (latency_figure) {
+    report.check("rma-mcs lowest latency",
+                 report.value("RMA-MCS", pmax, "latency_us_mean") <
+                     report.value("D-MCS", pmax, "latency_us_mean"),
+                 "RMA-MCS vs D-MCS at max P");
+    report.check("spin highest latency",
+                 report.value("foMPI-Spin", pmax, "latency_us_mean") >
+                     report.value("D-MCS", pmax, "latency_us_mean"),
+                 "foMPI-Spin vs D-MCS at max P");
+  } else {
+    // WCSB/WARB put 1-4 us of work around each acquire, so the lock
+    // transfer cost is second order there (the paper's fig. 3d/3e gaps
+    // are also the smallest); the queue locks must still not lose and
+    // foMPI-Spin must collapse.
+    const bool work_dominated =
+        workload == Workload::kWcsb || workload == Workload::kWarb;
+    const double tolerance = work_dominated ? 0.95 : 1.0;
+    report.check("rma-mcs highest throughput",
+                 report.value("RMA-MCS", pmax, "throughput_mlocks_s") >
+                     tolerance *
+                         report.value("D-MCS", pmax, "throughput_mlocks_s"),
+                 work_dominated ? "RMA-MCS vs D-MCS at max P (within 5%: "
+                                  "CS work dominates this benchmark)"
+                                : "RMA-MCS vs D-MCS at max P");
+    report.check("spin lowest throughput",
+                 report.value("foMPI-Spin", pmax, "throughput_mlocks_s") <
+                     report.value("D-MCS", pmax, "throughput_mlocks_s"),
+                 "foMPI-Spin vs D-MCS at max P");
+  }
+  return report;
+}
+
+}  // namespace rmalock::bench

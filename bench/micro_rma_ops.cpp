@@ -1,0 +1,123 @@
+// Microbenchmark M1: raw cost of the RMA substrate's operations, measured
+// with google-benchmark.
+//
+// Two things are measured:
+//   * engine throughput — wall-clock cost of executing simulated RMA ops
+//     (how many engine steps/s the DES sustains, which bounds how large a
+//     virtual experiment can get);
+//   * virtual cost — the modeled XC30 latencies by distance class, i.e.,
+//     the numbers every figure in this repository is built from.
+#include <benchmark/benchmark.h>
+
+#include "rma/sim_world.hpp"
+#include "rma/thread_world.hpp"
+
+namespace {
+
+using namespace rmalock;
+
+void BM_SimEngine_LocalPut(benchmark::State& state) {
+  rma::SimOptions opts;
+  opts.topology = topo::Topology::uniform({}, 1);
+  auto world = rma::SimWorld::create(opts);
+  const WinOffset off = world->allocate(1);
+  for (auto _ : state) {
+    world->run([&](rma::RmaComm& comm) {
+      for (int i = 0; i < 1000; ++i) {
+        comm.put(i, 0, off);
+        comm.flush(0);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimEngine_LocalPut);
+
+void BM_SimEngine_ContendedFao(benchmark::State& state) {
+  const auto p = static_cast<i32>(state.range(0));
+  rma::SimOptions opts;
+  opts.topology = topo::Topology::nodes(std::max(1, p / 16), 16);
+  auto world = rma::SimWorld::create(opts);
+  const WinOffset off = world->allocate(1);
+  for (auto _ : state) {
+    world->run([&](rma::RmaComm& comm) {
+      for (int i = 0; i < 50; ++i) {
+        comm.fao(1, 0, off, rma::AccumOp::kSum);
+        comm.flush(0);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 50 * p);
+}
+BENCHMARK(BM_SimEngine_ContendedFao)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SimEngine_SpinParkWake(benchmark::State& state) {
+  // Handoff chains: rank i waits for rank i-1's write (park/wake path).
+  rma::SimOptions opts;
+  opts.topology = topo::Topology::uniform({}, 16);
+  auto world = rma::SimWorld::create(opts);
+  const WinOffset off = world->allocate(1);
+  for (auto _ : state) {
+    for (Rank r = 0; r < 16; ++r) world->write_word(r, off, 0);
+    world->run([&](rma::RmaComm& comm) {
+      const Rank rank = comm.rank();
+      if (rank > 0) {
+        i64 v = 0;
+        do {
+          v = comm.get(rank, off);
+          comm.flush(rank);
+        } while (v == 0);
+      }
+      if (rank + 1 < comm.nprocs()) {
+        comm.put(1, rank + 1, off);
+        comm.flush(rank + 1);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_SimEngine_SpinParkWake);
+
+// Virtual (modeled) costs: these report the XC30 model itself.
+void BM_VirtualCost_ByDistance(benchmark::State& state) {
+  const auto dclass = static_cast<usize>(state.range(0));
+  rma::SimOptions opts;
+  opts.topology = topo::Topology::nodes(2, 2);
+  auto world = rma::SimWorld::create(opts);
+  const WinOffset off = world->allocate(1);
+  const Rank target = dclass == 0 ? 0 : (dclass == 1 ? 1 : 2);
+  Nanos per_op = 0;
+  for (auto _ : state) {
+    world->run([&](rma::RmaComm& comm) {
+      if (comm.rank() != 0) return;
+      const Nanos t0 = comm.now_ns();
+      for (int i = 0; i < 100; ++i) {
+        comm.put(i, target, off);
+        comm.flush(target);
+      }
+      per_op = (comm.now_ns() - t0) / 100;
+    });
+  }
+  state.counters["virtual_ns_per_put"] = static_cast<double>(per_op);
+}
+BENCHMARK(BM_VirtualCost_ByDistance)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ThreadWorld_Fao(benchmark::State& state) {
+  rma::ThreadOptions opts;
+  opts.topology = topo::Topology::uniform({}, 2);
+  auto world = rma::ThreadWorld::create(opts);
+  const WinOffset off = world->allocate(1);
+  for (auto _ : state) {
+    world->run([&](rma::RmaComm& comm) {
+      for (int i = 0; i < 2000; ++i) {
+        comm.fao(1, 0, off, rma::AccumOp::kSum);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 2000);
+}
+BENCHMARK(BM_ThreadWorld_Fao);
+
+}  // namespace
+
+BENCHMARK_MAIN();

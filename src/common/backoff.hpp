@@ -1,0 +1,51 @@
+// Spin-wait primitives for the real-thread runtime.
+//
+// With more simulated processes than hardware threads (always true on this
+// box), naive spinning livelocks: the spinner occupies the core its notifier
+// needs. Backoff therefore escalates pause -> yield -> short sleep.
+#pragma once
+
+#include <thread>
+
+#include "common/types.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace rmalock {
+
+/// Hint to the CPU that we are in a spin loop (x86 `pause`).
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(_M_X64)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Escalating backoff: `pause` a few times, then yield to the OS, then
+/// sleep in microsecond steps. Reset when progress is observed.
+class Backoff {
+ public:
+  void pause() {
+    if (spins_ < kSpinLimit) {
+      ++spins_;
+      for (u32 i = 0; i < (1u << (spins_ > 6 ? 6 : spins_)); ++i) cpu_relax();
+    } else if (spins_ < kSpinLimit + kYieldLimit) {
+      ++spins_;
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  void reset() { spins_ = 0; }
+
+ private:
+  static constexpr u32 kSpinLimit = 10;
+  static constexpr u32 kYieldLimit = 16;
+  u32 spins_ = 0;
+};
+
+}  // namespace rmalock

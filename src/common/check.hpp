@@ -1,0 +1,44 @@
+// Always-on checked assertions.
+//
+// Protocol code (locks, DHT) uses RMALOCK_CHECK for invariants whose
+// violation means a correctness bug — these stay enabled in release builds
+// because the whole point of this library is verified synchronization.
+// RMALOCK_DCHECK compiles out in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rmalock::detail {
+
+/// Prints the failure message and aborts. Out-of-line so the macro stays
+/// cheap at the call site.
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& message);
+
+}  // namespace rmalock::detail
+
+#define RMALOCK_CHECK(expr)                                                  \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]] {                                              \
+      ::rmalock::detail::check_failed(__FILE__, __LINE__, #expr, "");        \
+    }                                                                        \
+  } while (0)
+
+#define RMALOCK_CHECK_MSG(expr, ...)                                         \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]] {                                              \
+      ::std::ostringstream rmalock_check_oss_;                               \
+      rmalock_check_oss_ << __VA_ARGS__;                                     \
+      ::rmalock::detail::check_failed(__FILE__, __LINE__, #expr,             \
+                                      rmalock_check_oss_.str());             \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define RMALOCK_DCHECK(expr) \
+  do {                       \
+  } while (0)
+#else
+#define RMALOCK_DCHECK(expr) RMALOCK_CHECK(expr)
+#endif

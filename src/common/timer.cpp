@@ -1,0 +1,66 @@
+#include "common/timer.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define RMALOCK_HAVE_RDTSC 1
+#else
+#define RMALOCK_HAVE_RDTSC 0
+#endif
+
+namespace rmalock {
+namespace {
+
+Nanos steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+#if RMALOCK_HAVE_RDTSC
+double calibrate_tsc() {
+  // Two spaced samples of (tsc, steady_clock); the ratio gives ns/tick.
+  // 20 ms is enough for <0.1% error, which is far below scheduling noise.
+  const u64 t0 = __rdtsc();
+  const Nanos n0 = steady_ns();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const u64 t1 = __rdtsc();
+  const Nanos n1 = steady_ns();
+  if (t1 <= t0 || n1 <= n0) return 0.0;  // non-monotonic TSC: disable
+  return static_cast<double>(n1 - n0) / static_cast<double>(t1 - t0);
+}
+#endif
+
+}  // namespace
+
+u64 rdtsc() {
+#if RMALOCK_HAVE_RDTSC
+  return __rdtsc();
+#else
+  return static_cast<u64>(steady_ns());
+#endif
+}
+
+double tsc_ns_per_tick() {
+#if RMALOCK_HAVE_RDTSC
+  static const double ratio = calibrate_tsc();
+  return ratio;
+#else
+  return 1.0;
+#endif
+}
+
+Nanos now_ns() {
+#if RMALOCK_HAVE_RDTSC
+  const double ratio = tsc_ns_per_tick();
+  if (ratio > 0.0) {
+    return static_cast<Nanos>(static_cast<double>(__rdtsc()) * ratio);
+  }
+#endif
+  return steady_ns();
+}
+
+}  // namespace rmalock

@@ -1,0 +1,38 @@
+// Fundamental types shared by every rmalock module.
+//
+// The paper (Listing 1) models every RMA-visible quantity as a 64-bit
+// integer; ranks and null "pointers" are encoded in the same word. We keep
+// that convention: a window is an array of 64-bit signed words, a rank is an
+// int, and the null rank (the paper's ∅) is -1 so that the listing
+// comparisons (`pred != ∅`, `status < T_L,i`) translate verbatim.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rmalock {
+
+using i8 = std::int8_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using usize = std::size_t;
+
+/// Process rank, 0-based (the paper uses 1..P; we use 0..P-1).
+using Rank = i32;
+
+/// The paper's ∅: "no process" / null pointer value stored in window words.
+inline constexpr i64 kNilRank = -1;
+
+/// Nanoseconds of virtual or real time.
+using Nanos = i64;
+
+/// A location inside a window: word index (not byte offset).
+using WinOffset = i64;
+
+/// Cache line size used for alignment of per-process hot state.
+inline constexpr usize kCacheLine = 64;
+
+}  // namespace rmalock

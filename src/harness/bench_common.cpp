@@ -1,0 +1,147 @@
+#include "harness/bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace rmalock::harness {
+
+BenchEnv BenchEnv::from_env() {
+  BenchEnv env;
+  if (const char* quick = std::getenv("RMALOCK_QUICK");
+      quick != nullptr && std::strcmp(quick, "0") != 0) {
+    env.quick = true;
+    env.ps = {16, 64, 256};
+  }
+  if (const char* seed = std::getenv("RMALOCK_SEED")) {
+    env.seed = std::strtoull(seed, nullptr, 10);
+  }
+  if (const char* ps = std::getenv("RMALOCK_PS")) {
+    env.ps.clear();
+    const char* cursor = ps;
+    while (*cursor != '\0') {
+      char* end = nullptr;
+      const long value = std::strtol(cursor, &end, 10);
+      if (end == cursor) break;
+      env.ps.push_back(static_cast<i32>(value));
+      cursor = (*end == ',') ? end + 1 : end;
+    }
+    RMALOCK_CHECK_MSG(!env.ps.empty(), "bad RMALOCK_PS");
+  }
+  return env;
+}
+
+topo::Topology BenchEnv::topology_for(i32 p) const {
+  RMALOCK_CHECK_MSG(p >= procs_per_node && p % procs_per_node == 0,
+                    "P=" << p << " must be a multiple of procs_per_node="
+                         << procs_per_node);
+  // Always N = 2 so lock parameters have the same shape across the sweep
+  // (a single node is simply a machine with one leaf).
+  return topo::Topology::uniform({p / procs_per_node}, procs_per_node);
+}
+
+rma::SimOptions BenchEnv::sim_options_for(i32 p) const {
+  rma::SimOptions opts;
+  opts.topology = topology_for(p);
+  opts.seed = seed;
+  return opts;
+}
+
+i32 BenchEnv::ops_for(i32 p, i32 total_target, i32 min_ops) const {
+  const i32 target = quick ? total_target / 4 : total_target;
+  return std::max(min_ops, target / p);
+}
+
+FigureReport::FigureReport(std::string figure_id, std::string title,
+                           std::string paper_expectation)
+    : figure_id_(std::move(figure_id)),
+      title_(std::move(title)),
+      expectation_(std::move(paper_expectation)) {}
+
+void FigureReport::add(const std::string& series, i32 p,
+                       const std::string& metric, double value) {
+  if (std::find(series_order_.begin(), series_order_.end(), series) ==
+      series_order_.end()) {
+    series_order_.push_back(series);
+  }
+  if (std::find(metric_order_.begin(), metric_order_.end(), metric) ==
+      metric_order_.end()) {
+    metric_order_.push_back(metric);
+  }
+  if (std::find(ps_.begin(), ps_.end(), p) == ps_.end()) ps_.push_back(p);
+  data_[series][p][metric] = value;
+}
+
+double FigureReport::value(const std::string& series, i32 p,
+                           const std::string& metric) const {
+  return data_.at(series).at(p).at(metric);
+}
+
+bool FigureReport::has(const std::string& series, i32 p,
+                       const std::string& metric) const {
+  const auto s = data_.find(series);
+  if (s == data_.end()) return false;
+  const auto pp = s->second.find(p);
+  if (pp == s->second.end()) return false;
+  return pp->second.count(metric) > 0;
+}
+
+void FigureReport::check(const std::string& name, bool pass,
+                         const std::string& detail) {
+  checks_.push_back(Check{name, pass, detail});
+}
+
+bool FigureReport::all_checks_passed() const {
+  return std::all_of(checks_.begin(), checks_.end(),
+                     [](const Check& c) { return c.pass; });
+}
+
+void FigureReport::print() const {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", figure_id_.c_str(), title_.c_str());
+  std::printf("paper: %s\n", expectation_.c_str());
+  std::printf("==========================================================\n");
+  for (const std::string& metric : metric_order_) {
+    std::printf("\n[%s] %s\n", figure_id_.c_str(), metric.c_str());
+    std::printf("%-26s", "series \\ P");
+    for (const i32 p : ps_) std::printf("%12d", p);
+    std::printf("\n");
+    for (const std::string& series : series_order_) {
+      std::printf("%-26s", series.c_str());
+      for (const i32 p : ps_) {
+        if (has(series, p, metric)) {
+          std::printf("%12.3f", value(series, p, metric));
+        } else {
+          std::printf("%12s", "-");
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n");
+  for (const std::string& series : series_order_) {
+    for (const i32 p : ps_) {
+      for (const std::string& metric : metric_order_) {
+        if (has(series, p, metric)) {
+          std::printf("CSV,%s,%s,%d,%s,%.6f\n", figure_id_.c_str(),
+                      series.c_str(), p, metric.c_str(),
+                      value(series, p, metric));
+        }
+      }
+    }
+  }
+  if (!checks_.empty()) {
+    std::printf("\n");
+    for (const Check& c : checks_) {
+      std::printf("SHAPE-CHECK [%s] %s: %s — %s\n", figure_id_.c_str(),
+                  c.name.c_str(), c.pass ? "PASS" : "FAIL", c.detail.c_str());
+    }
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace rmalock::harness

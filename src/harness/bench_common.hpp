@@ -1,0 +1,84 @@
+// Shared scaffolding for the figure-reproduction benchmark binaries.
+//
+// Every bench binary sweeps P like the paper (16..1024, 16 processes per
+// node, N = 2 machine levels), prints an aligned series table plus
+// machine-readable "CSV," lines, and ends with SHAPE-CHECK verdicts that
+// compare the measured ordering/ratios against the paper's qualitative
+// claims (absolute numbers are not expected to match — see EXPERIMENTS.md).
+//
+// Environment knobs:
+//   RMALOCK_PS     comma-separated P sweep override (e.g. "16,64,256")
+//   RMALOCK_QUICK  =1: small sweep and fewer ops (CI smoke)
+//   RMALOCK_SEED   world seed (default 1)
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rma/sim_world.hpp"
+#include "topo/topology.hpp"
+
+namespace rmalock::harness {
+
+struct BenchEnv {
+  std::vector<i32> ps{16, 32, 64, 128, 256, 512, 1024};
+  i32 procs_per_node = 16;
+  u64 seed = 1;
+  bool quick = false;
+
+  static BenchEnv from_env();
+
+  /// Paper machine model: N = 2 (whole machine + compute nodes).
+  [[nodiscard]] topo::Topology topology_for(i32 p) const;
+
+  /// SimWorld options for one configuration.
+  [[nodiscard]] rma::SimOptions sim_options_for(i32 p) const;
+
+  /// Per-process op count that keeps the total near `total_target`
+  /// (deterministic virtual time needs no large samples; this bounds
+  /// engine wall time at high P).
+  [[nodiscard]] i32 ops_for(i32 p, i32 total_target, i32 min_ops = 4) const;
+};
+
+/// Collects (series, P, metric) -> value, renders figure output.
+class FigureReport {
+ public:
+  FigureReport(std::string figure_id, std::string title,
+               std::string paper_expectation);
+
+  void add(const std::string& series, i32 p, const std::string& metric,
+           double value);
+  [[nodiscard]] double value(const std::string& series, i32 p,
+                             const std::string& metric) const;
+  [[nodiscard]] bool has(const std::string& series, i32 p,
+                         const std::string& metric) const;
+
+  /// Records a qualitative comparison against the paper.
+  void check(const std::string& name, bool pass, const std::string& detail);
+
+  /// Prints the header, one pivot table per metric (rows = series,
+  /// columns = P), all CSV lines, and the shape-check verdicts.
+  void print() const;
+
+  /// True iff all shape checks passed.
+  [[nodiscard]] bool all_checks_passed() const;
+
+ private:
+  struct Check {
+    std::string name;
+    bool pass;
+    std::string detail;
+  };
+
+  std::string figure_id_;
+  std::string title_;
+  std::string expectation_;
+  std::vector<std::string> series_order_;
+  std::vector<std::string> metric_order_;
+  std::vector<i32> ps_;
+  std::map<std::string, std::map<i32, std::map<std::string, double>>> data_;
+  std::vector<Check> checks_;
+};
+
+}  // namespace rmalock::harness

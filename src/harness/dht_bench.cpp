@@ -1,0 +1,93 @@
+#include "harness/dht_bench.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "common/check.hpp"
+
+namespace rmalock::harness {
+
+namespace {
+
+using DhtOp = std::function<void(rma::RmaComm&, bool insert, i64 value)>;
+
+DhtBenchResult run_dht_impl(rma::World& world, const DhtBenchConfig& config,
+                            const DhtOp& op) {
+  RMALOCK_CHECK(config.ops_per_proc >= 1);
+  const i32 nprocs = world.nprocs();
+  RMALOCK_CHECK_MSG(nprocs >= 2, "DHT benchmark needs P >= 2");
+  const i32 warmup_ops = static_cast<i32>(
+      std::ceil(config.warmup_fraction * config.ops_per_proc));
+  std::vector<Nanos> t0(static_cast<usize>(nprocs));
+  std::vector<Nanos> t1(static_cast<usize>(nprocs));
+  const u64 insert_permille =
+      static_cast<u64>(std::lround(config.fw * 1000.0));
+
+  const rma::RunResult run = world.run([&](rma::RmaComm& comm) {
+    const bool participant = comm.rank() != config.volume_owner;
+    auto one_op = [&] {
+      const bool insert = comm.rng().chance(insert_permille, 1000);
+      // Values are per-op random; +1 keeps the kEmpty sentinel unused.
+      const i64 value =
+          static_cast<i64>(comm.rng().below(static_cast<u64>(config.key_range))) + 1;
+      op(comm, insert, value);
+    };
+    comm.barrier();
+    if (participant) {
+      for (i32 i = 0; i < warmup_ops; ++i) one_op();
+    }
+    comm.barrier();
+    t0[static_cast<usize>(comm.rank())] = comm.now_ns();
+    if (participant) {
+      for (i32 i = 0; i < config.ops_per_proc; ++i) one_op();
+    }
+    comm.barrier();
+    t1[static_cast<usize>(comm.rank())] = comm.now_ns();
+  });
+  RMALOCK_CHECK_MSG(run.ok(), "DHT benchmark run failed");
+
+  DhtBenchResult result;
+  result.total_ops = static_cast<u64>(nprocs - 1) *
+                     static_cast<u64>(config.ops_per_proc);
+  result.elapsed_ns = t1[0] - t0[0];
+  return result;
+}
+
+}  // namespace
+
+DhtBenchResult run_dht_atomics_bench(rma::World& world,
+                                     const dht::DistributedHashTable& table,
+                                     const DhtBenchConfig& config) {
+  return run_dht_impl(
+      world, config,
+      [&table, owner = config.volume_owner](rma::RmaComm& comm, bool insert,
+                                            i64 value) {
+        if (insert) {
+          table.insert_atomic(comm, owner, value);
+        } else {
+          (void)table.contains_atomic(comm, owner, value);
+        }
+      });
+}
+
+DhtBenchResult run_dht_locked_bench(rma::World& world,
+                                    const dht::DistributedHashTable& table,
+                                    locks::RwLock& lock,
+                                    const DhtBenchConfig& config) {
+  return run_dht_impl(
+      world, config,
+      [&table, &lock, owner = config.volume_owner](rma::RmaComm& comm,
+                                                   bool insert, i64 value) {
+        if (insert) {
+          lock.acquire_write(comm);
+          table.insert_locked(comm, owner, value);
+          lock.release_write(comm);
+        } else {
+          lock.acquire_read(comm);
+          (void)table.contains_locked(comm, owner, value);
+          lock.release_read(comm);
+        }
+      });
+}
+
+}  // namespace rmalock::harness

@@ -1,0 +1,51 @@
+// DHT case-study benchmark (§5.3, Fig. 6).
+//
+// P-1 processes hammer the local volume of one selected process with a mix
+// of inserts and reads on random elements; the figure of merit is the total
+// (virtual) time to complete all operations. Three synchronization
+// regimes, matching the paper's comparison:
+//
+//   kAtomics  "foMPI-A"  — lock-free CAS/FAO protocol, no lock;
+//   kLockedRw             — every read under a reader lock, every insert
+//                           under a writer lock (pass foMPI-RW or RMA-RW).
+#pragma once
+
+#include "dht/dht.hpp"
+#include "locks/lock.hpp"
+#include "rma/world.hpp"
+
+namespace rmalock::harness {
+
+struct DhtBenchConfig {
+  /// Operations per participating process (P-1 of them).
+  i32 ops_per_proc = 30;
+  /// Probability that an operation is an insert, F_W; the rest are reads.
+  double fw = 0.05;
+  /// Rank whose local volume is targeted by everyone.
+  Rank volume_owner = 0;
+  /// Values are drawn uniformly from [0, key_range).
+  i64 key_range = 1 << 16;
+  double warmup_fraction = 0.1;
+};
+
+struct DhtBenchResult {
+  u64 total_ops = 0;
+  Nanos elapsed_ns = 0;
+  [[nodiscard]] double total_time_s() const {
+    return static_cast<double>(elapsed_ns) / 1e9;
+  }
+};
+
+/// Lock-free (foMPI-A) regime.
+DhtBenchResult run_dht_atomics_bench(rma::World& world,
+                                     const dht::DistributedHashTable& table,
+                                     const DhtBenchConfig& config);
+
+/// Lock-protected regime: reads under the reader lock, inserts under the
+/// writer lock.
+DhtBenchResult run_dht_locked_bench(rma::World& world,
+                                    const dht::DistributedHashTable& table,
+                                    locks::RwLock& lock,
+                                    const DhtBenchConfig& config);
+
+}  // namespace rmalock::harness

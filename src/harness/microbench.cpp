@@ -1,0 +1,209 @@
+#include "harness/microbench.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace rmalock::harness {
+
+i32 writer_count(i32 nprocs, double fw) {
+  if (fw <= 0.0) return 0;
+  const i32 writers =
+      static_cast<i32>(std::lround(fw * static_cast<double>(nprocs)));
+  return std::max(1, std::min(nprocs, writers));
+}
+
+bool is_writer_rank(Rank rank, i32 nprocs, i32 writers) {
+  // Rank r is a writer iff the cumulative quota floor increases at r; this
+  // spreads writers evenly across the rank space and thus across nodes.
+  const i64 before = static_cast<i64>(rank) * writers / nprocs;
+  const i64 after = (static_cast<i64>(rank) + 1) * writers / nprocs;
+  return after != before;
+}
+
+namespace {
+
+struct PerProc {
+  std::vector<double> reader_latencies_us;
+  std::vector<double> writer_latencies_us;
+  Nanos t0 = 0;
+  Nanos t1 = 0;
+  rma::OpStats before;
+  rma::OpStats after;
+};
+
+/// Work inside the critical section, per workload.
+void cs_work(rma::RmaComm& comm, Workload workload, bool writer,
+             Rank data_rank, WinOffset data) {
+  switch (workload) {
+    case Workload::kEcsb:
+    case Workload::kWarb:
+      break;  // empty CS
+    case Workload::kSob: {
+      // One memory access to the protected data. The data is distributed
+      // (graph processing: each node hosts its shard of the vertices);
+      // the holder accesses the shard co-located with its node. Funneling
+      // every CS through one global word would benchmark that word's NIC,
+      // not the lock.
+      const topo::Topology& topo = comm.topology();
+      const Rank shard =
+          topo.rep_rank(topo.num_levels(),
+                        topo.element_of(comm.rank(), topo.num_levels()));
+      if (writer) {
+        comm.put(1, shard, data);
+      } else {
+        comm.get(shard, data);
+      }
+      comm.flush(shard);
+      break;
+    }
+    case Workload::kWcsb:
+      // Increment a shared counter, then local computation for 1-4 us.
+      comm.accumulate(1, data_rank, data, rma::AccumOp::kSum);
+      comm.flush(data_rank);
+      comm.compute(comm.rng().range(1000, 4000));
+      break;
+  }
+}
+
+/// Work after releasing the lock, per workload.
+void post_release_work(rma::RmaComm& comm, Workload workload) {
+  if (workload == Workload::kWarb) {
+    comm.compute(comm.rng().range(1000, 4000));
+  }
+}
+
+template <typename RoleFn, typename AcquireFn, typename ReleaseFn>
+BenchResult run_bench_impl(rma::World& world, const MicrobenchConfig& config,
+                           const RoleFn& role_of_op, const AcquireFn& acquire,
+                           const ReleaseFn& release) {
+  const bool duration_mode = config.duration_ns > 0;
+  RMALOCK_CHECK(duration_mode || config.ops_per_proc >= 1);
+  const i32 nprocs = world.nprocs();
+  const Rank data_rank = 0;
+  const WinOffset data = world.allocate(1);
+  world.write_word(data_rank, data, 0);
+
+  std::vector<PerProc> per(static_cast<usize>(nprocs));
+  const i32 warmup_ops = static_cast<i32>(
+      std::ceil(config.warmup_fraction * config.ops_per_proc));
+  const Nanos warmup_ns = static_cast<Nanos>(
+      config.warmup_fraction * static_cast<double>(config.duration_ns));
+
+  const rma::RunResult run = world.run([&](rma::RmaComm& comm) {
+    PerProc& me = per[static_cast<usize>(comm.rank())];
+
+    const auto one_op = [&](bool measured) {
+      const bool writer = role_of_op(comm);
+      const Nanos start = comm.now_ns();
+      acquire(comm, writer);
+      cs_work(comm, config.workload, writer, data_rank, data);
+      release(comm, writer);
+      const Nanos end = comm.now_ns();
+      if (measured) {
+        auto& bucket = writer ? me.writer_latencies_us : me.reader_latencies_us;
+        bucket.push_back(static_cast<double>(end - start) / 1e3);
+      }
+      post_release_work(comm, config.workload);
+    };
+
+    comm.barrier();
+    if (duration_mode) {  // warmup slice, discarded (§5)
+      const Nanos warmup_end = comm.now_ns() + warmup_ns;
+      while (comm.now_ns() < warmup_end) one_op(/*measured=*/false);
+    } else {
+      for (i32 i = 0; i < warmup_ops; ++i) one_op(/*measured=*/false);
+    }
+    comm.barrier();
+    if (config.record_op_stats) me.before = comm.stats();
+    me.t0 = comm.now_ns();
+    if (duration_mode) {
+      const Nanos deadline = me.t0 + config.duration_ns;
+      while (comm.now_ns() < deadline) one_op(/*measured=*/true);
+    } else {
+      for (i32 i = 0; i < config.ops_per_proc; ++i) one_op(/*measured=*/true);
+    }
+    comm.barrier();  // synchronizes clocks: t1 is the phase makespan
+    me.t1 = comm.now_ns();
+    if (config.record_op_stats) me.after = comm.stats();
+  });
+  RMALOCK_CHECK_MSG(run.ok(), "benchmark run failed (deadlock/step limit)");
+
+  BenchResult result;
+  std::vector<double> all;
+  std::vector<double> readers;
+  std::vector<double> writers;
+  result.op_stats = rma::OpStats(world.topology().num_levels());
+  for (Rank r = 0; r < nprocs; ++r) {
+    PerProc& proc = per[static_cast<usize>(r)];
+    readers.insert(readers.end(), proc.reader_latencies_us.begin(),
+                   proc.reader_latencies_us.end());
+    writers.insert(writers.end(), proc.writer_latencies_us.begin(),
+                   proc.writer_latencies_us.end());
+    if (config.record_op_stats) {
+      proc.after -= proc.before;
+      result.op_stats += proc.after;
+    }
+  }
+  all.reserve(readers.size() + writers.size());
+  all.insert(all.end(), readers.begin(), readers.end());
+  all.insert(all.end(), writers.begin(), writers.end());
+
+  result.total_acquires = all.size();
+  result.elapsed_ns = per[0].t1 - per[0].t0;
+  result.throughput_mlocks_s = static_cast<double>(result.total_acquires) /
+                               static_cast<double>(result.elapsed_ns) * 1e3;
+  result.num_writers = static_cast<i64>(writers.size());
+  result.latency_us = summarize(std::move(all));
+  result.reader_latency_us = summarize(std::move(readers));
+  result.writer_latency_us = summarize(std::move(writers));
+  return result;
+}
+
+}  // namespace
+
+BenchResult run_exclusive_bench(rma::World& world, locks::ExclusiveLock& lock,
+                                const MicrobenchConfig& config) {
+  BenchResult result = run_bench_impl(
+      world, config, [](rma::RmaComm&) { return true; },
+      [&lock](rma::RmaComm& comm, bool) { lock.acquire(comm); },
+      [&lock](rma::RmaComm& comm, bool) { lock.release(comm); });
+  result.num_writers = world.nprocs();
+  return result;
+}
+
+BenchResult run_rw_bench(rma::World& world, locks::RwLock& lock,
+                         const MicrobenchConfig& config) {
+  const i32 nprocs = world.nprocs();
+  const i32 static_writers = writer_count(nprocs, config.fw);
+  const u64 write_permille =
+      static_cast<u64>(std::lround(config.fw * 1000.0));
+  const auto role_of_op = [&, mode = config.role_mode](rma::RmaComm& comm) {
+    if (mode == RoleMode::kStaticRanks) {
+      return is_writer_rank(comm.rank(), nprocs, static_writers);
+    }
+    return comm.rng().chance(write_permille, 1000);
+  };
+  BenchResult result = run_bench_impl(
+      world, config, role_of_op,
+      [&lock](rma::RmaComm& comm, bool writer) {
+        if (writer) {
+          lock.acquire_write(comm);
+        } else {
+          lock.acquire_read(comm);
+        }
+      },
+      [&lock](rma::RmaComm& comm, bool writer) {
+        if (writer) {
+          lock.release_write(comm);
+        } else {
+          lock.release_read(comm);
+        }
+      });
+  if (config.role_mode == RoleMode::kStaticRanks) {
+    result.num_writers = static_writers;
+  }
+  return result;
+}
+
+}  // namespace rmalock::harness

@@ -1,0 +1,38 @@
+#include "harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rmalock::harness {
+
+double percentile_sorted(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<usize>(pos);
+  const usize hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.n = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  double sum = 0;
+  for (const double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  s.median = percentile_sorted(values, 50);
+  s.p95 = percentile_sorted(values, 95);
+  s.min = values.front();
+  s.max = values.back();
+  double var = 0;
+  for (const double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(var / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+}  // namespace rmalock::harness

@@ -1,0 +1,26 @@
+// Descriptive statistics for benchmark results.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rmalock::harness {
+
+struct Summary {
+  double mean = 0;
+  double median = 0;
+  double p95 = 0;
+  double min = 0;
+  double max = 0;
+  double stddev = 0;
+  usize n = 0;
+};
+
+/// Summarizes a sample (copies and sorts internally; empty input -> zeros).
+Summary summarize(std::vector<double> values);
+
+/// Percentile (0..100) of a sorted sample via linear interpolation.
+double percentile_sorted(const std::vector<double>& sorted, double pct);
+
+}  // namespace rmalock::harness

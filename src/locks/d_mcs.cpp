@@ -1,0 +1,59 @@
+#include "locks/d_mcs.hpp"
+
+namespace rmalock::locks {
+
+DMcs::DMcs(rma::World& world, Rank tail_rank)
+    : tail_rank_(tail_rank),
+      next_(world.allocate(1)),
+      wait_(world.allocate(1)),
+      tail_(world.allocate(1)) {
+  for (Rank r = 0; r < world.nprocs(); ++r) {
+    world.write_word(r, next_, kNilRank);
+    world.write_word(r, wait_, 0);
+    world.write_word(r, tail_, kNilRank);
+  }
+}
+
+// Listing 2.
+void DMcs::acquire(rma::RmaComm& comm) {
+  const Rank p = comm.rank();
+  // Prepare local fields.
+  comm.put(kNilRank, p, next_);
+  comm.put(1, p, wait_);
+  comm.flush(p);
+  // Enter the tail of the MCS queue and get the predecessor.
+  const i64 pred = comm.fao(p, tail_rank_, tail_, rma::AccumOp::kReplace);
+  comm.flush(tail_rank_);  // ensure completion of FAO
+  if (pred != kNilRank) {  // there is a predecessor
+    // Make the predecessor see us.
+    comm.put(p, static_cast<Rank>(pred), next_);
+    comm.flush(static_cast<Rank>(pred));
+    i64 waiting = 1;
+    do {  // spin locally until we get the lock
+      waiting = comm.get(p, wait_);
+      comm.flush(p);
+    } while (waiting != 0);
+  }
+}
+
+// Listing 3.
+void DMcs::release(rma::RmaComm& comm) {
+  const Rank p = comm.rank();
+  i64 successor = comm.get(p, next_);
+  comm.flush(p);
+  if (successor == kNilRank) {
+    // Check whether we are still the queue tail; if so, empty the queue.
+    const i64 current = comm.cas(kNilRank, p, tail_rank_, tail_);
+    comm.flush(tail_rank_);
+    if (current == p) return;  // we were the only process in the queue
+    do {  // somebody is enqueueing: wait for them to become visible
+      successor = comm.get(p, next_);
+      comm.flush(p);
+    } while (successor == kNilRank);
+  }
+  // Notify the successor.
+  comm.put(0, static_cast<Rank>(successor), wait_);
+  comm.flush(static_cast<Rank>(successor));
+}
+
+}  // namespace rmalock::locks

@@ -1,0 +1,37 @@
+// D-MCS — the distributed topology-oblivious MCS lock (§2.4, Listings 2-3).
+//
+// Processes waiting for the lock form one queue that may span nodes. Each
+// process exposes, in its window, a pointer to its successor (NEXT) and a
+// spin flag (WAIT); a designated tail_rank additionally hosts the queue
+// tail pointer (TAIL). A process enqueues with one FAO on TAIL, spins on
+// its *own* WAIT word (local spinning, the MCS property), and is released
+// by a single Put from its predecessor.
+//
+// D-MCS is both a comparison target and the building block of the
+// topology-aware locks: every DQ in RMA-MCS/RMA-RW is a D-MCS queue.
+#pragma once
+
+#include "locks/lock.hpp"
+#include "rma/world.hpp"
+
+namespace rmalock::locks {
+
+class DMcs final : public ExclusiveLock {
+ public:
+  /// Collective. `tail_rank` hosts the global tail pointer.
+  explicit DMcs(rma::World& world, Rank tail_rank = 0);
+
+  void acquire(rma::RmaComm& comm) override;
+  void release(rma::RmaComm& comm) override;
+  [[nodiscard]] std::string name() const override { return "D-MCS"; }
+
+  [[nodiscard]] Rank tail_rank() const { return tail_rank_; }
+
+ private:
+  Rank tail_rank_;
+  WinOffset next_;  // per-process successor pointer
+  WinOffset wait_;  // per-process spin flag
+  WinOffset tail_;  // queue tail, meaningful on tail_rank_ only
+};
+
+}  // namespace rmalock::locks

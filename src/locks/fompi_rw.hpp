@@ -1,0 +1,36 @@
+// foMPI-RW — the centralized reader-writer baseline (§5 "Comparison
+// Targets").
+//
+// Reimplementation of the foMPI (Gerstenberger et al., SC'13) MPI-3 RMA
+// reader-writer locking protocol: one 64-bit word on a home rank holding a
+// reader count in the low bits and a writer flag in a high bit. Readers
+// enter with FAO(+1) and undo themselves if a writer is present; a writer
+// claims the word with CAS(0 -> WRITER). Shared and exclusive access both
+// funnel through a single word on a single rank, which is precisely the
+// scalability bottleneck RMA-RW removes.
+#pragma once
+
+#include "locks/lock.hpp"
+#include "rma/world.hpp"
+
+namespace rmalock::locks {
+
+class FompiRw final : public RwLock {
+ public:
+  /// Collective. `home` hosts the lock word.
+  explicit FompiRw(rma::World& world, Rank home = 0);
+
+  void acquire_read(rma::RmaComm& comm) override;
+  void release_read(rma::RmaComm& comm) override;
+  void acquire_write(rma::RmaComm& comm) override;
+  void release_write(rma::RmaComm& comm) override;
+  [[nodiscard]] std::string name() const override { return "foMPI-RW"; }
+
+  [[nodiscard]] Rank home() const { return home_; }
+
+ private:
+  Rank home_;
+  WinOffset word_;
+};
+
+}  // namespace rmalock::locks

@@ -1,0 +1,33 @@
+// foMPI-Spin — the centralized spin lock baseline (§5 "Comparison Targets").
+//
+// Reimplementation of the simple MPI-3 RMA spin-lock protocol of
+// Gerstenberger et al. (foMPI, SC'13): a single lock word on a home rank,
+// acquired with remote atomics. We use test-and-test-and-set with a short
+// randomized backoff — the polite variant — so the baseline is not a straw
+// man; it still exhibits the defining weakness the paper measures: every
+// process hammers one word on one rank, so NIC contention at the home rank
+// grows with P and the lock is completely topology-oblivious.
+#pragma once
+
+#include "locks/lock.hpp"
+#include "rma/world.hpp"
+
+namespace rmalock::locks {
+
+class FompiSpin final : public ExclusiveLock {
+ public:
+  /// Collective. `home` hosts the lock word.
+  explicit FompiSpin(rma::World& world, Rank home = 0);
+
+  void acquire(rma::RmaComm& comm) override;
+  void release(rma::RmaComm& comm) override;
+  [[nodiscard]] std::string name() const override { return "foMPI-Spin"; }
+
+  [[nodiscard]] Rank home() const { return home_; }
+
+ private:
+  Rank home_;
+  WinOffset word_;
+};
+
+}  // namespace rmalock::locks

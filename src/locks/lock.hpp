@@ -1,0 +1,53 @@
+// Lock interfaces.
+//
+// Lock objects are immutable shared descriptors: construction is collective
+// (it allocates window offsets and initializes window words through the
+// World), after which any process may call the protocol methods with its own
+// RmaComm. All mutable protocol state lives in RMA windows, exactly as in
+// the paper — the C++ object carries only offsets, parameters, and the
+// topology.
+#pragma once
+
+#include <string>
+
+#include "rma/comm.hpp"
+
+namespace rmalock::locks {
+
+/// Mutual-exclusion lock: one process in the critical section at a time.
+class ExclusiveLock {
+ public:
+  virtual ~ExclusiveLock() = default;
+
+  ExclusiveLock(const ExclusiveLock&) = delete;
+  ExclusiveLock& operator=(const ExclusiveLock&) = delete;
+
+  virtual void acquire(rma::RmaComm& comm) = 0;
+  virtual void release(rma::RmaComm& comm) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  ExclusiveLock() = default;
+};
+
+/// Reader-writer lock: concurrent readers or one exclusive writer (§2.2.1).
+class RwLock {
+ public:
+  virtual ~RwLock() = default;
+
+  RwLock(const RwLock&) = delete;
+  RwLock& operator=(const RwLock&) = delete;
+
+  virtual void acquire_read(rma::RmaComm& comm) = 0;
+  virtual void release_read(rma::RmaComm& comm) = 0;
+  virtual void acquire_write(rma::RmaComm& comm) = 0;
+  virtual void release_write(rma::RmaComm& comm) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  RwLock() = default;
+};
+
+}  // namespace rmalock::locks

@@ -1,0 +1,49 @@
+#include "locks/rma_mcs.hpp"
+
+#include "common/check.hpp"
+
+namespace rmalock::locks {
+
+RmaMcs::RmaMcs(rma::World& world, RmaMcsParams params)
+    : tree_(world), params_(std::move(params)) {
+  RMALOCK_CHECK_MSG(params_.locality.size() ==
+                        static_cast<usize>(tree_.num_levels()),
+                    "RmaMcsParams::locality needs one threshold per level");
+  for (usize q = 1; q < params_.locality.size(); ++q) {
+    RMALOCK_CHECK_MSG(params_.locality[q] >= 1,
+                      "T_L must be >= 1 at every level");
+  }
+}
+
+void RmaMcs::acquire(rma::RmaComm& comm) {
+  for (i32 q = tree_.num_levels(); q >= 1; --q) {
+    const DistributedTree::LevelClaim claim = tree_.acquire_level(comm, q);
+    if (claim.acquired) {
+      // The lock was passed to us within our element at level q: we hold
+      // the global lock (the element keeps its positions above level q).
+      RMALOCK_CHECK_MSG(q > 1 || claim.status != kStatusAcquireParent,
+                        "root must never delegate upward");
+      return;
+    }
+  }
+  // Climbed past the root with no predecessor anywhere: we own the lock.
+}
+
+void RmaMcs::release(rma::RmaComm& comm) {
+  // Descend from the leaf: the first level where a successor exists and
+  // T_L,q is not exhausted takes the lock locally (Listing 5 lines 2-9).
+  i32 q = tree_.num_levels();
+  while (q >= 2 && !tree_.try_pass_local(comm, q, locality_threshold(q))) {
+    --q;
+  }
+  if (q == 1) {
+    tree_.release_root_exclusive(comm);
+  }
+  // Unwind: leave every level whose threshold forced us upward, telling
+  // any successor there to acquire the (already released) parent level.
+  for (i32 up = q + 1; up <= tree_.num_levels(); ++up) {
+    tree_.finish_release_upward(comm, up);
+  }
+}
+
+}  // namespace rmalock::locks

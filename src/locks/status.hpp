@@ -1,0 +1,29 @@
+// STATUS field encoding shared by the queue-based protocols (§3.2.4).
+//
+// One 64-bit STATUS word communicates, in a single RMA operation:
+//  (1) spin-wait                       — kStatusWait
+//  (2) "acquire the lock one level up" — kStatusAcquireParent
+//  (3) "the lock mode changed to READ" — kStatusModeChange (RMA-RW, level 1)
+//  (4) permission to enter the CS plus the count of consecutive acquires
+//      within this machine element     — any value >= kStatusAcquireStart
+//
+// Sentinels are negative so that the paper's comparisons (`status < T_L,i`)
+// keep working verbatim on counts, which start at kStatusAcquireStart = 0.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace rmalock::locks {
+
+inline constexpr i64 kStatusWait = -1;
+inline constexpr i64 kStatusAcquireParent = -2;
+inline constexpr i64 kStatusModeChange = -3;
+inline constexpr i64 kStatusAcquireStart = 0;
+
+/// The distributed counter's WRITE-mode flag (§3.2.1): one dedicated bit of
+/// the arrival counter; the paper uses INT64_MAX/2, we use 2^62. Any ARRIVE
+/// value >= kWriteFlagThreshold means a writer holds or is taking the lock.
+inline constexpr i64 kWriteFlag = i64{1} << 62;
+inline constexpr i64 kWriteFlagThreshold = kWriteFlag / 2;
+
+}  // namespace rmalock::locks

@@ -1,0 +1,113 @@
+#include "mc/checker.hpp"
+
+#include <sstream>
+
+#include "mc/monitor.hpp"
+
+namespace rmalock::mc {
+
+std::string CheckReport::summary() const {
+  std::ostringstream out;
+  out << "schedules=" << schedules_run << " cs_entries=" << total_cs_entries
+      << " mutex_violations=" << mutex_violations
+      << " deadlocks=" << deadlocks << " step_limit_hits=" << step_limit_hits
+      << " => " << (ok() ? "OK" : "VIOLATION");
+  return out.str();
+}
+
+CheckReport& CheckReport::operator+=(const CheckReport& other) {
+  schedules_run += other.schedules_run;
+  mutex_violations += other.mutex_violations;
+  deadlocks += other.deadlocks;
+  step_limit_hits += other.step_limit_hits;
+  total_cs_entries += other.total_cs_entries;
+  return *this;
+}
+
+namespace {
+
+rma::SimOptions schedule_options(const CheckConfig& config, u64 schedule) {
+  rma::SimOptions opts;
+  opts.topology = config.topology;
+  opts.latency = rma::LatencyModel::zero(config.topology.num_levels());
+  opts.seed = mix_seed(config.base_seed, schedule);
+  opts.policy = config.policy;
+  opts.pct_change_points = config.pct_change_points;
+  // Sample PCT change points over the expected run length (~50 engine
+  // steps per acquire), not the much larger safety step bound.
+  opts.pct_horizon = static_cast<u64>(config.topology.nprocs()) *
+                     static_cast<u64>(config.acquires_per_proc) * 50;
+  opts.max_steps = config.max_steps;
+  opts.abort_on_deadlock = false;  // report, don't abort: we are the checker
+  return opts;
+}
+
+void fold_in(CheckReport& report, const rma::RunResult& run,
+             const CsMonitor& monitor) {
+  ++report.schedules_run;
+  report.mutex_violations += monitor.violations();
+  report.total_cs_entries += monitor.entries();
+  if (run.deadlocked) ++report.deadlocks;
+  if (run.step_limit_hit) ++report.step_limit_hits;
+}
+
+}  // namespace
+
+CheckReport check_rw(const CheckConfig& config, const RwLockFactory& factory) {
+  CheckReport report;
+  for (u64 schedule = 0; schedule < config.schedules; ++schedule) {
+    const rma::SimOptions opts = schedule_options(config, schedule);
+    auto world = rma::SimWorld::create(opts);
+    const auto lock = factory(*world);
+    CsMonitor monitor;
+    // Random role per (schedule, rank), as in the paper's §4.4 setup.
+    const auto is_writer = [&](Rank rank) {
+      Xoshiro256 rng(mix_seed(opts.seed, 0xAB0 + static_cast<u64>(rank)));
+      return rng.uniform() < config.writer_fraction;
+    };
+    const rma::RunResult run = world->run([&](rma::RmaComm& comm) {
+      const bool writer = is_writer(comm.rank());
+      for (i32 i = 0; i < config.acquires_per_proc; ++i) {
+        if (writer) {
+          lock->acquire_write(comm);
+          monitor.enter_write();
+          comm.compute(10);  // scheduling point: keeps the CS observable
+          monitor.exit_write();
+          lock->release_write(comm);
+        } else {
+          lock->acquire_read(comm);
+          monitor.enter_read();
+          comm.compute(10);
+          monitor.exit_read();
+          lock->release_read(comm);
+        }
+      }
+    });
+    fold_in(report, run, monitor);
+  }
+  return report;
+}
+
+CheckReport check_exclusive(const CheckConfig& config,
+                            const ExclusiveLockFactory& factory) {
+  CheckReport report;
+  for (u64 schedule = 0; schedule < config.schedules; ++schedule) {
+    const rma::SimOptions opts = schedule_options(config, schedule);
+    auto world = rma::SimWorld::create(opts);
+    const auto lock = factory(*world);
+    CsMonitor monitor;
+    const rma::RunResult run = world->run([&](rma::RmaComm& comm) {
+      for (i32 i = 0; i < config.acquires_per_proc; ++i) {
+        lock->acquire(comm);
+        monitor.enter();
+        comm.compute(10);  // scheduling point: keeps the CS observable
+        monitor.exit();
+        lock->release(comm);
+      }
+    });
+    fold_in(report, run, monitor);
+  }
+  return report;
+}
+
+}  // namespace rmalock::mc

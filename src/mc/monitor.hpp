@@ -1,0 +1,84 @@
+// Critical-section monitors used by the model checker and the test suite.
+//
+// The monitors verify the paper's §4 correctness properties from outside
+// the lock: mutual exclusion is violated iff a writer enters while anyone
+// is inside, or a reader enters while a writer is inside. Deadlock freedom
+// is checked by the engine itself (SimWorld reports deadlocks), and
+// starvation shows up as a step-limit hit with missing CS entries.
+//
+// CsMonitor relies on SimWorld's serialized execution (only one process
+// runs between RMA calls); AtomicCsMonitor is its thread-safe counterpart
+// for ThreadWorld stress tests.
+#pragma once
+
+#include <atomic>
+
+#include "common/types.hpp"
+
+namespace rmalock::mc {
+
+class CsMonitor {
+ public:
+  void enter_read() {
+    if (writers_ != 0) ++violations_;
+    ++readers_;
+    ++entries_;
+  }
+  void exit_read() { --readers_; }
+
+  void enter_write() {
+    if (writers_ != 0 || readers_ != 0) ++violations_;
+    ++writers_;
+    ++entries_;
+  }
+  void exit_write() { --writers_; }
+
+  // Exclusive locks enter as writers.
+  void enter() { enter_write(); }
+  void exit() { exit_write(); }
+
+  [[nodiscard]] u64 violations() const { return violations_; }
+  [[nodiscard]] u64 entries() const { return entries_; }
+
+ private:
+  i64 readers_ = 0;
+  i64 writers_ = 0;
+  u64 violations_ = 0;
+  u64 entries_ = 0;
+};
+
+class AtomicCsMonitor {
+ public:
+  void enter_read() {
+    // Encode (writers << 32 | readers) in one word so the check is atomic.
+    const u64 state = state_.fetch_add(1, std::memory_order_acq_rel);
+    if ((state >> 32) != 0) violations_.fetch_add(1, std::memory_order_relaxed);
+    entries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void exit_read() { state_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  void enter_write() {
+    const u64 state =
+        state_.fetch_add(u64{1} << 32, std::memory_order_acq_rel);
+    if (state != 0) violations_.fetch_add(1, std::memory_order_relaxed);
+    entries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void exit_write() { state_.fetch_sub(u64{1} << 32, std::memory_order_acq_rel); }
+
+  void enter() { enter_write(); }
+  void exit() { exit_write(); }
+
+  [[nodiscard]] u64 violations() const {
+    return violations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] u64 entries() const {
+    return entries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<u64> state_{0};
+  std::atomic<u64> violations_{0};
+  std::atomic<u64> entries_{0};
+};
+
+}  // namespace rmalock::mc

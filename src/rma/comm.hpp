@@ -1,0 +1,93 @@
+// The RMA communication interface — the paper's Listing 1, verbatim.
+//
+// Every lock protocol in src/locks is written against this interface only,
+// which is the paper's own portability argument (§6, Table 3): any RMA/PGAS
+// layer providing put/get/accumulate/fetch-and-op/compare-and-swap/flush can
+// host the locks. This repository ships two implementations:
+//
+//   * rma::SimWorld   — deterministic virtual-time discrete-event runtime
+//                       (performance studies at P up to 1024, model checking);
+//   * rma::ThreadWorld — real threads + std::atomic (concurrency stress).
+//
+// Memory semantics: operations are applied atomically and become visible in
+// a sequentially consistent order. MPI-3 additionally requires a Flush
+// before *reading* returned values; the lock listings always flush
+// immediately after value-returning calls, so the stronger model here
+// changes no protocol behaviour. Flush remains a completion/cost point.
+//
+// A window is an array of 64-bit signed words per process; offsets are word
+// indices. The null rank ∅ is kNilRank (-1).
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "rma/op.hpp"
+#include "rma/op_stats.hpp"
+#include "topo/topology.hpp"
+
+namespace rmalock::rma {
+
+class RmaComm {
+ public:
+  virtual ~RmaComm() = default;
+
+  RmaComm(const RmaComm&) = delete;
+  RmaComm& operator=(const RmaComm&) = delete;
+
+  /// Rank of the calling process (0-based) and the process count P.
+  [[nodiscard]] virtual Rank rank() const = 0;
+  [[nodiscard]] virtual i32 nprocs() const = 0;
+  [[nodiscard]] virtual const topo::Topology& topology() const = 0;
+
+  // --- Listing 1 -----------------------------------------------------------
+
+  /// Place atomically src_data in target's window.
+  virtual void put(i64 src_data, Rank target, WinOffset offset) = 0;
+
+  /// Fetch and return atomically data from target's window.
+  virtual i64 get(Rank target, WinOffset offset) = 0;
+
+  /// Apply atomically op using oprd to data at target.
+  virtual void accumulate(i64 oprd, Rank target, WinOffset offset,
+                          AccumOp op) = 0;
+
+  /// Atomically apply op using oprd to data at target and return the
+  /// previous value of the modified data.
+  virtual i64 fao(i64 oprd, Rank target, WinOffset offset, AccumOp op) = 0;
+
+  /// Atomically compare cmp_data with data at target and, if equal, replace
+  /// it with src_data; return the previous data.
+  virtual i64 cas(i64 src_data, i64 cmp_data, Rank target,
+                  WinOffset offset) = 0;
+
+  /// Complete all pending RMA calls started by the calling process and
+  /// targeted at target.
+  virtual void flush(Rank target) = 0;
+
+  // --- runtime services ----------------------------------------------------
+
+  /// Model `ns` nanoseconds of local computation (busy work in the CS,
+  /// backoff delays, ...). Virtual time in SimWorld, busy-wait in
+  /// ThreadWorld.
+  virtual void compute(Nanos ns) = 0;
+
+  /// Current time of this process: virtual clock (SimWorld) or real
+  /// monotonic clock (ThreadWorld).
+  [[nodiscard]] virtual Nanos now_ns() = 0;
+
+  /// Collective barrier over all processes of the world. On return in
+  /// SimWorld, all clocks are synchronized to the latest arrival — the
+  /// harness brackets measurement phases with barriers.
+  virtual void barrier() = 0;
+
+  /// Per-process deterministic RNG (seeded from world seed + rank).
+  [[nodiscard]] virtual Xoshiro256& rng() = 0;
+
+  /// Per-process op statistics.
+  [[nodiscard]] virtual OpStats& stats() = 0;
+
+ protected:
+  RmaComm() = default;
+};
+
+}  // namespace rmalock::rma

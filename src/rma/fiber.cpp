@@ -1,0 +1,54 @@
+#include "rma/fiber.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+#if defined(__x86_64__)
+
+extern "C" void rmalock_fiber_swap(void** save_sp, void* const* restore_sp);
+
+namespace rmalock::rma {
+
+void Fiber::init(void* stack_base, usize stack_bytes, EntryFn entry) {
+  RMALOCK_CHECK_MSG(stack_bytes >= 4096, "fiber stack too small");
+  // Lay out the initial stack so the first switch "returns" into `entry`:
+  //   [top-aligned slot] entry address   (16-byte aligned, so that inside
+  //                                       entry rsp % 16 == 8 as after CALL)
+  //   six zeroed callee-saved register slots below it.
+  auto top = reinterpret_cast<usize>(stack_base) + stack_bytes;
+  top &= ~usize{15};  // align down to 16
+  auto* slots = reinterpret_cast<void**>(top);
+  slots[-1] = nullptr;  // fake return address for `entry` (never used)
+  // Ensure entry lands on a 16-aligned slot: place it at top-16.
+  slots[-2] = reinterpret_cast<void*>(entry);
+  void** sp = &slots[-2] - 6;  // rbp, rbx, r12, r13, r14, r15
+  std::memset(sp, 0, 6 * sizeof(void*));
+  sp_ = sp;
+}
+
+void Fiber::switch_to(Fiber& from, Fiber& to) {
+  rmalock_fiber_swap(&from.sp_, &to.sp_);
+}
+
+}  // namespace rmalock::rma
+
+#else  // ucontext fallback
+
+namespace rmalock::rma {
+
+void Fiber::init(void* stack_base, usize stack_bytes, EntryFn entry) {
+  RMALOCK_CHECK(getcontext(&ctx_) == 0);
+  ctx_.uc_stack.ss_sp = stack_base;
+  ctx_.uc_stack.ss_size = stack_bytes;
+  ctx_.uc_link = nullptr;
+  makecontext(&ctx_, entry, 0);
+}
+
+void Fiber::switch_to(Fiber& from, Fiber& to) {
+  RMALOCK_CHECK(swapcontext(&from.ctx_, &to.ctx_) == 0);
+}
+
+}  // namespace rmalock::rma
+
+#endif

@@ -1,0 +1,104 @@
+// Per-process RMA operation statistics.
+//
+// Counters are indexed by (operation kind, distance class). Distance class 0
+// is a self access, 1 is within the leaf element (same compute node), and
+// class c >= 2 means the deepest common element of origin and target is
+// level N - c + 1 (higher class = farther). These counters drive the
+// topology ablation (bench/ablation_topology) and the locality property
+// tests: e.g., RMA-MCS must issue asymptotically fewer class>=2 ops per
+// acquire than D-MCS.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rma/op.hpp"
+#include "topo/topology.hpp"
+
+namespace rmalock::rma {
+
+/// Distance class of an access from `origin` to `target` under `topo`:
+/// 0 = self, 1 = same leaf, ..., N = crosses the whole machine.
+[[nodiscard]] inline i32 distance_class(const topo::Topology& topo,
+                                        Rank origin, Rank target) {
+  if (origin == target) return 0;
+  return topo.num_levels() - topo.common_level(origin, target) + 1;
+}
+
+class OpStats {
+ public:
+  OpStats() = default;
+  explicit OpStats(i32 num_distance_classes)
+      : counts_(kOpKindCount,
+                std::vector<u64>(static_cast<usize>(num_distance_classes) + 1,
+                                 0)) {}
+
+  void record(OpKind kind, i32 dclass) {
+    ++counts_[static_cast<usize>(kind)][static_cast<usize>(dclass)];
+  }
+
+  [[nodiscard]] u64 count(OpKind kind, i32 dclass) const {
+    return counts_[static_cast<usize>(kind)][static_cast<usize>(dclass)];
+  }
+
+  /// All ops of one kind across distances.
+  [[nodiscard]] u64 total(OpKind kind) const {
+    u64 sum = 0;
+    for (const u64 c : counts_[static_cast<usize>(kind)]) sum += c;
+    return sum;
+  }
+
+  /// All ops with distance class >= dclass ("remote traffic beyond ...").
+  [[nodiscard]] u64 total_at_least(i32 dclass) const {
+    u64 sum = 0;
+    for (const auto& per_kind : counts_) {
+      for (usize d = static_cast<usize>(dclass); d < per_kind.size(); ++d) {
+        sum += per_kind[d];
+      }
+    }
+    return sum;
+  }
+
+  [[nodiscard]] u64 total_ops() const { return total_at_least(0); }
+
+  [[nodiscard]] i32 num_distance_classes() const {
+    return counts_.empty() ? 0 : static_cast<i32>(counts_[0].size());
+  }
+
+  void reset() {
+    for (auto& per_kind : counts_) {
+      for (auto& c : per_kind) c = 0;
+    }
+  }
+
+  OpStats& operator+=(const OpStats& other) {
+    if (counts_.empty()) {
+      counts_ = other.counts_;
+      return *this;
+    }
+    for (usize k = 0; k < counts_.size(); ++k) {
+      for (usize d = 0; d < counts_[k].size(); ++d) {
+        counts_[k][d] += other.counts_[k][d];
+      }
+    }
+    return *this;
+  }
+
+  /// Counter-wise difference (for measuring a phase: after - before).
+  OpStats& operator-=(const OpStats& other) {
+    for (usize k = 0; k < counts_.size() && k < other.counts_.size(); ++k) {
+      for (usize d = 0;
+           d < counts_[k].size() && d < other.counts_[k].size(); ++d) {
+        counts_[k][d] -= other.counts_[k][d];
+      }
+    }
+    return *this;
+  }
+
+ private:
+  // counts_[kind][distance_class]
+  std::vector<std::vector<u64>> counts_;
+};
+
+}  // namespace rmalock::rma

@@ -1,0 +1,766 @@
+#include "rma/sim_world.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace rmalock::rma {
+
+namespace {
+/// World whose fibers run on this thread (run() is not reentrant).
+thread_local SimWorld* t_fiber_world = nullptr;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SimComm: the per-process face of the engine. All calls forward to the
+// engine with the caller's rank; the calling fiber is the running process.
+// ---------------------------------------------------------------------------
+class SimComm final : public RmaComm {
+ public:
+  SimComm(SimWorld& world, Rank rank) : world_(world), rank_(rank) {}
+
+  [[nodiscard]] Rank rank() const override { return rank_; }
+  [[nodiscard]] i32 nprocs() const override { return world_.nprocs(); }
+  [[nodiscard]] const topo::Topology& topology() const override {
+    return world_.topology();
+  }
+
+  void put(i64 src_data, Rank target, WinOffset offset) override {
+    world_.execute_op(rank_, OpKind::kPut, target, offset, src_data, 0,
+                      AccumOp::kReplace);
+  }
+  i64 get(Rank target, WinOffset offset) override {
+    return world_.execute_op(rank_, OpKind::kGet, target, offset, 0, 0,
+                             AccumOp::kSum);
+  }
+  void accumulate(i64 oprd, Rank target, WinOffset offset,
+                  AccumOp op) override {
+    world_.execute_op(rank_, OpKind::kAccumulate, target, offset, oprd, 0, op);
+  }
+  i64 fao(i64 oprd, Rank target, WinOffset offset, AccumOp op) override {
+    return world_.execute_op(rank_, OpKind::kFao, target, offset, oprd, 0, op);
+  }
+  i64 cas(i64 src_data, i64 cmp_data, Rank target, WinOffset offset) override {
+    return world_.execute_op(rank_, OpKind::kCas, target, offset, src_data,
+                             cmp_data, AccumOp::kReplace);
+  }
+  void flush(Rank target) override {
+    world_.execute_op(rank_, OpKind::kFlush, target, 0, 0, 0, AccumOp::kSum);
+  }
+
+  void compute(Nanos ns) override { world_.execute_compute(rank_, ns); }
+  [[nodiscard]] Nanos now_ns() override { return world_.proc_clock(rank_); }
+  void barrier() override { world_.execute_barrier(rank_); }
+  [[nodiscard]] Xoshiro256& rng() override { return world_.proc_rng(rank_); }
+  [[nodiscard]] OpStats& stats() override { return world_.proc_stats(rank_); }
+
+ private:
+  SimWorld& world_;
+  Rank rank_;
+};
+
+// ---------------------------------------------------------------------------
+// Construction / window management
+// ---------------------------------------------------------------------------
+
+SimWorld::SimWorld(SimOptions opts)
+    : World(opts.topology), opts_(std::move(opts)) {
+  trace_ = std::getenv("RMALOCK_TRACE") != nullptr;
+  if (opts_.latency.rma_ns.empty()) {
+    opts_.latency = LatencyModel::xc30(topology_.num_levels());
+  }
+  RMALOCK_CHECK_MSG(
+      opts_.latency.num_distance_classes() >= topology_.num_levels(),
+      "latency model covers " << opts_.latency.num_distance_classes()
+                              << " distance classes but topology has "
+                              << topology_.num_levels() << " levels");
+  const i32 p = nprocs();
+  procs_.reserve(static_cast<usize>(p));
+  for (Rank r = 0; r < p; ++r) {
+    procs_.push_back(
+        std::make_unique<Proc>(mix_seed(opts_.seed, static_cast<u64>(r))));
+    procs_.back()->stats = OpStats(topology_.num_levels());
+  }
+  windows_.resize(static_cast<usize>(p));
+  waiters_.resize(static_cast<usize>(p));
+  nic_free_.assign(static_cast<usize>(p), 0);
+}
+
+SimWorld::~SimWorld() = default;
+
+void SimWorld::grow_windows(usize words) {
+  RMALOCK_CHECK_MSG(!running_, "allocate() while run() in flight");
+  for (auto& w : windows_) w.resize(words, 0);
+  for (auto& wl : waiters_) wl.resize(words);
+}
+
+i64 SimWorld::read_word(Rank rank, WinOffset offset) const {
+  RMALOCK_CHECK(!running_);
+  return windows_[static_cast<usize>(rank)][static_cast<usize>(offset)];
+}
+
+void SimWorld::write_word(Rank rank, WinOffset offset, i64 value) {
+  RMALOCK_CHECK(!running_);
+  windows_[static_cast<usize>(rank)][static_cast<usize>(offset)] = value;
+}
+
+OpStats SimWorld::aggregate_stats() const {
+  OpStats agg(topology_.num_levels());
+  for (const auto& proc : procs_) agg += proc->stats;
+  return agg;
+}
+
+void SimWorld::reset_stats() {
+  for (auto& proc : procs_) proc->stats.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Run orchestration
+// ---------------------------------------------------------------------------
+
+RunResult SimWorld::run(const std::function<void(RmaComm&)>& body) {
+  RMALOCK_CHECK_MSG(!running_, "nested run()");
+  RMALOCK_CHECK_MSG(t_fiber_world == nullptr,
+                    "another SimWorld is running on this thread");
+  running_ = true;
+  stopping_ = false;
+  result_ = RunResult{};
+  steps_ = 0;
+  window_writes_ = 0;
+  writes_at_last_stall_ = 0;
+  stall_rounds_ = 0;
+  barrier_arrived_ = 0;
+  barrier_ranks_.clear();
+  const i32 p = nprocs();
+  unfinished_ = p;
+  ready_heap_ = {};
+  ready_list_.clear();
+  sched_rng_ = Xoshiro256(mix_seed(opts_.seed, 0xface5eedULL));
+  std::fill(nic_free_.begin(), nic_free_.end(), 0);
+  body_ = &body;
+
+  if (opts_.policy == SchedPolicy::kPct) {
+    // Distinct random priorities; change points sampled over the step budget.
+    pct_next_priority_low_ = 1u << 20;
+    std::vector<u32> prio(static_cast<usize>(p));
+    for (i32 r = 0; r < p; ++r) {
+      prio[static_cast<usize>(r)] = pct_next_priority_low_ + static_cast<u32>(r);
+    }
+    for (i32 r = p - 1; r > 0; --r) {
+      const auto j =
+          static_cast<usize>(sched_rng_.below(static_cast<u64>(r) + 1));
+      std::swap(prio[static_cast<usize>(r)], prio[j]);
+    }
+    const u64 horizon =
+        opts_.pct_horizon > 0
+            ? opts_.pct_horizon
+            : (opts_.max_steps > 0 ? opts_.max_steps : 1'000'000);
+    pct_change_steps_.clear();
+    for (i32 k = 0; k < opts_.pct_change_points; ++k) {
+      pct_change_steps_.push_back(1 + sched_rng_.below(horizon));
+    }
+    std::sort(pct_change_steps_.begin(), pct_change_steps_.end());
+    for (i32 r = 0; r < p; ++r) {
+      procs_[static_cast<usize>(r)]->pct_priority = prio[static_cast<usize>(r)];
+    }
+  }
+
+  for (Rank r = 0; r < p; ++r) {
+    Proc& proc = *procs_[static_cast<usize>(r)];
+    proc.clock = 0;
+    proc.state = ProcState::kRunnable;
+    proc.wait_cells.clear();
+    proc.num_polls = 0;
+    proc.rng = Xoshiro256(mix_seed(opts_.seed, static_cast<u64>(r)));
+    if (!proc.stack) {
+      proc.stack = std::make_unique<char[]>(opts_.fiber_stack_bytes);
+    }
+    proc.fiber.init(proc.stack.get(), opts_.fiber_stack_bytes, &fiber_entry);
+    if (opts_.policy == SchedPolicy::kVirtualTime) {
+      ready_heap_.push(HeapEntry{proc.clock, r});
+    } else {
+      ready_list_.push_back(r);
+    }
+  }
+  for (auto& per_rank : waiters_) {
+    for (auto& cell : per_rank) cell.clear();
+  }
+
+  t_fiber_world = this;
+  const Rank first = pick_next();
+  RMALOCK_CHECK(first != kNilRank);
+  switch_to_proc(main_fiber_, first);
+  // Control returns here once every process has finished.
+  t_fiber_world = nullptr;
+  body_ = nullptr;
+
+  result_.steps = steps_;
+  result_.makespan_ns = 0;
+  for (const auto& proc : procs_) {
+    result_.makespan_ns = std::max(result_.makespan_ns, proc->clock);
+  }
+  running_ = false;
+  return result_;
+}
+
+void SimWorld::switch_to_proc(Fiber& from, Rank next) {
+  entering_rank_ = next;
+  Fiber::switch_to(from, procs_[static_cast<usize>(next)]->fiber);
+}
+
+void SimWorld::fiber_entry() {
+  SimWorld* world = t_fiber_world;
+  world->fiber_body(world->entering_rank_);
+}
+
+void SimWorld::fiber_body(Rank rank) {
+  if (!stopping_) {
+    SimComm comm(*this, rank);
+    try {
+      (*body_)(comm);
+    } catch (const StopRun&) {
+      // Run is being torn down (deadlock / step limit); unwind quietly.
+    } catch (...) {
+      RMALOCK_CHECK_MSG(false,
+                        "exception escaped a SimWorld process body (rank "
+                            << rank << ")");
+    }
+  }
+  finish_proc(rank);
+}
+
+void SimWorld::finish_proc(Rank rank) {
+  Proc& self = *procs_[static_cast<usize>(rank)];
+  self.state = ProcState::kFinished;
+  --unfinished_;
+  if (unfinished_ == 0) {
+    // Last process out: resume the main context (run() continues there).
+    Fiber::switch_to(self.fiber, main_fiber_);
+  } else {
+    // Our exit may satisfy a barrier the remaining processes wait in.
+    release_barrier_if_complete();
+    Rank next = pick_next();
+    if (next == kNilRank) {
+      handle_no_runnable();
+      next = pick_next();
+    }
+    RMALOCK_CHECK_MSG(next != kNilRank,
+                      "engine invariant: no schedulable process after finish");
+    switch_to_proc(self.fiber, next);
+  }
+  RMALOCK_CHECK_MSG(false, "finished fiber resumed");
+  std::abort();  // unreachable; satisfies [[noreturn]]
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+Rank SimWorld::pick_next() {
+  if (opts_.policy == SchedPolicy::kVirtualTime) {
+    if (ready_heap_.empty()) return kNilRank;
+    const HeapEntry top = ready_heap_.top();
+    ready_heap_.pop();
+    Proc& proc = *procs_[static_cast<usize>(top.rank)];
+    RMALOCK_DCHECK(proc.state == ProcState::kRunnable);
+    proc.state = ProcState::kRunning;
+    return top.rank;
+  }
+  if (ready_list_.empty()) return kNilRank;
+  usize idx = 0;
+  if (opts_.policy == SchedPolicy::kRandom) {
+    idx = static_cast<usize>(sched_rng_.below(ready_list_.size()));
+  } else {  // kPct: highest priority runnable
+    for (usize i = 1; i < ready_list_.size(); ++i) {
+      if (procs_[static_cast<usize>(ready_list_[i])]->pct_priority >
+          procs_[static_cast<usize>(ready_list_[idx])]->pct_priority) {
+        idx = i;
+      }
+    }
+  }
+  const Rank rank = ready_list_[idx];
+  ready_list_[idx] = ready_list_.back();
+  ready_list_.pop_back();
+  Proc& proc = *procs_[static_cast<usize>(rank)];
+  RMALOCK_DCHECK(proc.state == ProcState::kRunnable);
+  proc.state = ProcState::kRunning;
+  return rank;
+}
+
+void SimWorld::make_runnable(Proc& proc, Rank rank) {
+  if (proc.state == ProcState::kRunnable ||
+      proc.state == ProcState::kRunning ||
+      proc.state == ProcState::kFinished) {
+    return;
+  }
+  proc.state = ProcState::kRunnable;
+  if (opts_.policy == SchedPolicy::kVirtualTime) {
+    ready_heap_.push(HeapEntry{proc.clock, rank});
+  } else {
+    ready_list_.push_back(rank);
+  }
+}
+
+void SimWorld::yield_cpu(Rank origin) {
+  Proc& self = *procs_[static_cast<usize>(origin)];
+  // Fast path: in virtual-time mode, keep running if we are still ahead of
+  // (or tied with, by rank) every runnable process — avoids a push/pop pair.
+  if (opts_.policy == SchedPolicy::kVirtualTime) {
+    if (ready_heap_.empty()) return;
+    const HeapEntry& top = ready_heap_.top();
+    if (top.clock > self.clock ||
+        (top.clock == self.clock && top.rank > origin)) {
+      return;
+    }
+    ready_heap_.push(HeapEntry{self.clock, origin});
+  } else {
+    ready_list_.push_back(origin);
+  }
+  self.state = ProcState::kRunnable;
+  const Rank next = pick_next();
+  RMALOCK_DCHECK(next != kNilRank);  // at least `origin` is schedulable
+  if (next == origin) return;        // picked ourselves: keep running
+  switch_to_proc(self.fiber, next);
+  check_stop(origin);
+}
+
+void SimWorld::hand_off_from_blocked(Rank origin) {
+  Proc& self = *procs_[static_cast<usize>(origin)];
+  Rank next = pick_next();
+  if (next == kNilRank) {
+    handle_no_runnable();
+    next = pick_next();
+  }
+  RMALOCK_CHECK_MSG(next != kNilRank,
+                    "engine invariant: no schedulable process while blocking");
+  if (next == origin) return;  // force-woken (or barrier-released) already
+  switch_to_proc(self.fiber, next);
+}
+
+void SimWorld::handle_no_runnable() {
+  release_barrier_if_complete();
+  if (opts_.policy == SchedPolicy::kVirtualTime ? !ready_heap_.empty()
+                                                : !ready_list_.empty()) {
+    return;
+  }
+  // Every unfinished process is parked (or stuck in an incomplete barrier).
+  if (stall_rounds_ > 0 && window_writes_ == writes_at_last_stall_) {
+    ++stall_rounds_;
+  } else {
+    stall_rounds_ = 1;
+  }
+  writes_at_last_stall_ = window_writes_;
+  if (stall_rounds_ >= 4) {
+    // Several force-wake rounds produced no window write: nobody can ever
+    // unblock anybody. Genuine deadlock.
+    begin_stop(/*deadlock=*/true, /*step_limit=*/false);
+    return;
+  }
+  bool woke_any = false;
+  for (Rank r = 0; r < nprocs(); ++r) {
+    Proc& proc = *procs_[static_cast<usize>(r)];
+    if (proc.state == ProcState::kParked) {
+      make_runnable(proc, r);
+      woke_any = true;
+    }
+  }
+  if (!woke_any) {
+    // Only barrier waiters remain and the barrier cannot complete.
+    begin_stop(/*deadlock=*/true, /*step_limit=*/false);
+  }
+}
+
+void SimWorld::begin_stop(bool deadlock, bool step_limit) {
+  if (stopping_) return;
+  stopping_ = true;
+  result_.deadlocked = deadlock;
+  result_.step_limit_hit = step_limit;
+  if (deadlock && std::getenv("RMALOCK_DEBUG_DEADLOCK") != nullptr) {
+    std::fprintf(stderr, "[rmalock] deadlock dump (steps=%llu):\n",
+                 static_cast<unsigned long long>(steps_));
+    for (Rank r = 0; r < nprocs(); ++r) {
+      const Proc& proc = *procs_[static_cast<usize>(r)];
+      if (proc.state == ProcState::kFinished) continue;
+      std::fprintf(stderr, "  rank %d state=%d clock=%lld waits:", r,
+                   static_cast<int>(proc.state),
+                   static_cast<long long>(proc.clock));
+      for (const auto& [t, o] : proc.wait_cells) {
+        std::fprintf(
+            stderr, " (%d,%lld)=%lld", t, static_cast<long long>(o),
+            static_cast<long long>(
+                windows_[static_cast<usize>(t)][static_cast<usize>(o)]));
+      }
+      std::fprintf(stderr, "\n");
+    }
+  }
+  if (deadlock && opts_.abort_on_deadlock) {
+    RMALOCK_CHECK_MSG(false, "SimWorld deadlock: all "
+                                 << unfinished_
+                                 << " unfinished processes are blocked and no "
+                                    "window write can ever occur (steps="
+                                 << steps_ << ")");
+  }
+  for (Rank r = 0; r < nprocs(); ++r) {
+    Proc& proc = *procs_[static_cast<usize>(r)];
+    if (proc.state == ProcState::kParked ||
+        proc.state == ProcState::kInBarrier) {
+      make_runnable(proc, r);
+    }
+  }
+  barrier_arrived_ = 0;
+  barrier_ranks_.clear();
+}
+
+void SimWorld::check_stop(Rank /*origin*/) {
+  if (stopping_) throw StopRun{};
+}
+
+void SimWorld::bump_step(Rank origin) {
+  ++steps_;
+  if (opts_.max_steps != 0 && steps_ > opts_.max_steps && !stopping_) {
+    begin_stop(/*deadlock=*/false, /*step_limit=*/true);
+    throw StopRun{};
+  }
+  if (opts_.policy == SchedPolicy::kPct && !pct_change_steps_.empty() &&
+      steps_ >= pct_change_steps_.front()) {
+    pct_change_steps_.erase(pct_change_steps_.begin());
+    procs_[static_cast<usize>(origin)]->pct_priority = --pct_next_priority_low_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------------------
+
+void SimWorld::release_barrier_if_complete() {
+  if (barrier_arrived_ == 0 || barrier_arrived_ < unfinished_) return;
+  Nanos max_clock = 0;
+  for (const Rank r : barrier_ranks_) {
+    max_clock = std::max(max_clock, procs_[static_cast<usize>(r)]->clock);
+  }
+  for (const Rank r : barrier_ranks_) {
+    Proc& proc = *procs_[static_cast<usize>(r)];
+    proc.clock = max_clock;
+    make_runnable(proc, r);
+  }
+  barrier_arrived_ = 0;
+  barrier_ranks_.clear();
+}
+
+void SimWorld::execute_barrier(Rank origin) {
+  check_stop(origin);
+  bump_step(origin);
+  Proc& self = *procs_[static_cast<usize>(origin)];
+  clear_polls(self);
+  barrier_ranks_.push_back(origin);
+  ++barrier_arrived_;
+  if (barrier_arrived_ >= unfinished_) {
+    // Last arrival: synchronize clocks and release everyone; we keep the
+    // cpu and yield normally.
+    Nanos max_clock = 0;
+    for (const Rank r : barrier_ranks_) {
+      max_clock = std::max(max_clock, procs_[static_cast<usize>(r)]->clock);
+    }
+    for (const Rank r : barrier_ranks_) {
+      Proc& proc = *procs_[static_cast<usize>(r)];
+      proc.clock = max_clock;
+      if (r != origin) make_runnable(proc, r);
+    }
+    barrier_arrived_ = 0;
+    barrier_ranks_.clear();
+    yield_cpu(origin);
+    return;
+  }
+  self.state = ProcState::kInBarrier;
+  hand_off_from_blocked(origin);
+  check_stop(origin);
+}
+
+// ---------------------------------------------------------------------------
+// RMA operations
+// ---------------------------------------------------------------------------
+
+i64 SimWorld::apply_to_window(OpKind kind, Rank target, WinOffset offset,
+                              i64 operand, i64 cmp, AccumOp aop, bool* wrote) {
+  i64& word =
+      windows_[static_cast<usize>(target)][static_cast<usize>(offset)];
+  *wrote = false;
+  switch (kind) {
+    case OpKind::kPut:
+      word = operand;
+      *wrote = true;
+      return 0;
+    case OpKind::kGet:
+      return word;
+    case OpKind::kAccumulate:
+      word = (aop == AccumOp::kSum) ? word + operand : operand;
+      *wrote = true;
+      return 0;
+    case OpKind::kFao: {
+      const i64 old = word;
+      word = (aop == AccumOp::kSum) ? word + operand : operand;
+      *wrote = true;
+      return old;
+    }
+    case OpKind::kCas: {
+      const i64 old = word;
+      if (old == cmp) {
+        word = operand;
+        *wrote = true;
+      }
+      return old;
+    }
+    default:
+      RMALOCK_CHECK_MSG(false, "bad op kind");
+      return 0;
+  }
+}
+
+void SimWorld::wake_waiters(Rank target, WinOffset offset, Nanos write_time) {
+  auto& cell =
+      waiters_[static_cast<usize>(target)][static_cast<usize>(offset)];
+  if (cell.empty()) return;
+  for (const Rank r : cell) {
+    Proc& proc = *procs_[static_cast<usize>(r)];
+    if (proc.state != ProcState::kParked) continue;  // stale entry
+    // Only wake if the proc is still parked *on this cell* — its wait set
+    // may have changed since this (now stale) registration was made.
+    bool registered = false;
+    for (const auto& [wr, wo] : proc.wait_cells) {
+      if (wr == target && wo == offset) {
+        registered = true;
+        break;
+      }
+    }
+    if (!registered) continue;
+    proc.clock = std::max(proc.clock, write_time);
+    proc.woken_by_write = true;
+    if (trace_) [[unlikely]] {
+      std::fprintf(stderr, "[trace %8llu] r%-4d WAKE by write (%d,%lld)\n",
+                   static_cast<unsigned long long>(steps_), r, target,
+                   static_cast<long long>(offset));
+    }
+    make_runnable(proc, r);
+  }
+  cell.clear();
+}
+
+bool SimWorld::track_poll(Proc& proc, Rank target, WinOffset offset,
+                          i64 value) {
+  ++proc.poll_epoch;
+  // Evict entries not polled recently: they belong to earlier code (e.g.,
+  // a previous loop) and must neither block parking nor register waits.
+  constexpr u64 kRecencyWindow = 8;
+  for (i32 i = proc.num_polls - 1; i >= 0; --i) {
+    if (proc.poll_epoch -
+            proc.polls[static_cast<usize>(i)].last_touch >
+        kRecencyWindow) {
+      proc.polls[static_cast<usize>(i)] =
+          proc.polls[static_cast<usize>(proc.num_polls - 1)];
+      --proc.num_polls;
+    }
+  }
+  PollEntry* current = nullptr;
+  for (i32 i = 0; i < proc.num_polls; ++i) {
+    PollEntry& entry = proc.polls[static_cast<usize>(i)];
+    if (entry.target == target && entry.offset == offset) {
+      current = &entry;
+      break;
+    }
+  }
+  if (current == nullptr) {
+    if (proc.num_polls == static_cast<i32>(proc.polls.size())) {
+      // Evict the least recently touched entry.
+      usize oldest = 0;
+      for (usize i = 1; i < proc.polls.size(); ++i) {
+        if (proc.polls[i].last_touch < proc.polls[oldest].last_touch) {
+          oldest = i;
+        }
+      }
+      proc.polls[oldest] = proc.polls[static_cast<usize>(proc.num_polls - 1)];
+      --proc.num_polls;
+    }
+    proc.polls[static_cast<usize>(proc.num_polls)] =
+        PollEntry{target, offset, value, 1, proc.poll_epoch};
+    ++proc.num_polls;
+    return false;
+  }
+  current->last_touch = proc.poll_epoch;
+  if (current->value != value) {
+    current->value = value;
+    current->repeats = 1;
+    return false;
+  }
+  ++current->repeats;
+  if (current->repeats < 3) return false;
+  // Only park when *every* recently-polled cell has been re-confirmed
+  // unchanged: the caller has then evaluated its loop condition against
+  // the current value vector at least once and chose to keep spinning, so
+  // blocking until one of the cells changes cannot lose a satisfied exit.
+  // (Counterexample this prevents: a drain loop whose ARRIVE just changed
+  // to the satisfying value while DEPART — polled right after — is on its
+  // third identical read; parking inside the DEPART Get would starve the
+  // caller of its own exit condition.)
+  for (i32 i = 0; i < proc.num_polls; ++i) {
+    if (proc.polls[static_cast<usize>(i)].repeats < 2) return false;
+  }
+  return true;
+}
+
+bool SimWorld::poll_snapshot_is_current(Proc& proc) {
+  // A cell may have been written between the caller's last read of it and
+  // this park decision (made inside a read of a *different* cell); parking
+  // on such a stale snapshot can sleep through an already-satisfied loop
+  // condition. Refresh stale entries and refuse to park.
+  bool current = true;
+  for (i32 i = 0; i < proc.num_polls; ++i) {
+    PollEntry& entry = proc.polls[static_cast<usize>(i)];
+    const i64 actual = windows_[static_cast<usize>(entry.target)]
+                               [static_cast<usize>(entry.offset)];
+    if (actual != entry.value) {
+      // The caller has not *received* this value yet (the change landed
+      // after its last read), so it counts for zero confirmations — the
+      // caller must observe it twice before this cell can support a park.
+      entry.value = actual;
+      entry.repeats = 0;
+      current = false;
+    }
+  }
+  return current;
+}
+
+void SimWorld::unregister_waits(Proc& proc, Rank rank) {
+  for (const auto& [target, offset] : proc.wait_cells) {
+    auto& cell =
+        waiters_[static_cast<usize>(target)][static_cast<usize>(offset)];
+    for (usize i = 0; i < cell.size(); ++i) {
+      if (cell[i] == rank) {
+        cell[i] = cell.back();
+        cell.pop_back();
+        break;
+      }
+    }
+  }
+  proc.wait_cells.clear();
+}
+
+void SimWorld::park_until_cell_write(Rank origin) {
+  Proc& self = *procs_[static_cast<usize>(origin)];
+  RMALOCK_DCHECK(self.num_polls > 0);
+  self.wait_cells.clear();
+  for (i32 i = 0; i < self.num_polls; ++i) {
+    const PollEntry& entry = self.polls[static_cast<usize>(i)];
+    waiters_[static_cast<usize>(entry.target)]
+            [static_cast<usize>(entry.offset)]
+                .push_back(origin);
+    self.wait_cells.emplace_back(entry.target, entry.offset);
+  }
+  if (trace_) [[unlikely]] {
+    std::fprintf(stderr, "[trace %8llu] r%-4d PARK on",
+                 static_cast<unsigned long long>(steps_), origin);
+    for (const auto& [t, o] : self.wait_cells) {
+      std::fprintf(stderr, " (%d,%lld)", t, static_cast<long long>(o));
+    }
+    std::fprintf(stderr, "\n");
+  }
+  self.state = ProcState::kParked;
+  self.woken_by_write = false;
+  hand_off_from_blocked(origin);
+  unregister_waits(self, origin);
+  if (self.woken_by_write) {
+    // A write landed on one of the polled cells: restart poll tracking so
+    // the re-issued read returns to the caller (its loop condition may now
+    // be satisfied through *another* cell even if this one is unchanged).
+    clear_polls(self);
+  }
+  check_stop(origin);
+}
+
+i64 SimWorld::execute_op(Rank origin, OpKind kind, Rank target,
+                         WinOffset offset, i64 operand, i64 cmp, AccumOp aop) {
+  check_stop(origin);
+  Proc& self = *procs_[static_cast<usize>(origin)];
+  RMALOCK_DCHECK(target >= 0 && target < nprocs());
+  const i32 dclass = distance_class(topology_, origin, target);
+
+  if (kind == OpKind::kFlush) {
+    // Flush changes no shared state: charge its cost but skip the
+    // scheduling point (halves engine steps for the flush-heavy listings).
+    self.stats.record(kind, dclass);
+    self.clock += opts_.latency.flush_ns;
+    return 0;
+  }
+
+  for (;;) {
+    bump_step(origin);
+    self.stats.record(kind, dclass);
+    RMALOCK_DCHECK(offset >= 0 &&
+                   static_cast<usize>(offset) <
+                       windows_[static_cast<usize>(target)].size());
+
+    // Cost accounting: full end-to-end latency charged at the op; remote
+    // ops additionally queue in the target's NIC (contention model).
+    const Nanos cost = opts_.latency.op_cost(kind, dclass);
+    Nanos completion;  // when the op takes effect at the target
+    if (dclass == 0) {
+      self.clock += cost;
+      completion = self.clock;
+    } else {
+      const Nanos occupancy = opts_.latency.occupancy(kind, dclass);
+      const Nanos arrival = self.clock + cost / 2;
+      const Nanos start =
+          std::max(arrival, nic_free_[static_cast<usize>(target)]);
+      nic_free_[static_cast<usize>(target)] = start + occupancy;
+      completion = start + occupancy;
+      self.clock = completion + (cost - cost / 2);
+    }
+
+    bool wrote = false;
+    const i64 result =
+        apply_to_window(kind, target, offset, operand, cmp, aop, &wrote);
+    if (trace_) [[unlikely]] {
+      std::fprintf(stderr,
+                   "[trace %8llu] r%-4d %-10s t=%-4d off=%-3lld op=%lld "
+                   "-> %lld (now %lld)\n",
+                   static_cast<unsigned long long>(steps_), origin,
+                   op_kind_name(kind), target, static_cast<long long>(offset),
+                   static_cast<long long>(operand),
+                   static_cast<long long>(result),
+                   static_cast<long long>(
+                       windows_[static_cast<usize>(target)]
+                               [static_cast<usize>(offset)]));
+    }
+    if (wrote) {
+      ++window_writes_;
+      wake_waiters(target, offset, completion);
+    }
+    if (kind == OpKind::kGet) {
+      if (track_poll(self, target, offset, result) &&
+          poll_snapshot_is_current(self)) {
+        // Pure spin detected and the caller's view of every polled cell is
+        // identical to the current window contents (so its loop condition
+        // is false *right now*): sleep until one of the cells changes,
+        // then re-issue the read (fresh cost, fresh value).
+        park_until_cell_write(origin);
+        continue;
+      }
+    } else {
+      clear_polls(self);
+    }
+    yield_cpu(origin);
+    return result;
+  }
+}
+
+void SimWorld::execute_compute(Rank origin, Nanos ns) {
+  check_stop(origin);
+  bump_step(origin);
+  Proc& self = *procs_[static_cast<usize>(origin)];
+  clear_polls(self);
+  self.clock += ns;
+  yield_cpu(origin);
+}
+
+}  // namespace rmalock::rma

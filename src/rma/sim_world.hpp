@@ -1,0 +1,241 @@
+// SimWorld — deterministic virtual-time discrete-event RMA runtime.
+//
+// Role in the reproduction: the paper evaluates on a Cray XC30 with up to
+// 1024 MPI processes. This container has 2 cores, so wall-clock measurement
+// of real threads cannot reproduce any scaling behaviour. SimWorld instead
+// executes P cooperatively-scheduled processes (user-space fibers) whose RMA
+// operations advance per-process *virtual clocks* according to a
+// LatencyModel (distance-based cost + per-target NIC occupancy). Results
+// are deterministic for a given seed, and P sweeps to 1024 just like the
+// paper's.
+//
+// Execution model
+//   * Exactly one process runs at a time (fiber switching on one OS
+//     thread), so RMA ops apply in a single global order — sequential
+//     consistency by construction, no data races on window memory.
+//   * Scheduling policy:
+//       kVirtualTime — runnable process with the smallest clock runs next
+//                      (deterministic DES; used by all benchmarks);
+//       kRandom      — uniformly random runnable process (model checking);
+//       kPct         — PCT priority scheduling with d change points
+//                      (Burckhardt et al.; stronger bug-finding guarantees).
+//   * Flush is not a scheduling point: it changes no shared state, so
+//     skipping its yield halves engine steps without losing interleavings.
+//   * Spin-wait parking: a process that re-reads the same unchanged window
+//     cells (three identical polls) is parked and woken by the next write
+//     to any of those cells, with its clock advanced to the writer's
+//     completion time. This models MCS-style local spinning in O(1) engine
+//     steps per wait instead of O(wait/poll).
+//   * Deadlock detection: if every unfinished process is parked and several
+//     force-wake rounds produce no window write, the run is declared
+//     deadlocked (reported or aborted per options). This reproduces the
+//     deadlock-freedom checking of the paper's §4.4.
+//
+// Virtual-time caveat: operations are applied eagerly in engine order, so a
+// parked process can observe a write that carries a slightly later
+// timestamp. Logical behaviour always corresponds to the engine's serial
+// order; virtual time is a faithful cost model, not a total order oracle.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "rma/fiber.hpp"
+#include "rma/latency_model.hpp"
+#include "rma/world.hpp"
+
+namespace rmalock::rma {
+
+enum class SchedPolicy : u8 {
+  kVirtualTime,  // deterministic min-clock DES (benchmarks)
+  kRandom,       // uniform random walk over interleavings (model checking)
+  kPct,          // PCT priority scheduling (model checking)
+};
+
+struct SimOptions {
+  topo::Topology topology;
+  /// Network model; defaulted to LatencyModel::xc30(topology levels).
+  LatencyModel latency{};
+  /// Seed for scheduling and per-process RNG streams.
+  u64 seed = 1;
+  SchedPolicy policy = SchedPolicy::kVirtualTime;
+  /// PCT: number of priority change points (d).
+  i32 pct_change_points = 3;
+  /// PCT: steps horizon (k) the change points are sampled from. Should
+  /// approximate the expected run length — points beyond the actual run
+  /// never fire and PCT degenerates to a strict priority schedule.
+  /// 0 = derive from max_steps (or 1e6 if unbounded).
+  u64 pct_horizon = 0;
+  /// Stop the run after this many engine steps (0 = unbounded). Used by the
+  /// model checker to bound exploration.
+  u64 max_steps = 0;
+  /// Abort the process on deadlock (benchmarks want loud failure); when
+  /// false the deadlock is reported in RunResult (model checking).
+  bool abort_on_deadlock = true;
+  /// Stack bytes per simulated process.
+  usize fiber_stack_bytes = 256 * 1024;
+};
+
+class SimWorld final : public World {
+ public:
+  explicit SimWorld(SimOptions opts);
+  ~SimWorld() override;
+
+  static std::unique_ptr<SimWorld> create(SimOptions opts) {
+    return std::make_unique<SimWorld>(std::move(opts));
+  }
+
+  RunResult run(const std::function<void(RmaComm&)>& body) override;
+
+  [[nodiscard]] i64 read_word(Rank rank, WinOffset offset) const override;
+  void write_word(Rank rank, WinOffset offset, i64 value) override;
+  [[nodiscard]] OpStats aggregate_stats() const override;
+  void reset_stats();
+
+  [[nodiscard]] const SimOptions& options() const { return opts_; }
+
+ private:
+  friend class SimComm;
+
+  enum class ProcState : u8 {
+    kRunnable,   // waiting in the scheduler for the cpu
+    kRunning,    // currently executing
+    kParked,     // waiting for a write to registered cells
+    kInBarrier,  // waiting for the collective barrier
+    kFinished,
+  };
+
+  struct PollEntry {
+    Rank target = kNilRank;
+    WinOffset offset = -1;
+    i64 value = 0;
+    i32 repeats = 0;
+    u64 last_touch = 0;  // poll_epoch of the most recent read of this cell
+  };
+
+  struct Proc {
+    explicit Proc(u64 rng_seed) : rng(rng_seed) {}
+
+    Fiber fiber;
+    std::unique_ptr<char[]> stack;
+    Nanos clock = 0;
+    ProcState state = ProcState::kRunnable;
+    /// Set when a window write (as opposed to a force-wake) unparked this
+    /// proc: the pending Get must then *return* so the caller can
+    /// re-evaluate its loop condition — any polled cell may have changed,
+    /// not just the one the Get targets.
+    bool woken_by_write = false;
+    // Cells this proc is registered on while parked: (target, offset).
+    std::vector<std::pair<Rank, WinOffset>> wait_cells;
+    std::array<PollEntry, 4> polls{};
+    i32 num_polls = 0;
+    u64 poll_epoch = 0;  // counts this proc's Get operations
+    u32 pct_priority = 0;
+    Xoshiro256 rng;
+    OpStats stats;
+  };
+
+  struct HeapEntry {
+    Nanos clock;
+    Rank rank;
+    friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
+      return a.clock != b.clock ? a.clock > b.clock : a.rank > b.rank;
+    }
+  };
+
+  /// Thrown through user code to unwind a stopping run. Lock bodies are
+  /// exception-transparent (RAII only), so this is safe.
+  struct StopRun {};
+
+  void grow_windows(usize words) override;
+
+  // --- fiber plumbing ------------------------------------------------------
+  static void fiber_entry();
+  [[noreturn]] void fiber_body(Rank rank);
+  void switch_to_proc(Fiber& from, Rank next);
+  [[noreturn]] void finish_proc(Rank rank);
+
+  // --- engine (all called from the currently running fiber) ---------------
+  i64 execute_op(Rank origin, OpKind kind, Rank target, WinOffset offset,
+                 i64 operand, i64 cmp, AccumOp aop);
+  void execute_compute(Rank origin, Nanos ns);
+  void execute_barrier(Rank origin);
+
+  i64 apply_to_window(OpKind kind, Rank target, WinOffset offset, i64 operand,
+                      i64 cmp, AccumOp aop, bool* wrote);
+  void wake_waiters(Rank target, WinOffset offset, Nanos write_time);
+
+  /// Updates origin's poll tracker after a get; returns true if the caller
+  /// should park (3 identical reads of this cell with no local progress).
+  bool track_poll(Proc& proc, Rank target, WinOffset offset, i64 value);
+  /// True iff every tracked cell still holds the value the caller last
+  /// read (see the comment at the call site); refreshes stale entries.
+  bool poll_snapshot_is_current(Proc& proc);
+  void clear_polls(Proc& proc) { proc.num_polls = 0; }
+
+  void park_until_cell_write(Rank origin);
+  void yield_cpu(Rank origin);
+  void hand_off_from_blocked(Rank origin);
+  void release_barrier_if_complete();
+
+  /// Picks the next process to run; kNilRank if no one is runnable.
+  Rank pick_next();
+  /// Called when no process is runnable: force-wake or declare deadlock.
+  void handle_no_runnable();
+  void begin_stop(bool deadlock, bool step_limit);
+  void check_stop(Rank origin);
+  void bump_step(Rank origin);
+
+  void make_runnable(Proc& proc, Rank rank);
+  void unregister_waits(Proc& proc, Rank rank);
+
+  // Per-process accessors used by SimComm.
+  [[nodiscard]] Nanos proc_clock(Rank rank) const {
+    return procs_[static_cast<usize>(rank)]->clock;
+  }
+  [[nodiscard]] Xoshiro256& proc_rng(Rank rank) {
+    return procs_[static_cast<usize>(rank)]->rng;
+  }
+  [[nodiscard]] OpStats& proc_stats(Rank rank) {
+    return procs_[static_cast<usize>(rank)]->stats;
+  }
+
+  SimOptions opts_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  std::vector<std::vector<i64>> windows_;  // [rank][offset]
+  std::vector<Nanos> nic_free_;            // per-rank NIC availability time
+  // waiters_[rank][offset] = ranks parked on that cell (may hold stale
+  // entries for procs already woken; filtered by state on wake).
+  std::vector<std::vector<std::vector<Rank>>> waiters_;
+
+  // Scheduler state (valid during run()).
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      ready_heap_;                  // kVirtualTime
+  std::vector<Rank> ready_list_;    // kRandom / kPct
+  Xoshiro256 sched_rng_{0};
+  std::vector<u64> pct_change_steps_;
+  u32 pct_next_priority_low_ = 0;
+
+  Fiber main_fiber_;
+  Rank entering_rank_ = kNilRank;  // rank a fresh fiber should adopt
+  const std::function<void(RmaComm&)>* body_ = nullptr;
+
+  u64 steps_ = 0;
+  u64 window_writes_ = 0;
+  u64 writes_at_last_stall_ = 0;
+  i32 stall_rounds_ = 0;
+  i32 unfinished_ = 0;
+  i32 barrier_arrived_ = 0;
+  std::vector<Rank> barrier_ranks_;
+  bool stopping_ = false;
+  bool running_ = false;
+  bool trace_ = false;  // RMALOCK_TRACE: log ops/park/wake to stderr
+  RunResult result_;
+};
+
+}  // namespace rmalock::rma

@@ -1,0 +1,208 @@
+#include "rma/thread_world.hpp"
+
+#include <thread>
+
+#include "common/backoff.hpp"
+#include "common/check.hpp"
+#include "common/timer.hpp"
+
+namespace rmalock::rma {
+
+// ---------------------------------------------------------------------------
+// ThreadComm
+// ---------------------------------------------------------------------------
+class ThreadComm final : public RmaComm {
+ public:
+  ThreadComm(ThreadWorld& world, Rank rank)
+      : world_(world),
+        rank_(rank),
+        rng_(mix_seed(world.options().seed, static_cast<u64>(rank))) {}
+
+  [[nodiscard]] Rank rank() const override { return rank_; }
+  [[nodiscard]] i32 nprocs() const override { return world_.nprocs(); }
+  [[nodiscard]] const topo::Topology& topology() const override {
+    return world_.topology();
+  }
+
+  void put(i64 src_data, Rank target, WinOffset offset) override {
+    account(OpKind::kPut, target);
+    world_.word(target, offset).store(src_data, std::memory_order_seq_cst);
+    note_progress();
+  }
+
+  i64 get(Rank target, WinOffset offset) override {
+    account(OpKind::kGet, target);
+    const i64 value =
+        world_.word(target, offset).load(std::memory_order_seq_cst);
+    // Repeated identical polls of one cell mean a spin loop; escalate
+    // backoff so oversubscribed spinners release the core their notifier
+    // needs (the host has 2 hardware threads).
+    if (target == last_poll_target_ && offset == last_poll_offset_ &&
+        value == last_poll_value_) {
+      if (++poll_repeats_ >= 3) backoff_.pause();
+    } else {
+      last_poll_target_ = target;
+      last_poll_offset_ = offset;
+      last_poll_value_ = value;
+      poll_repeats_ = 1;
+      backoff_.reset();
+    }
+    return value;
+  }
+
+  void accumulate(i64 oprd, Rank target, WinOffset offset,
+                  AccumOp op) override {
+    account(OpKind::kAccumulate, target);
+    auto& word = world_.word(target, offset);
+    if (op == AccumOp::kSum) {
+      word.fetch_add(oprd, std::memory_order_seq_cst);
+    } else {
+      word.exchange(oprd, std::memory_order_seq_cst);
+    }
+    note_progress();
+  }
+
+  i64 fao(i64 oprd, Rank target, WinOffset offset, AccumOp op) override {
+    account(OpKind::kFao, target);
+    auto& word = world_.word(target, offset);
+    const i64 old = (op == AccumOp::kSum)
+                        ? word.fetch_add(oprd, std::memory_order_seq_cst)
+                        : word.exchange(oprd, std::memory_order_seq_cst);
+    note_progress();
+    return old;
+  }
+
+  i64 cas(i64 src_data, i64 cmp_data, Rank target, WinOffset offset) override {
+    account(OpKind::kCas, target);
+    i64 expected = cmp_data;
+    world_.word(target, offset)
+        .compare_exchange_strong(expected, src_data,
+                                 std::memory_order_seq_cst);
+    note_progress();
+    return expected;  // holds the previous value on failure, cmp on success
+  }
+
+  void flush(Rank target) override {
+    account(OpKind::kFlush, target);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  void compute(Nanos ns) override {
+    const Nanos deadline = rmalock::now_ns() + ns;
+    while (rmalock::now_ns() < deadline) cpu_relax();
+  }
+
+  [[nodiscard]] Nanos now_ns() override { return rmalock::now_ns(); }
+  void barrier() override { world_.barrier_wait(); }
+  [[nodiscard]] Xoshiro256& rng() override { return rng_; }
+  [[nodiscard]] OpStats& stats() override {
+    return world_.stats_[static_cast<usize>(rank_)];
+  }
+
+ private:
+  void account(OpKind kind, Rank target) {
+    const i32 d = distance_class(world_.topology(), rank_, target);
+    world_.stats_[static_cast<usize>(rank_)].record(kind, d);
+    if (world_.options().inject_latency) {
+      compute(world_.options().latency.op_cost(kind, d));
+    }
+  }
+
+  void note_progress() {
+    poll_repeats_ = 0;
+    last_poll_target_ = kNilRank;
+    backoff_.reset();
+  }
+
+  ThreadWorld& world_;
+  Rank rank_;
+  Xoshiro256 rng_;
+  Backoff backoff_;
+  Rank last_poll_target_ = kNilRank;
+  WinOffset last_poll_offset_ = -1;
+  i64 last_poll_value_ = 0;
+  i32 poll_repeats_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ThreadWorld
+// ---------------------------------------------------------------------------
+
+ThreadWorld::ThreadWorld(ThreadOptions opts)
+    : World(opts.topology), opts_(std::move(opts)) {
+  if (opts_.latency.rma_ns.empty()) {
+    opts_.latency = LatencyModel::xc30(topology_.num_levels());
+  }
+  windows_.resize(static_cast<usize>(nprocs()));
+  stats_.assign(static_cast<usize>(nprocs()), OpStats(topology_.num_levels()));
+}
+
+ThreadWorld::~ThreadWorld() = default;
+
+void ThreadWorld::grow_windows(usize words) {
+  RMALOCK_CHECK_MSG(!running_, "allocate() while run() in flight");
+  for (auto& win : windows_) {
+    auto grown = std::make_unique<std::atomic<i64>[]>(words);
+    for (usize i = 0; i < words; ++i) {
+      grown[i].store(i < win.size ? win.words[i].load(std::memory_order_relaxed)
+                                  : 0,
+                     std::memory_order_relaxed);
+    }
+    win.words = std::move(grown);
+    win.size = words;
+  }
+}
+
+RunResult ThreadWorld::run(const std::function<void(RmaComm&)>& body) {
+  RMALOCK_CHECK_MSG(!running_, "nested run()");
+  running_ = true;
+  barrier_count_.store(0);
+  const Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<usize>(nprocs()));
+  for (Rank r = 0; r < nprocs(); ++r) {
+    threads.emplace_back([this, r, &body] {
+      ThreadComm comm(*this, r);
+      body(comm);
+    });
+  }
+  for (auto& t : threads) t.join();
+  running_ = false;
+  RunResult result;
+  result.makespan_ns = timer.elapsed_ns();
+  return result;
+}
+
+void ThreadWorld::barrier_wait() {
+  const u64 generation = barrier_generation_.load(std::memory_order_acquire);
+  if (barrier_count_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      nprocs()) {
+    barrier_count_.store(0, std::memory_order_relaxed);
+    barrier_generation_.fetch_add(1, std::memory_order_acq_rel);
+    return;
+  }
+  Backoff backoff;
+  while (barrier_generation_.load(std::memory_order_acquire) == generation) {
+    backoff.pause();
+  }
+}
+
+i64 ThreadWorld::read_word(Rank rank, WinOffset offset) const {
+  return word(rank, offset).load(std::memory_order_seq_cst);
+}
+
+void ThreadWorld::write_word(Rank rank, WinOffset offset, i64 value) {
+  word(rank, offset).store(value, std::memory_order_seq_cst);
+}
+
+OpStats ThreadWorld::aggregate_stats() const {
+  OpStats agg(topology_.num_levels());
+  for (const auto& s : stats_) agg += s;
+  return agg;
+}
+
+void ThreadWorld::reset_stats() {
+  for (auto& s : stats_) s.reset();
+}
+
+}  // namespace rmalock::rma

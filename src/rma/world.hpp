@@ -1,0 +1,83 @@
+// World — a set of P processes with RMA windows, able to run SPMD bodies.
+//
+// Usage mirrors an MPI program:
+//
+//   auto world = rma::SimWorld::create(opts);
+//   locks::RmaRw lock(*world, params);      // collective: allocates window
+//   world->run([&](rma::RmaComm& comm) {    // like MPI_Init..Finalize
+//     lock.acquire_read(comm);
+//     ...
+//     lock.release_read(comm);
+//   });
+//
+// Window words persist across run() calls, so a world can execute warmup
+// and measurement phases (or a sequence of tests) against the same lock
+// state. Offsets are allocated collectively before any run.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "rma/comm.hpp"
+#include "topo/topology.hpp"
+
+namespace rmalock::rma {
+
+/// Outcome of one World::run() invocation.
+struct RunResult {
+  /// True if the runtime detected that every unfinished process was blocked
+  /// forever (SimWorld only; ThreadWorld cannot detect this).
+  bool deadlocked = false;
+  /// True if the configured step limit stopped the run (model checking).
+  bool step_limit_hit = false;
+  /// Engine steps executed (SimWorld; 0 for ThreadWorld).
+  u64 steps = 0;
+  /// Virtual (SimWorld) or wall (ThreadWorld) time of the longest process.
+  Nanos makespan_ns = 0;
+
+  [[nodiscard]] bool ok() const { return !deadlocked && !step_limit_hit; }
+};
+
+class World {
+ public:
+  virtual ~World() = default;
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] const topo::Topology& topology() const { return topology_; }
+  [[nodiscard]] i32 nprocs() const { return topology_.nprocs(); }
+
+  /// Collectively allocates `words` consecutive window words on every rank
+  /// and returns their base offset (same on all ranks, like an MPI window
+  /// created over a symmetric heap). Must not be called during run().
+  WinOffset allocate(usize words) {
+    const WinOffset base = static_cast<WinOffset>(allocated_words_);
+    allocated_words_ += words;
+    grow_windows(allocated_words_);
+    return base;
+  }
+
+  [[nodiscard]] usize window_words() const { return allocated_words_; }
+
+  /// Runs `body` on all P processes and waits for completion.
+  virtual RunResult run(const std::function<void(RmaComm&)>& body) = 0;
+
+  /// Direct window access for initialization and post-run inspection
+  /// (not legal while run() is in flight).
+  [[nodiscard]] virtual i64 read_word(Rank rank, WinOffset offset) const = 0;
+  virtual void write_word(Rank rank, WinOffset offset, i64 value) = 0;
+
+  /// Sum of the op statistics of all processes from completed runs.
+  [[nodiscard]] virtual OpStats aggregate_stats() const = 0;
+
+ protected:
+  explicit World(topo::Topology topology) : topology_(std::move(topology)) {}
+
+  virtual void grow_windows(usize words) = 0;
+
+  topo::Topology topology_;
+  usize allocated_words_ = 0;
+};
+
+}  // namespace rmalock::rma

@@ -1,0 +1,40 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmalock {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  RMALOCK_CHECK(1 + 1 == 2);
+  RMALOCK_CHECK_MSG(true, "never printed");
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ RMALOCK_CHECK(false); }, "CHECK failed");
+}
+
+TEST(CheckDeathTest, MessageIsIncluded) {
+  EXPECT_DEATH({ RMALOCK_CHECK_MSG(2 < 1, "the answer is " << 42); },
+               "the answer is 42");
+}
+
+TEST(CheckDeathTest, ExpressionIsIncluded) {
+  const int x = 3;
+  EXPECT_DEATH({ RMALOCK_CHECK(x == 4); }, "x == 4");
+}
+
+TEST(Check, DcheckPasses) {
+  RMALOCK_DCHECK(true);
+  SUCCEED();
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, DcheckAbortsInDebug) {
+  EXPECT_DEATH({ RMALOCK_DCHECK(false); }, "CHECK failed");
+}
+#endif
+
+}  // namespace
+}  // namespace rmalock

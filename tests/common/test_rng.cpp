@@ -1,0 +1,132 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace rmalock {
+namespace {
+
+TEST(SplitMix, DeterministicSequence) {
+  u64 a = 42;
+  u64 b = 42;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(splitmix64(a), splitmix64(b));
+  }
+}
+
+TEST(SplitMix, AdvancesState) {
+  u64 state = 7;
+  const u64 first = splitmix64(state);
+  const u64 second = splitmix64(state);
+  EXPECT_NE(first, second);
+}
+
+TEST(MixSeed, DistinctStreams) {
+  std::set<u64> seeds;
+  for (u64 rank = 0; rank < 1000; ++rank) {
+    seeds.insert(mix_seed(1, rank));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(MixSeed, SeedSensitivity) {
+  EXPECT_NE(mix_seed(1, 5), mix_seed(2, 5));
+  EXPECT_NE(mix_seed(1, 5), mix_seed(1, 6));
+}
+
+TEST(Xoshiro, Deterministic) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, SeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, BelowInRange) {
+  Xoshiro256 rng(9);
+  for (const u64 bound : {1ULL, 2ULL, 7ULL, 100ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, BelowOneIsZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, RangeInclusiveBounds) {
+  Xoshiro256 rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const i64 v = rng.range(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro, RangeSingleton) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.range(5, 5), 5);
+}
+
+TEST(Xoshiro, ChanceExtremes) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0, 1000));
+    EXPECT_TRUE(rng.chance(1000, 1000));
+  }
+}
+
+TEST(Xoshiro, ChanceApproximatesProbability) {
+  Xoshiro256 rng(17);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.chance(250, 1000);
+  // 25% +- generous tolerance.
+  EXPECT_GT(hits, trials / 5);
+  EXPECT_LT(hits, trials * 3 / 10);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 rng(23);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, BitsLookBalanced) {
+  Xoshiro256 rng(31);
+  std::vector<int> ones(64, 0);
+  const int samples = 4096;
+  for (int i = 0; i < samples; ++i) {
+    const u64 v = rng();
+    for (int b = 0; b < 64; ++b) ones[static_cast<usize>(b)] += (v >> b) & 1;
+  }
+  for (usize b = 0; b < 64; ++b) {
+    EXPECT_GT(ones[b], samples * 2 / 5) << "bit " << b;
+    EXPECT_LT(ones[b], samples * 3 / 5) << "bit " << b;
+  }
+}
+
+}  // namespace
+}  // namespace rmalock

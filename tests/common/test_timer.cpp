@@ -1,0 +1,58 @@
+#include "common/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace rmalock {
+namespace {
+
+TEST(Timer, NowIsMonotonic) {
+  Nanos last = now_ns();
+  for (int i = 0; i < 1000; ++i) {
+    const Nanos current = now_ns();
+    EXPECT_GE(current, last);
+    last = current;
+  }
+}
+
+TEST(Timer, MeasuresSleep) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed_ms = static_cast<double>(timer.elapsed_ns()) / 1e6;
+  EXPECT_GE(elapsed_ms, 15.0);
+  EXPECT_LT(elapsed_ms, 500.0);  // generous: CI boxes stall
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.reset();
+  EXPECT_LT(timer.elapsed_us(), 5000.0);
+}
+
+TEST(Timer, UnitsAgree) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const Nanos ns = timer.elapsed_ns();
+  EXPECT_NEAR(timer.elapsed_us(), static_cast<double>(ns) / 1e3,
+              static_cast<double>(ns) / 1e3 * 0.5);
+  EXPECT_NEAR(timer.elapsed_s(), static_cast<double>(ns) / 1e9,
+              static_cast<double>(ns) / 1e9 * 0.5 + 1e-3);
+}
+
+TEST(Timer, RdtscAdvances) {
+  const u64 a = rdtsc();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const u64 b = rdtsc();
+  EXPECT_GT(b, a);
+}
+
+TEST(Timer, CalibrationIsStable) {
+  const double first = tsc_ns_per_tick();
+  const double second = tsc_ns_per_tick();
+  EXPECT_DOUBLE_EQ(first, second);  // calibrated once
+}
+
+}  // namespace
+}  // namespace rmalock

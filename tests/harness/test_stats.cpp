@@ -1,0 +1,66 @@
+#include "harness/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmalock::harness {
+namespace {
+
+TEST(Stats, EmptySampleIsZeros) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0);
+  EXPECT_EQ(s.median, 0);
+  EXPECT_EQ(s.p95, 0);
+}
+
+TEST(Stats, SingleValue) {
+  const Summary s = summarize({7.5});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.median, 7.5);
+  EXPECT_DOUBLE_EQ(s.p95, 7.5);
+  EXPECT_DOUBLE_EQ(s.min, 7.5);
+  EXPECT_DOUBLE_EQ(s.max, 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, KnownSample) {
+  const Summary s = summarize({4, 1, 3, 2});
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+}
+
+TEST(Stats, MedianOddSample) {
+  EXPECT_DOUBLE_EQ(summarize({5, 1, 9}).median, 5.0);
+}
+
+TEST(Stats, OrderIndependent) {
+  const Summary a = summarize({1, 2, 3, 4, 5});
+  const Summary b = summarize({5, 3, 1, 4, 2});
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.median, b.median);
+  EXPECT_DOUBLE_EQ(a.p95, b.p95);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> sorted{0, 10};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 95), 9.5);
+}
+
+TEST(Stats, P95NearTop) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(i);
+  const Summary s = summarize(values);
+  EXPECT_GT(s.p95, 90.0);
+  EXPECT_LT(s.p95, 100.0);
+}
+
+}  // namespace
+}  // namespace rmalock::harness

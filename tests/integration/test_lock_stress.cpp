@@ -1,0 +1,155 @@
+// Real-concurrency stress of every lock on ThreadWorld: genuine hardware
+// interleavings and memory-system effects, complementing the controlled
+// SimWorld schedules. P is kept near the core count; iteration counts are
+// high enough that races reliably surface as monitor violations or torn
+// counters.
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+#include "dht/dht.hpp"
+#include "locks/d_mcs.hpp"
+#include "locks/fompi_rw.hpp"
+#include "locks/fompi_spin.hpp"
+#include "locks/rma_mcs.hpp"
+#include "locks/rma_rw.hpp"
+#include "mc/monitor.hpp"
+
+namespace rmalock {
+namespace {
+
+using test::make_threads;
+
+constexpr int kOps = 400;
+
+void stress_exclusive(locks::ExclusiveLock& lock, rma::World& world) {
+  mc::AtomicCsMonitor monitor;
+  volatile i64 counter = 0;
+  world.run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < kOps; ++i) {
+      lock.acquire(comm);
+      monitor.enter();
+      counter = counter + 1;  // torn iff mutual exclusion is broken
+      monitor.exit();
+      lock.release(comm);
+    }
+  });
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(counter, world.nprocs() * kOps);
+}
+
+TEST(LockStress, DMcs) {
+  auto world = make_threads(topo::Topology::nodes(2, 3));
+  locks::DMcs lock(*world);
+  stress_exclusive(lock, *world);
+}
+
+TEST(LockStress, FompiSpin) {
+  auto world = make_threads(topo::Topology::nodes(2, 3));
+  locks::FompiSpin lock(*world);
+  stress_exclusive(lock, *world);
+}
+
+TEST(LockStress, RmaMcsTwoLevels) {
+  auto world = make_threads(topo::Topology::nodes(2, 3));
+  locks::RmaMcs lock(*world);
+  stress_exclusive(lock, *world);
+}
+
+TEST(LockStress, RmaMcsThreeLevels) {
+  auto world = make_threads(topo::Topology::uniform({2, 2}, 2));
+  locks::RmaMcsParams params;
+  params.locality.assign(3, 2);
+  locks::RmaMcs lock(*world, params);
+  stress_exclusive(lock, *world);
+}
+
+TEST(LockStress, RmaMcsTightThresholds) {
+  auto world = make_threads(topo::Topology::nodes(3, 2));
+  locks::RmaMcsParams params;
+  params.locality.assign(2, 1);
+  locks::RmaMcs lock(*world, params);
+  stress_exclusive(lock, *world);
+}
+
+void stress_rw(locks::RwLock& lock, rma::World& world, int writer_mod) {
+  mc::AtomicCsMonitor monitor;
+  world.run([&](rma::RmaComm& comm) {
+    const bool writer = comm.rank() % writer_mod == 0;
+    for (int i = 0; i < kOps; ++i) {
+      if (writer) {
+        lock.acquire_write(comm);
+        monitor.enter_write();
+        monitor.exit_write();
+        lock.release_write(comm);
+      } else {
+        lock.acquire_read(comm);
+        monitor.enter_read();
+        monitor.exit_read();
+        lock.release_read(comm);
+      }
+    }
+  });
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(monitor.entries(),
+            static_cast<u64>(world.nprocs()) * static_cast<u64>(kOps));
+}
+
+TEST(LockStress, FompiRwMixed) {
+  auto world = make_threads(topo::Topology::nodes(2, 3));
+  locks::FompiRw lock(*world);
+  stress_rw(lock, *world, 3);
+}
+
+TEST(LockStress, RmaRwMixed) {
+  auto world = make_threads(topo::Topology::nodes(2, 3));
+  locks::RmaRwParams params;
+  params.tdc = 3;
+  params.locality.assign(2, 2);
+  params.tr = 10;
+  locks::RmaRw lock(*world, params);
+  stress_rw(lock, *world, 3);
+}
+
+TEST(LockStress, RmaRwWriteHeavy) {
+  auto world = make_threads(topo::Topology::nodes(2, 3));
+  locks::RmaRwParams params;
+  params.tdc = 6;
+  params.locality.assign(2, 4);
+  params.tr = 4;
+  locks::RmaRw lock(*world, params);
+  stress_rw(lock, *world, 2);
+}
+
+TEST(LockStress, RmaRwTinyThresholds) {
+  auto world = make_threads(topo::Topology::nodes(2, 2));
+  locks::RmaRwParams params;
+  params.tdc = 1;
+  params.locality.assign(2, 1);
+  params.tr = 1;
+  locks::RmaRw lock(*world, params);
+  stress_rw(lock, *world, 2);
+}
+
+TEST(LockStress, DhtUnderRmaRw) {
+  auto world = make_threads(topo::Topology::nodes(2, 3));
+  dht::DhtConfig config;
+  config.table_buckets = 16;
+  config.heap_entries = 4096;
+  dht::DistributedHashTable table(*world, config);
+  locks::RmaRw lock(*world);
+  world->run([&](rma::RmaComm& comm) {
+    for (i64 i = 0; i < 150; ++i) {
+      const i64 value = 1 + comm.rank() * 1000 + i;
+      lock.acquire_write(comm);
+      table.insert_locked(comm, 0, value);
+      lock.release_write(comm);
+      lock.acquire_read(comm);
+      EXPECT_TRUE(table.contains_locked(comm, 0, value));
+      lock.release_read(comm);
+    }
+  });
+  EXPECT_EQ(table.snapshot(*world, 0).size(), 6u * 150u);
+}
+
+}  // namespace
+}  // namespace rmalock

@@ -1,0 +1,210 @@
+#include "locks/d_mcs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "../support/test_support.hpp"
+#include "mc/monitor.hpp"
+
+namespace rmalock::locks {
+namespace {
+
+using test::make_sim;
+using test::make_threads;
+
+TEST(DMcs, SingleProcessReacquires) {
+  auto world = make_sim(topo::Topology::uniform({}, 1));
+  DMcs lock(*world);
+  i32 entries = 0;
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 10; ++i) {
+      lock.acquire(comm);
+      ++entries;
+      lock.release(comm);
+    }
+  });
+  EXPECT_EQ(entries, 10);
+}
+
+TEST(DMcs, MutualExclusionTwoProcesses) {
+  auto world = make_sim(topo::Topology::uniform({}, 2));
+  DMcs lock(*world);
+  mc::CsMonitor monitor;
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 50; ++i) {
+      lock.acquire(comm);
+      monitor.enter();
+      comm.compute(10);
+      monitor.exit();
+      lock.release(comm);
+    }
+  });
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(monitor.entries(), 100u);
+}
+
+TEST(DMcs, ProtectedCounterIsExact) {
+  auto world = make_sim(topo::Topology::nodes(2, 8));
+  DMcs lock(*world);
+  i64 counter = 0;
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 25; ++i) {
+      lock.acquire(comm);
+      const i64 observed = counter;  // unprotected read-modify-write
+      comm.compute(5);
+      counter = observed + 1;
+      lock.release(comm);
+    }
+  });
+  EXPECT_EQ(counter, 16 * 25);
+}
+
+TEST(DMcs, TailIsEmptyAfterQuiescence) {
+  auto world = make_sim(topo::Topology::uniform({}, 4));
+  DMcs lock(*world);
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 10; ++i) {
+      lock.acquire(comm);
+      lock.release(comm);
+    }
+  });
+  // The last releaser must have CAS'd the tail back to nil.
+  bool any_tail = false;
+  for (Rank r = 0; r < 4; ++r) {
+    // The tail offset is private; probe behaviorally instead: a fresh
+    // single acquire must succeed immediately (empty queue fast path).
+    (void)r;
+  }
+  world->run([&](rma::RmaComm& comm) {
+    if (comm.rank() == 0) {
+      lock.acquire(comm);
+      lock.release(comm);
+    }
+  });
+  EXPECT_FALSE(any_tail);
+}
+
+TEST(DMcs, CustomTailRank) {
+  auto world = make_sim(topo::Topology::uniform({}, 4));
+  DMcs lock(*world, /*tail_rank=*/3);
+  EXPECT_EQ(lock.tail_rank(), 3);
+  mc::CsMonitor monitor;
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 20; ++i) {
+      lock.acquire(comm);
+      monitor.enter();
+      comm.compute(5);
+      monitor.exit();
+      lock.release(comm);
+    }
+  });
+  EXPECT_EQ(monitor.violations(), 0u);
+}
+
+TEST(DMcs, TwoIndependentLocksDoNotInterfere) {
+  auto world = make_sim(topo::Topology::uniform({}, 4));
+  DMcs lock_a(*world);
+  DMcs lock_b(*world, 1);
+  mc::CsMonitor monitor_a;
+  mc::CsMonitor monitor_b;
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 20; ++i) {
+      if (comm.rank() % 2 == 0) {
+        lock_a.acquire(comm);
+        monitor_a.enter();
+        comm.compute(5);
+        monitor_a.exit();
+        lock_a.release(comm);
+      } else {
+        lock_b.acquire(comm);
+        monitor_b.enter();
+        comm.compute(5);
+        monitor_b.exit();
+        lock_b.release(comm);
+      }
+    }
+  });
+  EXPECT_EQ(monitor_a.violations(), 0u);
+  EXPECT_EQ(monitor_b.violations(), 0u);
+  EXPECT_EQ(monitor_a.entries() + monitor_b.entries(), 80u);
+}
+
+TEST(DMcs, HoldersCanYieldInsideCs) {
+  // The queue must tolerate arbitrary in-CS delays (waiters spin locally).
+  auto world = make_sim(topo::Topology::uniform({}, 6));
+  DMcs lock(*world);
+  mc::CsMonitor monitor;
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 10; ++i) {
+      lock.acquire(comm);
+      monitor.enter();
+      comm.compute(comm.rng().range(100, 5000));
+      monitor.exit();
+      lock.release(comm);
+    }
+  });
+  EXPECT_EQ(monitor.violations(), 0u);
+}
+
+// Mutual exclusion across topologies and seeds.
+class DMcsParam
+    : public ::testing::TestWithParam<std::tuple<std::string, u64>> {};
+
+TEST_P(DMcsParam, MutualExclusionHolds) {
+  const auto& [spec, seed] = GetParam();
+  auto world = make_sim(topo::Topology::parse(spec), seed);
+  DMcs lock(*world);
+  mc::CsMonitor monitor;
+  const i32 p = world->nprocs();
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 15; ++i) {
+      lock.acquire(comm);
+      monitor.enter();
+      comm.compute(10);
+      monitor.exit();
+      lock.release(comm);
+    }
+  });
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(monitor.entries(), static_cast<u64>(p) * 15u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, DMcsParam,
+    ::testing::Combine(::testing::Values("4", "16", "2x8", "4x4", "2x2x4"),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(DMcsThreads, StressMutualExclusion) {
+  auto world = make_threads(topo::Topology::uniform({}, 6));
+  DMcs lock(*world);
+  mc::AtomicCsMonitor monitor;
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 300; ++i) {
+      lock.acquire(comm);
+      monitor.enter();
+      monitor.exit();
+      lock.release(comm);
+    }
+  });
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(monitor.entries(), 1800u);
+}
+
+TEST(DMcsThreads, ProtectedCounterIsExact) {
+  auto world = make_threads(topo::Topology::uniform({}, 4));
+  DMcs lock(*world);
+  volatile i64 counter = 0;
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 500; ++i) {
+      lock.acquire(comm);
+      counter = counter + 1;  // data race iff the lock is broken
+      lock.release(comm);
+    }
+  });
+  EXPECT_EQ(counter, 2000);
+}
+
+}  // namespace
+}  // namespace rmalock::locks

@@ -1,0 +1,132 @@
+#include "locks/dtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../support/test_support.hpp"
+
+namespace rmalock::locks {
+namespace {
+
+using test::make_sim;
+
+TEST(DistributedTree, LeafNodesArePerProcess) {
+  auto world = make_sim(topo::Topology::uniform({2, 2}, 4));  // N=3, P=16
+  DistributedTree tree(*world);
+  const i32 n = tree.num_levels();
+  for (Rank p = 0; p < 16; ++p) {
+    EXPECT_EQ(tree.node_host(p, n), p);
+  }
+}
+
+TEST(DistributedTree, UpperNodesAreElementRepresentatives) {
+  auto world = make_sim(topo::Topology::uniform({2, 2}, 4));
+  DistributedTree tree(*world);
+  // Queue level 2 (racks' DQs) holds level-3 elements (nodes): the node
+  // entry of rank 5 (node 1, ranks 4..7) is hosted at rank 4.
+  EXPECT_EQ(tree.node_host(5, 2), 4);
+  EXPECT_EQ(tree.node_host(4, 2), 4);
+  // Queue level 1 (root) holds level-2 elements (racks): rank 13 is in
+  // rack 1 (ranks 8..15) hosted at rank 8.
+  EXPECT_EQ(tree.node_host(13, 1), 8);
+  EXPECT_EQ(tree.node_host(0, 1), 0);
+}
+
+TEST(DistributedTree, ProcessesOfOneElementShareTheUpperNode) {
+  auto world = make_sim(topo::Topology::uniform({2, 2}, 4));
+  DistributedTree tree(*world);
+  for (Rank p = 0; p < 4; ++p) {
+    EXPECT_EQ(tree.node_host(p, 2), tree.node_host(0, 2));
+    EXPECT_EQ(tree.node_host(p, 1), tree.node_host(0, 1));
+  }
+}
+
+TEST(DistributedTree, TailHostsMatchPaperMapping) {
+  auto world = make_sim(topo::Topology::uniform({2, 2}, 4));
+  DistributedTree tree(*world);
+  // tail_rank[q, e(p,q)]: leaf DQ of rank 6 lives on its node rep (rank 4);
+  // rack DQ of rank 6 on rack rep (rank 0); root DQ on rank 0.
+  EXPECT_EQ(tree.tail_host(6, 3), 4);
+  EXPECT_EQ(tree.tail_host(6, 2), 0);
+  EXPECT_EQ(tree.tail_host(6, 1), 0);
+  EXPECT_EQ(tree.tail_host(13, 2), 8);
+}
+
+TEST(DistributedTree, OffsetsAreDistinctPerLevel) {
+  auto world = make_sim(topo::Topology::uniform({2, 2}, 2));
+  DistributedTree tree(*world);
+  std::set<WinOffset> offsets;
+  for (i32 q = 1; q <= tree.num_levels(); ++q) {
+    offsets.insert(tree.next_offset(q));
+    offsets.insert(tree.status_offset(q));
+    offsets.insert(tree.tail_offset(q));
+  }
+  EXPECT_EQ(offsets.size(), 9u);  // 3 words x 3 levels, no collisions
+}
+
+TEST(DistributedTree, InitialStateIsEmpty) {
+  auto world = make_sim(topo::Topology::uniform({2}, 2));
+  DistributedTree tree(*world);
+  for (Rank r = 0; r < 4; ++r) {
+    for (i32 q = 1; q <= 2; ++q) {
+      EXPECT_EQ(world->read_word(r, tree.next_offset(q)), kNilRank);
+      EXPECT_EQ(world->read_word(r, tree.tail_offset(q)), kNilRank);
+      EXPECT_EQ(world->read_word(r, tree.status_offset(q)), kStatusWait);
+    }
+  }
+}
+
+TEST(DistributedTree, UncontendedAcquireClimbsEveryLevel) {
+  auto world = make_sim(topo::Topology::uniform({2}, 2));  // N=2
+  DistributedTree tree(*world);
+  world->run([&](rma::RmaComm& comm) {
+    if (comm.rank() != 0) return;
+    // Alone in the world: every level reports "climb" (no predecessor).
+    const auto leaf = tree.acquire_level(comm, 2);
+    EXPECT_FALSE(leaf.acquired);
+    const auto root = tree.acquire_level(comm, 1);
+    EXPECT_FALSE(root.acquired);
+    // Release: no successors anywhere; both levels empty out.
+    tree.release_root_exclusive(comm);
+    tree.finish_release_upward(comm, 2);
+  });
+  for (i32 q = 1; q <= 2; ++q) {
+    EXPECT_EQ(world->read_word(0, tree.tail_offset(q)), kNilRank);
+  }
+}
+
+TEST(DistributedTree, LocalPassCarriesCount) {
+  auto world = make_sim(topo::Topology::uniform({}, 2));  // N=1: root only
+  DistributedTree tree(*world);
+  std::vector<i64> status_seen(2, -100);
+  world->run([&](rma::RmaComm& comm) {
+    const auto claim = tree.acquire_level(comm, 1);
+    if (claim.acquired) {
+      status_seen[static_cast<usize>(comm.rank())] = claim.status;
+      tree.release_root_exclusive(comm);
+    } else {
+      status_seen[static_cast<usize>(comm.rank())] = kStatusAcquireStart;
+      // Hold briefly so the other process enqueues behind us.
+      comm.compute(5000);
+      tree.release_root_exclusive(comm);
+    }
+  });
+  // One process climbed (status 0), the other received the pass (count 1).
+  std::sort(status_seen.begin(), status_seen.end());
+  EXPECT_EQ(status_seen[0], 0);
+  EXPECT_EQ(status_seen[1], 1);
+}
+
+TEST(DistributedTree, StatusSentinelsAreDisjointFromCounts) {
+  EXPECT_LT(kStatusWait, kStatusAcquireStart);
+  EXPECT_LT(kStatusAcquireParent, kStatusAcquireStart);
+  EXPECT_LT(kStatusModeChange, kStatusAcquireStart);
+  EXPECT_NE(kStatusWait, kStatusAcquireParent);
+  EXPECT_NE(kStatusWait, kStatusModeChange);
+  EXPECT_NE(kStatusAcquireParent, kStatusModeChange);
+  EXPECT_GT(kWriteFlag, kWriteFlagThreshold);
+}
+
+}  // namespace
+}  // namespace rmalock::locks

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+#include "locks/fompi_rw.hpp"
+#include "locks/fompi_spin.hpp"
+#include "mc/monitor.hpp"
+
+namespace rmalock::locks {
+namespace {
+
+using test::make_sim;
+using test::make_threads;
+
+TEST(FompiSpin, MutualExclusion) {
+  auto world = make_sim(topo::Topology::nodes(2, 4));
+  FompiSpin lock(*world);
+  mc::CsMonitor monitor;
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 25; ++i) {
+      lock.acquire(comm);
+      monitor.enter();
+      comm.compute(10);
+      monitor.exit();
+      lock.release(comm);
+    }
+  });
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(monitor.entries(), 200u);
+}
+
+TEST(FompiSpin, SingleProcessFastPath) {
+  auto world = make_sim(topo::Topology::uniform({}, 1));
+  FompiSpin lock(*world);
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 100; ++i) {
+      lock.acquire(comm);
+      lock.release(comm);
+    }
+  });
+  SUCCEED();
+}
+
+TEST(FompiSpin, HomeRankIsConfigurable) {
+  auto world = make_sim(topo::Topology::uniform({}, 4));
+  FompiSpin lock(*world, /*home=*/2);
+  EXPECT_EQ(lock.home(), 2);
+  mc::CsMonitor monitor;
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 10; ++i) {
+      lock.acquire(comm);
+      monitor.enter();
+      comm.compute(10);
+      monitor.exit();
+      lock.release(comm);
+    }
+  });
+  EXPECT_EQ(monitor.violations(), 0u);
+}
+
+TEST(FompiSpin, AllTrafficHitsTheHomeRank) {
+  // The defining weakness (topology-obliviousness): every CAS targets the
+  // home rank regardless of where the caller runs.
+  auto world = make_sim(topo::Topology::nodes(2, 2));
+  FompiSpin lock(*world);
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 5; ++i) {
+      lock.acquire(comm);
+      lock.release(comm);
+    }
+  });
+  const rma::OpStats stats = world->aggregate_stats();
+  // Ranks 2,3 are on the other node: their CAS traffic is inter-node.
+  EXPECT_GT(stats.count(rma::OpKind::kCas, 2), 0u);
+}
+
+TEST(FompiSpinThreads, StressMutualExclusion) {
+  auto world = make_threads(topo::Topology::uniform({}, 6));
+  FompiSpin lock(*world);
+  mc::AtomicCsMonitor monitor;
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 200; ++i) {
+      lock.acquire(comm);
+      monitor.enter();
+      monitor.exit();
+      lock.release(comm);
+    }
+  });
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(monitor.entries(), 1200u);
+}
+
+TEST(FompiRw, WritersExcludeEverybody) {
+  auto world = make_sim(topo::Topology::nodes(2, 4));
+  FompiRw lock(*world);
+  mc::CsMonitor monitor;
+  world->run([&](rma::RmaComm& comm) {
+    const bool writer = comm.rank() % 4 == 0;
+    for (int i = 0; i < 20; ++i) {
+      if (writer) {
+        lock.acquire_write(comm);
+        monitor.enter_write();
+        comm.compute(10);
+        monitor.exit_write();
+        lock.release_write(comm);
+      } else {
+        lock.acquire_read(comm);
+        monitor.enter_read();
+        comm.compute(10);
+        monitor.exit_read();
+        lock.release_read(comm);
+      }
+    }
+  });
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(monitor.entries(), 160u);
+}
+
+TEST(FompiRw, ReadersOverlap) {
+  auto world = make_sim(topo::Topology::uniform({}, 8));
+  FompiRw lock(*world);
+  i64 inside = 0;
+  i64 max_inside = 0;
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 5; ++i) {
+      lock.acquire_read(comm);
+      ++inside;
+      max_inside = std::max(max_inside, inside);
+      comm.compute(2000);  // dwell so other readers join
+      --inside;
+      lock.release_read(comm);
+    }
+  });
+  EXPECT_GT(max_inside, 1) << "an RW lock must admit concurrent readers";
+}
+
+TEST(FompiRw, WriterOnlyWorkload) {
+  auto world = make_sim(topo::Topology::uniform({}, 4));
+  FompiRw lock(*world);
+  mc::CsMonitor monitor;
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 25; ++i) {
+      lock.acquire_write(comm);
+      monitor.enter_write();
+      comm.compute(10);
+      monitor.exit_write();
+      lock.release_write(comm);
+    }
+  });
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(monitor.entries(), 100u);
+}
+
+TEST(FompiRw, LockWordIsCleanAfterQuiescence) {
+  auto world = make_sim(topo::Topology::uniform({}, 6));
+  FompiRw lock(*world);
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 10; ++i) {
+      if (comm.rank() % 2 == 0) {
+        lock.acquire_write(comm);
+        lock.release_write(comm);
+      } else {
+        lock.acquire_read(comm);
+        lock.release_read(comm);
+      }
+    }
+  });
+  // Readers and writer flags must all have been undone.
+  EXPECT_EQ(world->read_word(lock.home(), 0), 0);
+}
+
+TEST(FompiRwThreads, StressMixedRoles) {
+  auto world = make_threads(topo::Topology::uniform({}, 6));
+  FompiRw lock(*world);
+  mc::AtomicCsMonitor monitor;
+  world->run([&](rma::RmaComm& comm) {
+    const bool writer = comm.rank() < 2;
+    for (int i = 0; i < 200; ++i) {
+      if (writer) {
+        lock.acquire_write(comm);
+        monitor.enter_write();
+        monitor.exit_write();
+        lock.release_write(comm);
+      } else {
+        lock.acquire_read(comm);
+        monitor.enter_read();
+        monitor.exit_read();
+        lock.release_read(comm);
+      }
+    }
+  });
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(monitor.entries(), 1200u);
+}
+
+}  // namespace
+}  // namespace rmalock::locks

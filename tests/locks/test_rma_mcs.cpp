@@ -1,0 +1,228 @@
+#include "locks/rma_mcs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "../support/test_support.hpp"
+#include "locks/d_mcs.hpp"
+#include "mc/monitor.hpp"
+
+namespace rmalock::locks {
+namespace {
+
+using test::make_sim;
+using test::make_threads;
+
+RmaMcsParams uniform_locality(const topo::Topology& topo, i64 tl) {
+  RmaMcsParams params;
+  params.locality.assign(static_cast<usize>(topo.num_levels()), tl);
+  return params;
+}
+
+TEST(RmaMcs, SingleProcessReacquires) {
+  auto world = make_sim(topo::Topology::uniform({2}, 1));
+  RmaMcs lock(*world);
+  i32 entries = 0;
+  world->run([&](rma::RmaComm& comm) {
+    if (comm.rank() != 0) return;
+    for (int i = 0; i < 10; ++i) {
+      lock.acquire(comm);
+      ++entries;
+      lock.release(comm);
+    }
+  });
+  EXPECT_EQ(entries, 10);
+}
+
+TEST(RmaMcs, SingleLevelDegeneratesToDMcs) {
+  // N = 1: the tree is a single root queue; semantics match D-MCS.
+  auto world = make_sim(topo::Topology::uniform({}, 8));
+  RmaMcs lock(*world);
+  mc::CsMonitor monitor;
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 25; ++i) {
+      lock.acquire(comm);
+      monitor.enter();
+      comm.compute(10);
+      monitor.exit();
+      lock.release(comm);
+    }
+  });
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(monitor.entries(), 200u);
+}
+
+TEST(RmaMcs, ProtectedCounterIsExact) {
+  auto world = make_sim(topo::Topology::nodes(4, 4));
+  RmaMcs lock(*world);
+  i64 counter = 0;
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 25; ++i) {
+      lock.acquire(comm);
+      const i64 observed = counter;
+      comm.compute(5);
+      counter = observed + 1;
+      lock.release(comm);
+    }
+  });
+  EXPECT_EQ(counter, 16 * 25);
+}
+
+TEST(RmaMcs, QueuesAreEmptyAfterQuiescence) {
+  auto world = make_sim(topo::Topology::uniform({2, 2}, 4));
+  RmaMcs lock(*world);
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 10; ++i) {
+      lock.acquire(comm);
+      lock.release(comm);
+    }
+  });
+  const DistributedTree& tree = lock.tree();
+  for (Rank r = 0; r < world->nprocs(); ++r) {
+    for (i32 q = 1; q <= tree.num_levels(); ++q) {
+      EXPECT_EQ(world->read_word(r, tree.tail_offset(q)), kNilRank)
+          << "rank " << r << " level " << q;
+    }
+  }
+}
+
+TEST(RmaMcsDeathTest, RejectsBadParams) {
+  auto world = make_sim(topo::Topology::nodes(2, 2));
+  RmaMcsParams wrong_size;
+  wrong_size.locality = {1};
+  EXPECT_DEATH(RmaMcs(*world, wrong_size), "threshold per level");
+}
+
+// Records the per-acquire node id of the CS owner to study lock movement.
+std::vector<i32> cs_node_sequence(rma::World& world, ExclusiveLock& lock,
+                                  i32 ops_per_proc) {
+  std::vector<i32> sequence;
+  world.run([&](rma::RmaComm& comm) {
+    const i32 my_node =
+        comm.topology().element_of(comm.rank(), comm.topology().num_levels());
+    for (i32 i = 0; i < ops_per_proc; ++i) {
+      lock.acquire(comm);
+      sequence.push_back(my_node);  // serialized: safe plain vector
+      lock.release(comm);
+    }
+  });
+  return sequence;
+}
+
+i64 count_switches(const std::vector<i32>& sequence) {
+  i64 switches = 0;
+  for (usize i = 1; i < sequence.size(); ++i) {
+    switches += sequence[i] != sequence[i - 1];
+  }
+  return switches;
+}
+
+TEST(RmaMcs, LocalityThresholdBatchesNodeHandoffs) {
+  // With T_L = 8 at the leaf level, consecutive CS entries cluster within
+  // a node; the lock crosses nodes roughly once per 8 acquires.
+  const auto topo = topo::Topology::nodes(4, 4);
+  auto world = make_sim(topo, /*seed=*/7);
+  RmaMcs lock(*world, uniform_locality(topo, 8));
+  const auto sequence = cs_node_sequence(*world, lock, 24);
+  const i64 total = static_cast<i64>(sequence.size());
+  const i64 switches = count_switches(sequence);
+  // Perfect batching would give total/8 switches; allow generous slack for
+  // queue drains (a node moves on early when its local queue empties).
+  EXPECT_LT(switches, total / 2);
+}
+
+TEST(RmaMcs, ThresholdOneForcesRotation) {
+  // T_L = 1 disables batching: every release hands the lock upward.
+  const auto topo = topo::Topology::nodes(4, 4);
+  auto world = make_sim(topo, /*seed=*/7);
+  RmaMcs lock(*world, uniform_locality(topo, 1));
+  const auto sequence = cs_node_sequence(*world, lock, 24);
+  const i64 total = static_cast<i64>(sequence.size());
+  const i64 switches = count_switches(sequence);
+  EXPECT_GT(switches, total / 3);
+}
+
+TEST(RmaMcs, HigherThresholdMeansFewerSwitchesThanLower) {
+  const auto topo = topo::Topology::nodes(4, 4);
+  auto world_hi = make_sim(topo, 7);
+  RmaMcs lock_hi(*world_hi, uniform_locality(topo, 16));
+  auto world_lo = make_sim(topo, 7);
+  RmaMcs lock_lo(*world_lo, uniform_locality(topo, 1));
+  const i64 hi = count_switches(cs_node_sequence(*world_hi, lock_hi, 24));
+  const i64 lo = count_switches(cs_node_sequence(*world_lo, lock_lo, 24));
+  EXPECT_LT(hi, lo);
+}
+
+TEST(RmaMcs, FewerInterNodeOpsPerAcquireThanDMcs) {
+  // The topology ablation in miniature (§3.1): RMA-MCS must need fewer
+  // inter-node RMA ops per acquire than topology-oblivious D-MCS.
+  const auto topo = topo::Topology::nodes(4, 8);
+  const auto inter_node_ops = [&](auto make_lock) {
+    auto world = make_sim(topo, 11);
+    auto lock = make_lock(*world);
+    world->run([&](rma::RmaComm& comm) {
+      for (int i = 0; i < 30; ++i) {
+        lock->acquire(comm);
+        lock->release(comm);
+      }
+    });
+    return world->aggregate_stats().total_at_least(2);
+  };
+  const u64 dmcs = inter_node_ops(
+      [](rma::World& w) { return std::make_unique<DMcs>(w); });
+  const u64 rmamcs = inter_node_ops([&](rma::World& w) {
+    return std::make_unique<RmaMcs>(w, uniform_locality(topo, 16));
+  });
+  EXPECT_LT(rmamcs, dmcs / 2)
+      << "RMA-MCS should save at least half the inter-node traffic";
+}
+
+// Mutual exclusion across tree shapes, thresholds, and seeds.
+class RmaMcsParamTest
+    : public ::testing::TestWithParam<std::tuple<std::string, i64, u64>> {};
+
+TEST_P(RmaMcsParamTest, MutualExclusionHolds) {
+  const auto& [spec, tl, seed] = GetParam();
+  const auto topo = topo::Topology::parse(spec);
+  auto world = make_sim(topo, seed);
+  RmaMcs lock(*world, uniform_locality(topo, tl));
+  mc::CsMonitor monitor;
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 12; ++i) {
+      lock.acquire(comm);
+      monitor.enter();
+      comm.compute(10);
+      monitor.exit();
+      lock.release(comm);
+    }
+  });
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(monitor.entries(), static_cast<u64>(topo.nprocs()) * 12u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndThresholds, RmaMcsParamTest,
+    ::testing::Combine(::testing::Values("8", "2x4", "4x4", "2x2x2", "2x2x2x2"),
+                       ::testing::Values(i64{1}, i64{2}, i64{16}),
+                       ::testing::Values(1u, 5u)));
+
+TEST(RmaMcsThreads, StressMutualExclusion) {
+  auto world = make_threads(topo::Topology::nodes(3, 2));
+  RmaMcs lock(*world);
+  mc::AtomicCsMonitor monitor;
+  world->run([&](rma::RmaComm& comm) {
+    for (int i = 0; i < 250; ++i) {
+      lock.acquire(comm);
+      monitor.enter();
+      monitor.exit();
+      lock.release(comm);
+    }
+  });
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(monitor.entries(), 1500u);
+}
+
+}  // namespace
+}  // namespace rmalock::locks

@@ -1,0 +1,195 @@
+#include "mc/checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "locks/d_mcs.hpp"
+#include "locks/fompi_rw.hpp"
+#include "locks/fompi_spin.hpp"
+#include "locks/rma_mcs.hpp"
+#include "locks/rma_rw.hpp"
+
+namespace rmalock::mc {
+namespace {
+
+// A "lock" that never excludes anybody: the checker MUST catch it.
+class NoLock final : public locks::ExclusiveLock {
+ public:
+  explicit NoLock(rma::World& world) : scratch_(world.allocate(1)) {}
+  void acquire(rma::RmaComm& comm) override {
+    comm.accumulate(1, 0, scratch_, rma::AccumOp::kSum);
+    comm.flush(0);
+  }
+  void release(rma::RmaComm& comm) override {
+    comm.accumulate(-1, 0, scratch_, rma::AccumOp::kSum);
+    comm.flush(0);
+  }
+  [[nodiscard]] std::string name() const override { return "NoLock"; }
+
+ private:
+  WinOffset scratch_;
+};
+
+// A lock whose release forgets to hand over: second acquirer blocks
+// forever. The checker MUST report a deadlock, not hang.
+class LeakyLock final : public locks::ExclusiveLock {
+ public:
+  explicit LeakyLock(rma::World& world) : word_(world.allocate(1)) {}
+  void acquire(rma::RmaComm& comm) override {
+    i64 seen = 1;
+    do {
+      seen = comm.get(0, word_);
+      comm.flush(0);
+    } while (seen != 0);
+    // Claim without CAS (also unsafe, but the deadlock hits first).
+    comm.put(1, 0, word_);
+    comm.flush(0);
+  }
+  void release(rma::RmaComm&) override {}  // never unlocks
+  [[nodiscard]] std::string name() const override { return "LeakyLock"; }
+
+ private:
+  WinOffset word_;
+};
+
+CheckConfig small_config(rma::SchedPolicy policy) {
+  CheckConfig config;
+  config.topology = topo::Topology::uniform({2}, 2);  // 4 procs
+  config.policy = policy;
+  config.schedules = 25;
+  config.acquires_per_proc = 6;
+  config.max_steps = 400'000;
+  return config;
+}
+
+TEST(Checker, DMcsPassesRandomWalk) {
+  const auto report = check_exclusive(
+      small_config(rma::SchedPolicy::kRandom),
+      [](rma::World& world) { return std::make_unique<locks::DMcs>(world); });
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.schedules_run, 25u);
+  EXPECT_EQ(report.total_cs_entries, 25u * 4 * 6);
+}
+
+TEST(Checker, RmaMcsPassesRandomWalk) {
+  const auto report =
+      check_exclusive(small_config(rma::SchedPolicy::kRandom),
+                      [](rma::World& world) {
+                        return std::make_unique<locks::RmaMcs>(world);
+                      });
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Checker, FompiSpinPassesRandomWalk) {
+  const auto report =
+      check_exclusive(small_config(rma::SchedPolicy::kRandom),
+                      [](rma::World& world) {
+                        return std::make_unique<locks::FompiSpin>(world);
+                      });
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Checker, RmaRwPassesRandomWalk) {
+  auto config = small_config(rma::SchedPolicy::kRandom);
+  const auto report = check_rw(config, [](rma::World& world) {
+    locks::RmaRwParams params;
+    params.tdc = 2;
+    params.locality.assign(
+        static_cast<usize>(world.topology().num_levels()), 2);
+    params.tr = 3;  // tiny thresholds stress the mode-change machinery
+    return std::make_unique<locks::RmaRw>(world, params);
+  });
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Checker, RmaRwPassesPct) {
+  auto config = small_config(rma::SchedPolicy::kPct);
+  config.schedules = 15;
+  const auto report = check_rw(config, [](rma::World& world) {
+    locks::RmaRwParams params;
+    params.tdc = 2;
+    params.locality.assign(
+        static_cast<usize>(world.topology().num_levels()), 2);
+    params.tr = 2;
+    return std::make_unique<locks::RmaRw>(world, params);
+  });
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Checker, FompiRwPassesRandomWalk) {
+  const auto report = check_rw(small_config(rma::SchedPolicy::kRandom),
+                               [](rma::World& world) {
+                                 return std::make_unique<locks::FompiRw>(world);
+                               });
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Checker, CatchesMutualExclusionViolations) {
+  auto config = small_config(rma::SchedPolicy::kRandom);
+  config.schedules = 10;
+  const auto report = check_exclusive(
+      config,
+      [](rma::World& world) { return std::make_unique<NoLock>(world); });
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.mutex_violations, 0u);
+  EXPECT_EQ(report.deadlocks, 0u);
+}
+
+TEST(Checker, CatchesDeadlocks) {
+  auto config = small_config(rma::SchedPolicy::kRandom);
+  config.schedules = 5;
+  const auto report = check_exclusive(
+      config,
+      [](rma::World& world) { return std::make_unique<LeakyLock>(world); });
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.deadlocks, 0u);
+}
+
+TEST(Checker, PctAlsoCatchesViolations) {
+  auto config = small_config(rma::SchedPolicy::kPct);
+  config.schedules = 10;
+  const auto report = check_exclusive(
+      config,
+      [](rma::World& world) { return std::make_unique<NoLock>(world); });
+  EXPECT_GT(report.mutex_violations, 0u);
+}
+
+TEST(Checker, PaperScaleFourLevels256Procs) {
+  // §4.4's largest configuration: N = 4, 256 processes (4^4), with a
+  // handful of schedules to keep the test fast; the bench binary
+  // (mc_verification) runs the full campaign.
+  CheckConfig config;
+  config.topology = topo::Topology::uniform({4, 4, 4}, 4);  // N=4, P=256
+  config.policy = rma::SchedPolicy::kRandom;
+  config.schedules = 2;
+  config.acquires_per_proc = 3;
+  config.max_steps = 3'000'000;
+  const auto report = check_rw(config, [](rma::World& world) {
+    locks::RmaRwParams params = locks::RmaRwParams::defaults(world.topology());
+    params.tr = 10;
+    params.locality.assign(4, 2);
+    return std::make_unique<locks::RmaRw>(world, params);
+  });
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.total_cs_entries, 2u * 256 * 3);
+}
+
+TEST(CheckReport, SummaryAndMerge) {
+  CheckReport a;
+  a.schedules_run = 3;
+  a.mutex_violations = 1;
+  CheckReport b;
+  b.schedules_run = 2;
+  b.deadlocks = 4;
+  a += b;
+  EXPECT_EQ(a.schedules_run, 5u);
+  EXPECT_EQ(a.mutex_violations, 1u);
+  EXPECT_EQ(a.deadlocks, 4u);
+  EXPECT_FALSE(a.ok());
+  EXPECT_NE(a.summary().find("VIOLATION"), std::string::npos);
+  CheckReport clean;
+  EXPECT_TRUE(clean.ok());
+  EXPECT_NE(clean.summary().find("OK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rmalock::mc

@@ -1,0 +1,104 @@
+#include "rma/latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmalock::rma {
+namespace {
+
+TEST(LatencyModel, Xc30CostsIncreaseWithDistance) {
+  const LatencyModel m = LatencyModel::xc30(3);
+  ASSERT_EQ(m.num_distance_classes(), 3);
+  for (i32 d = 1; d <= 3; ++d) {
+    EXPECT_GT(m.rma_ns[static_cast<usize>(d)],
+              m.rma_ns[static_cast<usize>(d - 1)]);
+    EXPECT_GT(m.atomic_ns[static_cast<usize>(d)],
+              m.atomic_ns[static_cast<usize>(d - 1)]);
+  }
+}
+
+TEST(LatencyModel, AtomicsCostMoreThanRma) {
+  // Remote atomics are the expensive ops on real NICs [43].
+  const LatencyModel m = LatencyModel::xc30(2);
+  for (usize d = 0; d < m.rma_ns.size(); ++d) {
+    EXPECT_GT(m.atomic_ns[d], m.rma_ns[d]) << "class " << d;
+  }
+}
+
+TEST(LatencyModel, OpCostDispatch) {
+  const LatencyModel m = LatencyModel::xc30(2);
+  EXPECT_EQ(m.op_cost(OpKind::kPut, 1), m.rma_ns[1]);
+  EXPECT_EQ(m.op_cost(OpKind::kGet, 2), m.rma_ns[2]);
+  EXPECT_EQ(m.op_cost(OpKind::kFao, 1), m.atomic_ns[1]);
+  EXPECT_EQ(m.op_cost(OpKind::kCas, 2), m.atomic_ns[2]);
+  EXPECT_EQ(m.op_cost(OpKind::kAccumulate, 0), m.atomic_ns[0]);
+  EXPECT_EQ(m.op_cost(OpKind::kFlush, 2), m.flush_ns);
+}
+
+TEST(LatencyModel, FlatRemovesDistanceGradient) {
+  const LatencyModel m = LatencyModel::flat(3);
+  for (usize d = 2; d < m.rma_ns.size(); ++d) {
+    EXPECT_EQ(m.rma_ns[d], m.rma_ns[1]);
+    EXPECT_EQ(m.atomic_ns[d], m.atomic_ns[1]);
+  }
+  // Self access stays cheap (it never touches the network).
+  EXPECT_LT(m.rma_ns[0], m.rma_ns[1]);
+}
+
+TEST(LatencyModel, FlatMatchesXc30Worst) {
+  const LatencyModel flat = LatencyModel::flat(3);
+  const LatencyModel xc30 = LatencyModel::xc30(3);
+  EXPECT_EQ(flat.rma_ns[1], xc30.rma_ns[3]);
+  EXPECT_EQ(flat.atomic_ns[2], xc30.atomic_ns[3]);
+  EXPECT_EQ(flat.atomic_occupancy_ns[1], xc30.atomic_occupancy_ns[3]);
+}
+
+TEST(LatencyModel, ZeroIsNearFree) {
+  const LatencyModel m = LatencyModel::zero(2);
+  for (usize d = 0; d < m.rma_ns.size(); ++d) {
+    EXPECT_EQ(m.rma_ns[d], 1);
+    EXPECT_EQ(m.atomic_ns[d], 1);
+    EXPECT_EQ(m.rma_occupancy_ns[d], 0);
+    EXPECT_EQ(m.atomic_occupancy_ns[d], 0);
+  }
+}
+
+TEST(LatencyModel, AtomicUnitSerializesHarderThanRdmaEngine) {
+  // AMOs serialize in the NIC atomic unit; put/get pipeline. This gap is
+  // what makes centralized atomic-word locks collapse while plain-get
+  // readers keep streaming.
+  const LatencyModel m = LatencyModel::xc30(2);
+  for (usize d = 1; d < m.rma_occupancy_ns.size(); ++d) {
+    EXPECT_GT(m.atomic_occupancy_ns[d], m.rma_occupancy_ns[d]) << d;
+  }
+  EXPECT_GE(m.atomic_occupancy_ns[2], 3 * m.rma_occupancy_ns[2]);
+}
+
+TEST(LatencyModel, OccupancyDispatchesByOpKind) {
+  const LatencyModel m = LatencyModel::xc30(2);
+  EXPECT_EQ(m.occupancy(OpKind::kGet, 2), m.rma_occupancy_ns[2]);
+  EXPECT_EQ(m.occupancy(OpKind::kPut, 1), m.rma_occupancy_ns[1]);
+  EXPECT_EQ(m.occupancy(OpKind::kFao, 2), m.atomic_occupancy_ns[2]);
+  EXPECT_EQ(m.occupancy(OpKind::kCas, 2), m.atomic_occupancy_ns[2]);
+}
+
+TEST(LatencyModel, CoversRequestedLevels) {
+  for (const i32 n : {1, 2, 3, 4}) {
+    EXPECT_EQ(LatencyModel::xc30(n).num_distance_classes(), n);
+    EXPECT_EQ(LatencyModel::zero(n).num_distance_classes(), n);
+    EXPECT_EQ(LatencyModel::flat(n).num_distance_classes(), n);
+  }
+}
+
+TEST(LatencyModel, Xc30MagnitudesAreCrayLike) {
+  // Published foMPI/Aries magnitudes: ~1 µs inter-node put/get, ~2 µs
+  // remote atomics, sub-µs intra-node.
+  const LatencyModel m = LatencyModel::xc30(2);
+  EXPECT_GE(m.rma_ns[2], 800);
+  EXPECT_LE(m.rma_ns[2], 2000);
+  EXPECT_GE(m.atomic_ns[2], 1500);
+  EXPECT_LE(m.atomic_ns[2], 3500);
+  EXPECT_LT(m.rma_ns[1], 500);
+}
+
+}  // namespace
+}  // namespace rmalock::rma

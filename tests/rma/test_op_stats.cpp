@@ -1,0 +1,102 @@
+#include "rma/op_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmalock::rma {
+namespace {
+
+TEST(DistanceClass, SelfIsZero) {
+  const auto t = topo::Topology::uniform({2, 2}, 4);
+  EXPECT_EQ(distance_class(t, 3, 3), 0);
+}
+
+TEST(DistanceClass, SameLeafIsOne) {
+  const auto t = topo::Topology::uniform({2, 2}, 4);
+  EXPECT_EQ(distance_class(t, 0, 3), 1);
+  EXPECT_EQ(distance_class(t, 4, 7), 1);
+}
+
+TEST(DistanceClass, GrowsWithSeparation) {
+  const auto t = topo::Topology::uniform({2, 2}, 4);  // N=3, 16 procs
+  EXPECT_EQ(distance_class(t, 0, 4), 2);   // same rack, other node
+  EXPECT_EQ(distance_class(t, 0, 8), 3);   // other rack
+  EXPECT_EQ(distance_class(t, 0, 15), 3);
+}
+
+TEST(DistanceClass, TwoLevelMachine) {
+  const auto t = topo::Topology::nodes(4, 8);
+  EXPECT_EQ(distance_class(t, 0, 7), 1);
+  EXPECT_EQ(distance_class(t, 0, 8), 2);
+  EXPECT_EQ(distance_class(t, 0, 31), 2);
+}
+
+TEST(OpStats, RecordAndQuery) {
+  OpStats s(3);
+  s.record(OpKind::kPut, 0);
+  s.record(OpKind::kPut, 2);
+  s.record(OpKind::kFao, 2);
+  s.record(OpKind::kFao, 2);
+  EXPECT_EQ(s.count(OpKind::kPut, 0), 1u);
+  EXPECT_EQ(s.count(OpKind::kPut, 2), 1u);
+  EXPECT_EQ(s.count(OpKind::kFao, 2), 2u);
+  EXPECT_EQ(s.count(OpKind::kGet, 1), 0u);
+  EXPECT_EQ(s.total(OpKind::kPut), 2u);
+  EXPECT_EQ(s.total(OpKind::kFao), 2u);
+  EXPECT_EQ(s.total_ops(), 4u);
+}
+
+TEST(OpStats, TotalAtLeastFiltersByDistance) {
+  OpStats s(3);
+  s.record(OpKind::kPut, 0);
+  s.record(OpKind::kGet, 1);
+  s.record(OpKind::kCas, 2);
+  s.record(OpKind::kCas, 3);
+  EXPECT_EQ(s.total_at_least(0), 4u);
+  EXPECT_EQ(s.total_at_least(1), 3u);
+  EXPECT_EQ(s.total_at_least(2), 2u);
+  EXPECT_EQ(s.total_at_least(3), 1u);
+}
+
+TEST(OpStats, MergeAndDiff) {
+  OpStats a(2);
+  OpStats b(2);
+  a.record(OpKind::kPut, 1);
+  a.record(OpKind::kGet, 2);
+  b.record(OpKind::kPut, 1);
+  b.record(OpKind::kPut, 1);
+  a += b;
+  EXPECT_EQ(a.count(OpKind::kPut, 1), 3u);
+  EXPECT_EQ(a.count(OpKind::kGet, 2), 1u);
+  a -= b;
+  EXPECT_EQ(a.count(OpKind::kPut, 1), 1u);
+  EXPECT_EQ(a.total_ops(), 2u);
+}
+
+TEST(OpStats, MergeIntoEmptyAdoptsShape) {
+  OpStats empty;
+  OpStats b(2);
+  b.record(OpKind::kFlush, 0);
+  empty += b;
+  EXPECT_EQ(empty.count(OpKind::kFlush, 0), 1u);
+}
+
+TEST(OpStats, Reset) {
+  OpStats s(2);
+  s.record(OpKind::kPut, 1);
+  s.reset();
+  EXPECT_EQ(s.total_ops(), 0u);
+}
+
+TEST(OpKind, NamesAndAtomicity) {
+  EXPECT_STREQ(op_kind_name(OpKind::kPut), "Put");
+  EXPECT_STREQ(op_kind_name(OpKind::kCas), "CAS");
+  EXPECT_TRUE(is_atomic_op(OpKind::kFao));
+  EXPECT_TRUE(is_atomic_op(OpKind::kCas));
+  EXPECT_TRUE(is_atomic_op(OpKind::kAccumulate));
+  EXPECT_FALSE(is_atomic_op(OpKind::kPut));
+  EXPECT_FALSE(is_atomic_op(OpKind::kGet));
+  EXPECT_FALSE(is_atomic_op(OpKind::kFlush));
+}
+
+}  // namespace
+}  // namespace rmalock::rma

@@ -1,0 +1,38 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <memory>
+
+#include "rma/sim_world.hpp"
+#include "rma/thread_world.hpp"
+
+namespace rmalock::test {
+
+/// SimWorld with a fast (zero-cost) network for functional tests.
+inline std::unique_ptr<rma::SimWorld> make_sim(topo::Topology topology,
+                                               u64 seed = 1) {
+  rma::SimOptions opts;
+  opts.latency = rma::LatencyModel::zero(topology.num_levels());
+  opts.topology = std::move(topology);
+  opts.seed = seed;
+  return rma::SimWorld::create(std::move(opts));
+}
+
+/// SimWorld with the calibrated XC30 model (performance-shape tests).
+inline std::unique_ptr<rma::SimWorld> make_sim_xc30(topo::Topology topology,
+                                                    u64 seed = 1) {
+  rma::SimOptions opts;
+  opts.topology = std::move(topology);
+  opts.seed = seed;
+  return rma::SimWorld::create(std::move(opts));
+}
+
+inline std::unique_ptr<rma::ThreadWorld> make_threads(topo::Topology topology,
+                                                      u64 seed = 1) {
+  rma::ThreadOptions opts;
+  opts.topology = std::move(topology);
+  opts.seed = seed;
+  return rma::ThreadWorld::create(std::move(opts));
+}
+
+}  // namespace rmalock::test
