@@ -30,7 +30,8 @@ harness::BenchResult run_with_model(
 }  // namespace
 }  // namespace rmalock::bench
 
-int main() {
+int main(int argc, char** argv) {
+  rmalock::harness::apply_bench_cli(argc, argv);
   using namespace rmalock;
   using namespace rmalock::bench;
   const BenchEnv env = BenchEnv::from_env();

@@ -1,7 +1,8 @@
 // Figure 3a: latency benchmark (LB) — foMPI-Spin vs D-MCS vs RMA-MCS.
 #include "fig_helpers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rmalock::harness::apply_bench_cli(argc, argv);
   using namespace rmalock;
   using namespace rmalock::bench;
   const auto report =

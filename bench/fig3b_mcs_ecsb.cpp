@@ -1,7 +1,8 @@
 // Figure 3b: empty-critical-section benchmark (ECSB) throughput.
 #include "fig_helpers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rmalock::harness::apply_bench_cli(argc, argv);
   using namespace rmalock;
   using namespace rmalock::bench;
   auto report = run_fig3("fig3b", Workload::kEcsb,

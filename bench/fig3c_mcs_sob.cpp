@@ -2,7 +2,8 @@
 // memory access inside the CS (fine-grained irregular workloads).
 #include "fig_helpers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rmalock::harness::apply_bench_cli(argc, argv);
   using namespace rmalock;
   using namespace rmalock::bench;
   const auto report = run_fig3("fig3c", Workload::kSob,

@@ -2,7 +2,8 @@
 // release and the next acquire varies the contention level.
 #include "fig_helpers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rmalock::harness::apply_bench_cli(argc, argv);
   using namespace rmalock;
   using namespace rmalock::bench;
   const auto report = run_fig3("fig3e", Workload::kWarb,

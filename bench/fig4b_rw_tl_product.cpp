@@ -5,7 +5,8 @@
 // leaf threshold fixed (T_L,2 = 25) and scale the root threshold.
 #include "fig_helpers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rmalock::harness::apply_bench_cli(argc, argv);
   using namespace rmalock;
   using namespace rmalock::bench;
   const BenchEnv env = BenchEnv::from_env();

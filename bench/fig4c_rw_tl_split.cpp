@@ -4,7 +4,8 @@
 
 #include "fig_helpers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rmalock::harness::apply_bench_cli(argc, argv);
   using namespace rmalock;
   using namespace rmalock::bench;
   const BenchEnv env = BenchEnv::from_env();

@@ -1,7 +1,8 @@
 // Figure 5b: ECSB throughput — RMA-RW vs foMPI-RW, F_W in {0.2%, 2%, 5%}.
 #include "fig5_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rmalock::harness::apply_bench_cli(argc, argv);
   using namespace rmalock;
   using namespace rmalock::bench;
   const auto report = run_fig5("fig5b", Workload::kEcsb,

@@ -59,7 +59,8 @@ void run_panel(FigureReport& report, const BenchEnv& env, double fw,
 }  // namespace
 }  // namespace rmalock::bench
 
-int main() {
+int main(int argc, char** argv) {
+  rmalock::harness::apply_bench_cli(argc, argv);
   using namespace rmalock;
   using namespace rmalock::bench;
   const BenchEnv env = BenchEnv::from_env();

@@ -39,8 +39,11 @@ mc::CheckConfig base_config(const topo::Topology& topology,
 
 }  // namespace
 
-int main() {
-  const bool quick = std::getenv("RMALOCK_QUICK") != nullptr;
+int main(int argc, char** argv) {
+  rmalock::harness::apply_bench_cli(argc, argv);
+  const harness::BenchEnv env = harness::BenchEnv::from_env();
+  const bool quick = env.quick;
+  const bool smoke = env.smoke;
   // N = 1..4 with equal children per level, largest = 256 procs (paper).
   const Campaign campaigns[] = {
       {"N=1 P=8", topo::Topology::uniform({}, 8)},
@@ -56,9 +59,13 @@ int main() {
 
   bool all_ok = true;
   for (const auto& campaign : campaigns) {
+    // Smoke keeps only the machines small enough for a <2s ctest budget.
+    if (smoke && campaign.topology.nprocs() >= 64) continue;
     // Bigger machines get fewer schedules/acquires to bound runtime.
-    const u64 schedules = quick ? 4 : (campaign.topology.nprocs() >= 64 ? 6 : 30);
-    const i32 acquires = campaign.topology.nprocs() >= 64 ? 5 : 20;
+    const u64 schedules =
+        smoke ? 2 : (quick ? 4 : (campaign.topology.nprocs() >= 64 ? 6 : 30));
+    const i32 acquires =
+        smoke ? 4 : (campaign.topology.nprocs() >= 64 ? 5 : 20);
     for (const auto policy :
          {rma::SchedPolicy::kRandom, rma::SchedPolicy::kPct}) {
       const char* policy_name =

@@ -9,6 +9,9 @@
 //     the numbers every figure in this repository is built from.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "rma/sim_world.hpp"
 #include "rma/thread_world.hpp"
 
@@ -120,4 +123,23 @@ BENCHMARK(BM_ThreadWorld_Fao);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a --smoke translation so ctest can run this binary
+// inside the shared <2s smoke budget (one short repetition per benchmark).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char min_time[] = "--benchmark_min_time=0.01";
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (std::strcmp(*it, "--smoke") == 0) {
+      *it = min_time;
+      break;
+    }
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,6 +16,12 @@ BenchEnv BenchEnv::from_env() {
     env.quick = true;
     env.ps = {16, 64, 256};
   }
+  if (const char* smoke = std::getenv("RMALOCK_SMOKE");
+      smoke != nullptr && std::strcmp(smoke, "0") != 0) {
+    env.smoke = true;
+    env.quick = true;
+    env.ps = {16, 32};  // minimal sweep; an explicit RMALOCK_PS still wins
+  }
   if (const char* seed = std::getenv("RMALOCK_SEED")) {
     env.seed = std::strtoull(seed, nullptr, 10);
   }
@@ -51,8 +57,27 @@ rma::SimOptions BenchEnv::sim_options_for(i32 p) const {
 }
 
 i32 BenchEnv::ops_for(i32 p, i32 total_target, i32 min_ops) const {
-  const i32 target = quick ? total_target / 4 : total_target;
+  const i32 target = smoke ? total_target / 16
+                           : (quick ? total_target / 4 : total_target);
   return std::max(min_ops, target / p);
+}
+
+void apply_bench_cli(int argc, char** argv) {
+  for (i32 i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--smoke") == 0) {
+      setenv("RMALOCK_SMOKE", "1", /*overwrite=*/1);
+      // A two-point sweep keeps smoke runs under the ctest budget while
+      // still exercising the P-dependent code paths; an explicit
+      // RMALOCK_PS from the caller wins.
+      setenv("RMALOCK_PS", "16,32", /*overwrite=*/0);
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      setenv("RMALOCK_QUICK", "1", /*overwrite=*/1);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--quick]\n", argv[0]);
+      std::exit(2);
+    }
+  }
 }
 
 FigureReport::FigureReport(std::string figure_id, std::string title,

@@ -9,7 +9,12 @@
 // Environment knobs:
 //   RMALOCK_PS     comma-separated P sweep override (e.g. "16,64,256")
 //   RMALOCK_QUICK  =1: small sweep and fewer ops (CI smoke)
+//   RMALOCK_SMOKE  =1: minimal sweep, must finish in <2s (ctest smoke);
+//                  implies RMALOCK_QUICK
 //   RMALOCK_SEED   world seed (default 1)
+//
+// Bench mains call apply_bench_cli(argc, argv) first, which maps the
+// --smoke / --quick flags onto these knobs.
 #pragma once
 
 #include <map>
@@ -26,6 +31,7 @@ struct BenchEnv {
   i32 procs_per_node = 16;
   u64 seed = 1;
   bool quick = false;
+  bool smoke = false;
 
   static BenchEnv from_env();
 
@@ -40,6 +46,15 @@ struct BenchEnv {
   /// engine wall time at high P).
   [[nodiscard]] i32 ops_for(i32 p, i32 total_target, i32 min_ops = 4) const;
 };
+
+/// Translates bench CLI flags into the environment knobs above, so every
+/// bench binary accepts the same interface:
+///   --smoke  minimal sweep for ctest smoke runs (sets RMALOCK_SMOKE and,
+///            unless the caller exported one, RMALOCK_PS=16,32)
+///   --quick  the RMALOCK_QUICK=1 sweep
+/// Unknown arguments abort with a usage message. Must run before the first
+/// BenchEnv::from_env() call.
+void apply_bench_cli(int argc, char** argv);
 
 /// Collects (series, P, metric) -> value, renders figure output.
 class FigureReport {

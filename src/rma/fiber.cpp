@@ -4,6 +4,96 @@
 
 #include "common/check.hpp"
 
+#if RMALOCK_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+#if RMALOCK_ASAN
+#include <pthread.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace rmalock::rma {
+
+#if RMALOCK_ASAN
+namespace {
+void current_thread_stack(const void** bottom, usize* size) {
+  pthread_attr_t attr;
+  RMALOCK_CHECK(pthread_getattr_np(pthread_self(), &attr) == 0);
+  void* addr = nullptr;
+  size_t sz = 0;
+  RMALOCK_CHECK(pthread_attr_getstack(&attr, &addr, &sz) == 0);
+  pthread_attr_destroy(&attr);
+  *bottom = addr;
+  *size = sz;
+}
+}  // namespace
+#endif
+
+Fiber::~Fiber() {
+#if RMALOCK_TSAN
+  if (tsan_owned_ && tsan_fiber_ != nullptr) {
+    __tsan_destroy_fiber(tsan_fiber_);
+  }
+#endif
+}
+
+void Fiber::sanitizer_before_switch([[maybe_unused]] Fiber& from,
+                                    [[maybe_unused]] Fiber& to) {
+#if RMALOCK_ASAN
+  // The anchor fiber (default-constructed, never init()ed) departs before
+  // it is ever a switch target, so its bounds can be captured here.
+  if (from.asan_stack_bottom_ == nullptr) {
+    current_thread_stack(&from.asan_stack_bottom_, &from.asan_stack_size_);
+  }
+  __sanitizer_start_switch_fiber(&from.asan_fake_stack_,
+                                 to.asan_stack_bottom_, to.asan_stack_size_);
+#endif
+#if RMALOCK_TSAN
+  // The anchor adopts the currently running TSan context on first switch.
+  if (from.tsan_fiber_ == nullptr) {
+    from.tsan_fiber_ = __tsan_get_current_fiber();
+  }
+  if (to.tsan_fiber_ == nullptr) {
+    to.tsan_fiber_ = __tsan_get_current_fiber();
+  }
+  __tsan_switch_to_fiber(to.tsan_fiber_, 0);
+#endif
+}
+
+void Fiber::sanitizer_after_switch([[maybe_unused]] Fiber& from) {
+#if RMALOCK_ASAN
+  // Control is back on `from`'s stack: complete the switch into it with the
+  // fake-stack handle saved when it departed.
+  __sanitizer_finish_switch_fiber(from.asan_fake_stack_, nullptr, nullptr);
+#endif
+}
+
+void Fiber::on_entry() {
+#if RMALOCK_ASAN
+  // First activation of a fresh fiber: there is no departure record yet.
+  __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
+}
+
+void Fiber::sanitizer_on_init([[maybe_unused]] void* stack_base,
+                              [[maybe_unused]] usize stack_bytes) {
+#if RMALOCK_ASAN
+  asan_stack_bottom_ = stack_base;
+  asan_stack_size_ = stack_bytes;
+  asan_fake_stack_ = nullptr;
+#endif
+#if RMALOCK_TSAN
+  // init() may be called repeatedly to reset a fiber; keep one TSan context
+  // per Fiber object for its whole lifetime.
+  if (tsan_fiber_ == nullptr) {
+    tsan_fiber_ = __tsan_create_fiber(0);
+    tsan_owned_ = true;
+  }
+#endif
+}
+
+}  // namespace rmalock::rma
+
 #if defined(__x86_64__)
 
 extern "C" void rmalock_fiber_swap(void** save_sp, void* const* restore_sp);
@@ -12,6 +102,7 @@ namespace rmalock::rma {
 
 void Fiber::init(void* stack_base, usize stack_bytes, EntryFn entry) {
   RMALOCK_CHECK_MSG(stack_bytes >= 4096, "fiber stack too small");
+  sanitizer_on_init(stack_base, stack_bytes);
   // Lay out the initial stack so the first switch "returns" into `entry`:
   //   [top-aligned slot] entry address   (16-byte aligned, so that inside
   //                                       entry rsp % 16 == 8 as after CALL)
@@ -28,7 +119,9 @@ void Fiber::init(void* stack_base, usize stack_bytes, EntryFn entry) {
 }
 
 void Fiber::switch_to(Fiber& from, Fiber& to) {
+  sanitizer_before_switch(from, to);
   rmalock_fiber_swap(&from.sp_, &to.sp_);
+  sanitizer_after_switch(from);
 }
 
 }  // namespace rmalock::rma
@@ -39,6 +132,7 @@ namespace rmalock::rma {
 
 void Fiber::init(void* stack_base, usize stack_bytes, EntryFn entry) {
   RMALOCK_CHECK(getcontext(&ctx_) == 0);
+  sanitizer_on_init(stack_base, stack_bytes);
   ctx_.uc_stack.ss_sp = stack_base;
   ctx_.uc_stack.ss_size = stack_bytes;
   ctx_.uc_link = nullptr;
@@ -46,7 +140,9 @@ void Fiber::init(void* stack_base, usize stack_bytes, EntryFn entry) {
 }
 
 void Fiber::switch_to(Fiber& from, Fiber& to) {
+  sanitizer_before_switch(from, to);
   RMALOCK_CHECK(swapcontext(&from.ctx_, &to.ctx_) == 0);
+  sanitizer_after_switch(from);
 }
 
 }  // namespace rmalock::rma

@@ -23,6 +23,28 @@
 #include <ucontext.h>
 #endif
 
+#if defined(__SANITIZE_THREAD__)
+#define RMALOCK_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RMALOCK_TSAN 1
+#endif
+#endif
+#if !defined(RMALOCK_TSAN)
+#define RMALOCK_TSAN 0
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define RMALOCK_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define RMALOCK_ASAN 1
+#endif
+#endif
+#if !defined(RMALOCK_ASAN)
+#define RMALOCK_ASAN 0
+#endif
+
 namespace rmalock::rma {
 
 class Fiber {
@@ -30,6 +52,7 @@ class Fiber {
   using EntryFn = void (*)();
 
   Fiber() = default;
+  ~Fiber();
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
 
@@ -40,11 +63,36 @@ class Fiber {
   /// Saves the current context into `from` and resumes `to`.
   static void switch_to(Fiber& from, Fiber& to);
 
+  /// Must be the first call inside a fiber entry function: completes the
+  /// sanitizer bookkeeping for the switch that activated this fiber for
+  /// the first time. No-op without sanitizers.
+  static void on_entry();
+
  private:
+  static void sanitizer_before_switch(Fiber& from, Fiber& to);
+  static void sanitizer_after_switch(Fiber& from);
+  void sanitizer_on_init(void* stack_base, usize stack_bytes);
+
 #if defined(__x86_64__)
   void* sp_ = nullptr;
 #else
   ucontext_t ctx_{};
+#endif
+#if RMALOCK_TSAN
+  // TSan models fibers explicitly: each init()ed fiber owns a TSan fiber
+  // context; a default-constructed anchor adopts the current one lazily on
+  // its first switch (and must not destroy it).
+  void* tsan_fiber_ = nullptr;
+  bool tsan_owned_ = false;
+#endif
+#if RMALOCK_ASAN
+  // ASan must be told about every stack switch, or the first [[noreturn]]
+  // call on a fiber stack corrupts its shadow bookkeeping. The anchor fiber
+  // learns its (thread) stack bounds lazily on first departure; the fake
+  // stack handle saved when this fiber departs is consumed when it resumes.
+  void* asan_fake_stack_ = nullptr;
+  const void* asan_stack_bottom_ = nullptr;
+  usize asan_stack_size_ = 0;
 #endif
 };
 

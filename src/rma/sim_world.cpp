@@ -211,6 +211,7 @@ void SimWorld::switch_to_proc(Fiber& from, Rank next) {
 }
 
 void SimWorld::fiber_entry() {
+  Fiber::on_entry();
   SimWorld* world = t_fiber_world;
   world->fiber_body(world->entering_rank_);
 }

@@ -173,6 +173,99 @@ TEST(Checker, PaperScaleFourLevels256Procs) {
   EXPECT_EQ(report.total_cs_entries, 2u * 256 * 3);
 }
 
+// Seeded regression: a fixed seed must deterministically explore the same
+// interleaving, and the engine must *report* the outcome in RunResult
+// (deadlocked / step_limit_hit / steps) instead of hanging or aborting.
+// These pin the contract the conformance matrix and the checker both lean
+// on: reproducible schedules and machine-readable failure reports.
+
+rma::SimOptions seeded_opts(u64 seed, u64 max_steps) {
+  rma::SimOptions opts;
+  opts.topology = topo::Topology::uniform({2}, 2);  // 4 procs
+  opts.latency = rma::LatencyModel::zero(2);
+  opts.seed = seed;
+  opts.policy = rma::SchedPolicy::kRandom;
+  opts.abort_on_deadlock = false;
+  opts.max_steps = max_steps;
+  return opts;
+}
+
+TEST(Checker, SeededDeadlockReportIsDeterministic) {
+  // Every process runs acquire→release on a LeakyLock: the first winner's
+  // release leaks the word, so all others block forever. Whatever the
+  // schedule, the run must end with deadlocked=true — and under one seed,
+  // with exactly the same step count.
+  const auto explore = [](u64 seed) {
+    auto world = rma::SimWorld::create(seeded_opts(seed, 400'000));
+    LeakyLock lock(*world);
+    return world->run([&](rma::RmaComm& comm) {
+      lock.acquire(comm);
+      lock.release(comm);
+    });
+  };
+  const rma::RunResult first = explore(77);
+  const rma::RunResult replay = explore(77);
+  EXPECT_TRUE(first.deadlocked);
+  EXPECT_FALSE(first.step_limit_hit);
+  EXPECT_FALSE(first.ok());
+  EXPECT_GT(first.steps, 0u);
+  EXPECT_EQ(first.steps, replay.steps) << "same seed, different schedule";
+  EXPECT_EQ(replay.deadlocked, first.deadlocked);
+}
+
+TEST(Checker, SeededAcquireOrderIsReproducible) {
+  // A healthy D-MCS run under a fixed random-walk seed: the global CS entry
+  // order (recorded through an RMA side log) must replay identically, and
+  // the clean run must report ok() with a stable step count.
+  const auto explore = [](u64 seed) {
+    auto world = rma::SimWorld::create(seeded_opts(seed, 2'000'000));
+    locks::DMcs lock(*world);
+    const WinOffset cursor = world->allocate(1);
+    const WinOffset log = world->allocate(
+        static_cast<usize>(world->nprocs()));
+    const rma::RunResult result = world->run([&](rma::RmaComm& comm) {
+      lock.acquire(comm);
+      const i64 slot = comm.fao(1, 0, cursor, rma::AccumOp::kSum);
+      comm.put(comm.rank(), 0, log + slot);
+      comm.flush(0);
+      lock.release(comm);
+    });
+    std::vector<i64> order;
+    for (i32 i = 0; i < world->nprocs(); ++i) {
+      order.push_back(world->read_word(0, log + i));
+    }
+    return std::pair{result, order};
+  };
+  const auto [first, order1] = explore(2024);
+  const auto [replay, order2] = explore(2024);
+  EXPECT_TRUE(first.ok()) << "deadlocked=" << first.deadlocked
+                          << " step_limit=" << first.step_limit_hit;
+  EXPECT_GT(first.steps, 0u);
+  EXPECT_EQ(first.steps, replay.steps);
+  EXPECT_EQ(order1, order2) << "same seed must replay the same CS order";
+  // The log holds each rank exactly once: a permutation of 0..P-1.
+  std::vector<i64> sorted = order1;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<i64>{0, 1, 2, 3}));
+}
+
+TEST(Checker, StepLimitIsReportedNotFatal) {
+  // A bound far below what the schedule needs must surface as
+  // step_limit_hit (starvation/livelock detector), never as deadlock.
+  auto world = rma::SimWorld::create(seeded_opts(5, /*max_steps=*/64));
+  locks::DMcs lock(*world);
+  const auto result = world->run([&](rma::RmaComm& comm) {
+    for (i32 i = 0; i < 100; ++i) {
+      lock.acquire(comm);
+      lock.release(comm);
+    }
+  });
+  EXPECT_TRUE(result.step_limit_hit);
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_FALSE(result.ok());
+  EXPECT_LE(result.steps, 64u + 4u);  // engine may finish the in-flight op
+}
+
 TEST(CheckReport, SummaryAndMerge) {
   CheckReport a;
   a.schedules_run = 3;

@@ -17,6 +17,7 @@ struct PingPongState {
 PingPongState* g_pingpong = nullptr;
 
 void pingpong_entry() {
+  Fiber::on_entry();
   g_pingpong->trace.push_back(1);
   Fiber::switch_to(g_pingpong->worker, g_pingpong->main);
   g_pingpong->trace.push_back(3);
@@ -49,6 +50,7 @@ struct RoundRobinState {
 RoundRobinState* g_rr = nullptr;
 
 void round_robin_entry() {
+  Fiber::on_entry();
   RoundRobinState& s = *g_rr;
   const usize me = s.current;
   // Each fiber records itself twice with everyone in between.
@@ -99,6 +101,7 @@ struct LocalsState {
 LocalsState* g_locals = nullptr;
 
 void locals_entry() {
+  Fiber::on_entry();
   // Exercise stack locals and callee-saved register pressure across a
   // switch: the compiler will keep parts of this in rbx/r12-r15.
   long a = 1, b = 2, c = 3, d = 4, e = 5, f = 6;
@@ -132,6 +135,7 @@ struct ThrowState {
 ThrowState* g_throw = nullptr;
 
 void throw_entry() {
+  Fiber::on_entry();
   try {
     throw 42;
   } catch (int v) {
