@@ -4,21 +4,87 @@
 // with equal fan-out per level, up to 256 processes, every process randomly
 // a reader or writer, 20 acquires each; checked properties are mutual
 // exclusion and deadlock freedom. This binary runs the equivalent campaign
-// against the actual C++ implementations with randomized (uniform + PCT)
-// schedulers, and additionally demonstrates why the reader-side counter
-// reset must preserve the WRITE flag (DESIGN.md §2.5): the literal
-// Listing 6/9 composition is exercised under the same schedules.
+// against the actual C++ implementations, in three modes:
+//
+//   (default)     randomized (uniform + PCT) schedules across the paper's
+//                 topologies, plus the reader-reset race demonstration
+//                 (DESIGN.md §2.5): the literal Listing 6/9 composition is
+//                 exercised under the same schedules;
+//   --exhaustive  bounded-exhaustive DFS (iterative preemption deepening)
+//                 over small topologies — the SPIN-shaped systematic sweep;
+//   --replay <f>  deterministic re-execution of a recorded counterexample
+//                 trace file ("rmalock-trace v1", see docs/TESTING.md).
+//
+// Counterexamples: any first failure is ddmin-shrunk and, when a trace
+// directory is configured (--trace-dir DIR or RMALOCK_TRACE_DIR), written
+// as a replayable trace file whose path is printed in the summary — that is
+// what the nightly CI job uploads as build artifacts.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "harness/bench_common.hpp"
 #include "locks/rma_mcs.hpp"
 #include "locks/rma_rw.hpp"
 #include "mc/checker.hpp"
+#include "mc/explorer.hpp"
+#include "mc/schedule.hpp"
 
 namespace {
 
 using namespace rmalock;
+
+// ---------------------------------------------------------------------------
+// Workload registry: every campaign runs under a stable workload id that
+// --replay maps back to the identical lock factory (trace files record the
+// id, so a counterexample is replayable long after the campaign finished).
+// ---------------------------------------------------------------------------
+
+mc::RwLockFactory make_rw_factory(const std::string& id) {
+  if (id == "rw:rma-rw") {
+    return [](rma::World& world) {
+      locks::RmaRwParams params =
+          locks::RmaRwParams::defaults(world.topology());
+      params.tr = 3;  // small thresholds stress mode changes
+      params.locality.assign(
+          static_cast<usize>(world.topology().num_levels()), 2);
+      return std::make_unique<locks::RmaRw>(world, params);
+    };
+  }
+  if (id == "rw:rma-rw-faithful-reset" || id == "rw:rma-rw-fixed-reset") {
+    const bool faithful = id == "rw:rma-rw-faithful-reset";
+    return [faithful](rma::World& world) {
+      locks::RmaRwParams params =
+          locks::RmaRwParams::defaults(world.topology());
+      params.tdc = 2;
+      params.tr = 1;  // readers hit T_R constantly: maximal reset traffic
+      params.locality.assign(
+          static_cast<usize>(world.topology().num_levels()), 1);
+      params.paper_faithful_reader_reset = faithful;
+      return std::make_unique<locks::RmaRw>(world, params);
+    };
+  }
+  return nullptr;
+}
+
+mc::ExclusiveLockFactory make_exclusive_factory(const std::string& id) {
+  if (id == "ex:rma-mcs") {
+    return [](rma::World& world) {
+      locks::RmaMcsParams params =
+          locks::RmaMcsParams::defaults(world.topology());
+      params.locality.assign(
+          static_cast<usize>(world.topology().num_levels()), 2);
+      return std::make_unique<locks::RmaMcs>(world, params);
+    };
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Randomized campaign (default mode)
+// ---------------------------------------------------------------------------
 
 struct Campaign {
   const char* name;
@@ -27,23 +93,20 @@ struct Campaign {
 
 mc::CheckConfig base_config(const topo::Topology& topology,
                             rma::SchedPolicy policy, u64 schedules,
-                            i32 acquires) {
+                            i32 acquires, const std::string& trace_dir,
+                            const std::string& workload_id) {
   mc::CheckConfig config;
   config.topology = topology;
   config.policy = policy;
   config.schedules = schedules;
   config.acquires_per_proc = acquires;
   config.max_steps = 4'000'000;
+  config.trace_dir = trace_dir;
+  config.workload_id = workload_id;
   return config;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  rmalock::harness::apply_bench_cli(argc, argv);
-  const harness::BenchEnv env = harness::BenchEnv::from_env();
-  const bool quick = env.quick;
-  const bool smoke = env.smoke;
+int run_randomized(bool quick, bool smoke, const std::string& trace_dir) {
   // N = 1..4 with equal children per level, largest = 256 procs (paper).
   const Campaign campaigns[] = {
       {"N=1 P=8", topo::Topology::uniform({}, 8)},
@@ -72,29 +135,18 @@ int main(int argc, char** argv) {
           policy == rma::SchedPolicy::kRandom ? "random" : "pct";
       {
         const auto report = mc::check_rw(
-            base_config(campaign.topology, policy, schedules, acquires),
-            [](rma::World& world) {
-              locks::RmaRwParams params =
-                  locks::RmaRwParams::defaults(world.topology());
-              params.tr = 3;  // small thresholds stress mode changes
-              params.locality.assign(
-                  static_cast<usize>(world.topology().num_levels()), 2);
-              return std::make_unique<locks::RmaRw>(world, params);
-            });
+            base_config(campaign.topology, policy, schedules, acquires,
+                        trace_dir, "rw:rma-rw"),
+            make_rw_factory("rw:rma-rw"));
         std::printf("RMA-RW  %-10s %-7s %s\n", campaign.name, policy_name,
                     report.summary().c_str());
         all_ok = all_ok && report.ok();
       }
       {
         const auto report = mc::check_exclusive(
-            base_config(campaign.topology, policy, schedules, acquires),
-            [](rma::World& world) {
-              locks::RmaMcsParams params =
-                  locks::RmaMcsParams::defaults(world.topology());
-              params.locality.assign(
-                  static_cast<usize>(world.topology().num_levels()), 2);
-              return std::make_unique<locks::RmaMcs>(world, params);
-            });
+            base_config(campaign.topology, policy, schedules, acquires,
+                        trace_dir, "ex:rma-mcs"),
+            make_exclusive_factory("ex:rma-mcs"));
         std::printf("RMA-MCS %-10s %-7s %s\n", campaign.name, policy_name,
                     report.summary().c_str());
         all_ok = all_ok && report.ok();
@@ -104,22 +156,17 @@ int main(int argc, char** argv) {
 
   // Demonstration: the literal Listing 6/9 reader reset (which clears the
   // WRITE flag) vs. the flag-preserving fix, under aggressive schedules.
+  // The faithful variant is a *planted* bug — expected to fail — so it
+  // never writes counterexample artifacts.
   std::printf("\n--- reader-reset race demonstration (DESIGN.md §2.5) ---\n");
   for (const bool faithful : {false, true}) {
-    mc::CheckConfig config = base_config(topo::Topology::uniform({2}, 2),
-                                         rma::SchedPolicy::kRandom,
-                                         quick ? 50 : 400, 8);
+    const std::string id =
+        faithful ? "rw:rma-rw-faithful-reset" : "rw:rma-rw-fixed-reset";
+    mc::CheckConfig config = base_config(
+        topo::Topology::uniform({2}, 2), rma::SchedPolicy::kRandom,
+        quick ? 50 : 400, 8, faithful ? "" : trace_dir, id);
     config.writer_fraction = 0.5;
-    const auto report = mc::check_rw(config, [faithful](rma::World& world) {
-      locks::RmaRwParams params =
-          locks::RmaRwParams::defaults(world.topology());
-      params.tdc = 2;
-      params.tr = 1;  // readers hit T_R constantly: maximal reset traffic
-      params.locality.assign(
-          static_cast<usize>(world.topology().num_levels()), 1);
-      params.paper_faithful_reader_reset = faithful;
-      return std::make_unique<locks::RmaRw>(world, params);
-    });
+    const auto report = mc::check_rw(config, make_rw_factory(id));
     std::printf("%-28s %s\n",
                 faithful ? "listing-6 reset (faithful):"
                          : "flag-preserving reset:",
@@ -130,4 +177,178 @@ int main(int argc, char** argv) {
   std::printf("\nVERDICT: %s\n", all_ok ? "all safety properties hold"
                                         : "VIOLATIONS FOUND");
   return 0;  // report only; tests/mc asserts
+}
+
+// ---------------------------------------------------------------------------
+// Bounded-exhaustive campaign (--exhaustive)
+// ---------------------------------------------------------------------------
+
+int run_exhaustive(bool quick, bool smoke, const std::string& trace_dir) {
+  struct ExhaustiveCase {
+    const char* name;
+    topo::Topology topology;
+    i32 acquires;
+    i32 max_preemptions;  // iterative deepening 0..this
+    u64 max_schedules;
+  };
+  std::vector<ExhaustiveCase> cases = {
+      {"P=2", topo::Topology::uniform({}, 2), 2, 4, 500'000},
+      {"P=3", topo::Topology::uniform({}, 3), 1, 3, 500'000},
+      {"P=2x2", topo::Topology::uniform({2}, 2), 1, 2, 500'000},
+  };
+  if (smoke) {
+    cases = {{"P=2", topo::Topology::uniform({}, 2), 1, 2, 50'000}};
+  } else if (quick) {
+    cases.resize(2);
+    cases[0].max_preemptions = 3;
+  }
+
+  std::printf("==========================================================\n");
+  std::printf("mc_verification --exhaustive — bounded-exhaustive DFS\n");
+  std::printf("(iterative preemption deepening; 'exhausted_spaces=1' means\n");
+  std::printf(" every interleaving within the bounds was enumerated)\n");
+  std::printf("==========================================================\n");
+
+  bool all_ok = true;
+  for (const auto& c : cases) {
+    mc::ExploreConfig explore;
+    explore.max_schedules = c.max_schedules;
+    explore.max_preemptions = c.max_preemptions;
+    {
+      mc::CheckConfig config;
+      config.topology = c.topology;
+      config.acquires_per_proc = c.acquires;
+      config.max_steps = 400'000;
+      config.trace_dir = trace_dir;
+      config.workload_id = "ex:rma-mcs";
+      const auto report = mc::check_exclusive_exhaustive(
+          config, explore, make_exclusive_factory("ex:rma-mcs"),
+          /*iterative=*/true);
+      std::printf("RMA-MCS %-6s acq=%d d<=%d %s\n", c.name, c.acquires,
+                  c.max_preemptions, report.summary().c_str());
+      all_ok = all_ok && report.ok();
+    }
+    {
+      mc::CheckConfig config;
+      config.topology = c.topology;
+      config.acquires_per_proc = c.acquires;
+      config.max_steps = 400'000;
+      config.trace_dir = trace_dir;
+      config.workload_id = "rw:rma-rw";
+      // Fixed reader/writer mix: every rank alternates by parity so the
+      // enumerated space always contains reader/writer interactions.
+      config.writer_roles.assign(
+          static_cast<usize>(c.topology.nprocs()), false);
+      for (i32 r = 0; r < c.topology.nprocs(); r += 2) {
+        config.writer_roles[static_cast<usize>(r)] = true;
+      }
+      const auto report = mc::check_rw_exhaustive(
+          config, explore, make_rw_factory("rw:rma-rw"), /*iterative=*/true);
+      std::printf("RMA-RW  %-6s acq=%d d<=%d %s\n", c.name, c.acquires,
+                  c.max_preemptions, report.summary().c_str());
+      all_ok = all_ok && report.ok();
+    }
+  }
+  std::printf("\nVERDICT: %s\n",
+              all_ok ? "all enumerated interleavings are safe"
+                     : "VIOLATIONS FOUND");
+  return all_ok ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Trace replay (--replay)
+// ---------------------------------------------------------------------------
+
+int run_replay(const std::string& path) {
+  mc::TraceCase repro;
+  std::string error;
+  if (!mc::read_trace_file(path, &repro, &error)) {
+    std::fprintf(stderr, "mc_verification: cannot load trace: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  std::printf("replaying %s\n", path.c_str());
+  std::printf("  workload  %s (%s)\n", repro.workload.c_str(),
+              repro.lock_name.c_str());
+  std::printf("  topology  %s\n", repro.topology.describe().c_str());
+  std::printf("  seed      %llu\n",
+              static_cast<unsigned long long>(repro.world_seed));
+  std::printf("  schedule  %zu picks, expected violation: %s\n",
+              repro.trace.picks.size(), repro.kind.c_str());
+
+  mc::CheckConfig config;
+  config.topology = repro.topology;
+  config.acquires_per_proc = repro.acquires_per_proc;
+  config.writer_fraction = repro.writer_fraction;
+  config.writer_roles = repro.writer_roles;
+  config.max_steps = repro.max_steps;
+
+  mc::ScheduleOutcome outcome;
+  if (const auto rw = make_rw_factory(repro.workload)) {
+    outcome = mc::run_rw_schedule(
+        config, rw, mc::replay_options(config, repro.world_seed, repro.trace));
+  } else if (const auto ex = make_exclusive_factory(repro.workload)) {
+    outcome = mc::run_exclusive_schedule(
+        config, ex, mc::replay_options(config, repro.world_seed, repro.trace));
+  } else {
+    std::fprintf(stderr, "mc_verification: unknown workload id '%s'\n",
+                 repro.workload.c_str());
+    return 1;
+  }
+
+  std::printf("  result    mutex_violations=%llu deadlocked=%d steps=%llu "
+              "divergences=%llu\n",
+              static_cast<unsigned long long>(outcome.mutex_violations),
+              outcome.run.deadlocked ? 1 : 0,
+              static_cast<unsigned long long>(outcome.run.steps),
+              static_cast<unsigned long long>(outcome.run.replay_divergences));
+  const bool reproduced =
+      (repro.kind == "mutex" && outcome.mutex_violations > 0) ||
+      (repro.kind == "deadlock" && outcome.run.deadlocked) ||
+      (repro.kind == "none" && !outcome.failed());
+  std::printf("VERDICT: %s\n", reproduced ? "violation reproduced"
+                                          : "DID NOT REPRODUCE");
+  return reproduced ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Peel off the modes this binary adds on top of the shared bench CLI
+  // (apply_bench_cli rejects flags it does not know).
+  const auto usage = [&] {
+    std::fprintf(stderr,
+                 "usage: %s [--smoke] [--quick] [--exhaustive] "
+                 "[--replay <trace-file>] [--trace-dir <dir>]\n",
+                 argv[0]);
+    std::exit(2);
+  };
+  bool exhaustive = false;
+  std::string replay_path;
+  std::string trace_dir =
+      std::getenv("RMALOCK_TRACE_DIR") ? std::getenv("RMALOCK_TRACE_DIR") : "";
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--exhaustive") == 0) {
+      exhaustive = true;
+    } else if (std::strcmp(argv[i], "--replay") == 0) {
+      if (i + 1 >= argc) usage();
+      replay_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-dir") == 0) {
+      if (i + 1 >= argc) usage();
+      trace_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0 ||
+               std::strcmp(argv[i], "--quick") == 0) {
+      passthrough.push_back(argv[i]);
+    } else {
+      usage();
+    }
+  }
+  rmalock::harness::apply_bench_cli(static_cast<int>(passthrough.size()),
+                                    passthrough.data());
+  const harness::BenchEnv env = harness::BenchEnv::from_env();
+
+  if (!replay_path.empty()) return run_replay(replay_path);
+  if (exhaustive) return run_exhaustive(env.quick, env.smoke, trace_dir);
+  return run_randomized(env.quick, env.smoke, trace_dir);
 }

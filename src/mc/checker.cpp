@@ -2,7 +2,9 @@
 
 #include <sstream>
 
+#include "common/check.hpp"
 #include "mc/monitor.hpp"
+#include "mc/schedule.hpp"
 
 namespace rmalock::mc {
 
@@ -10,8 +12,21 @@ std::string CheckReport::summary() const {
   std::ostringstream out;
   out << "schedules=" << schedules_run << " cs_entries=" << total_cs_entries
       << " mutex_violations=" << mutex_violations
-      << " deadlocks=" << deadlocks << " step_limit_hits=" << step_limit_hits
-      << " => " << (ok() ? "OK" : "VIOLATION");
+      << " deadlocks=" << deadlocks << " step_limit_hits=" << step_limit_hits;
+  if (exhausted_spaces > 0) out << " exhausted_spaces=" << exhausted_spaces;
+  out << " => " << (ok() ? "OK" : "VIOLATION");
+  if (has_first_failure) {
+    const FirstFailure& f = first_failure;
+    out << "; first_failure: kind=" << f.kind << " schedule=" << f.schedule_index
+        << " base_seed=" << f.base_seed << " world_seed=" << f.world_seed;
+    if (f.raw_trace_len > 0) {
+      out << " trace=" << f.raw_trace_len << "->" << f.trace.picks.size()
+          << " picks";
+    }
+    if (!f.trace_path.empty()) {
+      out << "; repro: mc_verification --replay " << f.trace_path;
+    }
+  }
   return out.str();
 }
 
@@ -21,10 +36,13 @@ CheckReport& CheckReport::operator+=(const CheckReport& other) {
   deadlocks += other.deadlocks;
   step_limit_hits += other.step_limit_hits;
   total_cs_entries += other.total_cs_entries;
+  exhausted_spaces += other.exhausted_spaces;
+  if (!has_first_failure && other.has_first_failure) {
+    has_first_failure = true;
+    first_failure = other.first_failure;
+  }
   return *this;
 }
-
-namespace {
 
 rma::SimOptions schedule_options(const CheckConfig& config, u64 schedule) {
   rma::SimOptions opts;
@@ -39,51 +57,196 @@ rma::SimOptions schedule_options(const CheckConfig& config, u64 schedule) {
                      static_cast<u64>(config.acquires_per_proc) * 50;
   opts.max_steps = config.max_steps;
   opts.abort_on_deadlock = false;  // report, don't abort: we are the checker
+  // Randomized campaigns do not record up front: the engine is
+  // deterministic, so capture_first_failure re-records only the (rare)
+  // failing schedule instead of growing a picks vector on every clean run.
+  // The exhaustive explorer overrides this — its schedules are driven by a
+  // stateful hook and cannot be re-run after the fact.
+  opts.record_schedule = false;
   return opts;
 }
 
-void fold_in(CheckReport& report, const rma::RunResult& run,
-             const CsMonitor& monitor) {
+rma::SimOptions replay_options(const CheckConfig& config, u64 world_seed,
+                               const rma::ScheduleTrace& trace) {
+  rma::SimOptions opts = schedule_options(config, 0);
+  opts.seed = world_seed;
+  opts.policy = rma::SchedPolicy::kReplay;
+  opts.replay = &trace;
+  opts.record_schedule = false;
+  return opts;
+}
+
+ScheduleOutcome run_rw_schedule(const CheckConfig& config,
+                                const RwLockFactory& factory,
+                                const rma::SimOptions& opts) {
+  auto world = rma::SimWorld::create(opts);
+  const auto lock = factory(*world);
+  CsMonitor monitor;
+  if (!config.writer_roles.empty()) {
+    RMALOCK_CHECK_MSG(
+        config.writer_roles.size() ==
+            static_cast<usize>(config.topology.nprocs()),
+        "writer_roles has " << config.writer_roles.size() << " entries for "
+                            << config.topology.nprocs() << " processes");
+  }
+  // Random role per (world seed, rank), as in the paper's §4.4 setup —
+  // schedule-independent so a replay under the same seed keeps the roles.
+  const auto is_writer = [&](Rank rank) {
+    if (!config.writer_roles.empty()) {
+      return bool{config.writer_roles[static_cast<usize>(rank)]};
+    }
+    Xoshiro256 rng(mix_seed(opts.seed, 0xAB0 + static_cast<u64>(rank)));
+    return rng.uniform() < config.writer_fraction;
+  };
+  ScheduleOutcome outcome;
+  outcome.run = world->run([&](rma::RmaComm& comm) {
+    const bool writer = is_writer(comm.rank());
+    for (i32 i = 0; i < config.acquires_per_proc; ++i) {
+      if (writer) {
+        lock->acquire_write(comm);
+        monitor.enter_write();
+        comm.compute(10);  // scheduling point: keeps the CS observable
+        monitor.exit_write();
+        lock->release_write(comm);
+      } else {
+        lock->acquire_read(comm);
+        monitor.enter_read();
+        comm.compute(10);
+        monitor.exit_read();
+        lock->release_read(comm);
+      }
+    }
+  });
+  outcome.mutex_violations = monitor.violations();
+  outcome.cs_entries = monitor.entries();
+  outcome.lock_name = lock->name();
+  return outcome;
+}
+
+ScheduleOutcome run_exclusive_schedule(const CheckConfig& config,
+                                       const ExclusiveLockFactory& factory,
+                                       const rma::SimOptions& opts) {
+  auto world = rma::SimWorld::create(opts);
+  const auto lock = factory(*world);
+  CsMonitor monitor;
+  ScheduleOutcome outcome;
+  outcome.run = world->run([&](rma::RmaComm& comm) {
+    for (i32 i = 0; i < config.acquires_per_proc; ++i) {
+      lock->acquire(comm);
+      monitor.enter();
+      comm.compute(10);  // scheduling point: keeps the CS observable
+      monitor.exit();
+      lock->release(comm);
+    }
+  });
+  outcome.mutex_violations = monitor.violations();
+  outcome.cs_entries = monitor.entries();
+  outcome.lock_name = lock->name();
+  return outcome;
+}
+
+void fold_outcome(CheckReport& report, const ScheduleOutcome& outcome) {
   ++report.schedules_run;
-  report.mutex_violations += monitor.violations();
-  report.total_cs_entries += monitor.entries();
-  if (run.deadlocked) ++report.deadlocks;
-  if (run.step_limit_hit) ++report.step_limit_hits;
+  report.mutex_violations += outcome.mutex_violations;
+  report.total_cs_entries += outcome.cs_entries;
+  if (outcome.run.deadlocked) ++report.deadlocks;
+  if (outcome.run.step_limit_hit) ++report.step_limit_hits;
+}
+
+namespace {
+
+/// "rw:rma-rw" -> "rw_rma-rw" (safe as a filename component).
+std::string sanitize_for_filename(const std::string& s) {
+  std::string out = s.empty() ? "trace" : s;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '.';
+    if (!ok) c = '_';
+  }
+  return out;
 }
 
 }  // namespace
+
+void capture_first_failure(
+    CheckReport& report, const CheckConfig& config,
+    const ScheduleOutcome& outcome, u64 schedule_index,
+    const rma::SimOptions& opts,
+    const std::function<ScheduleOutcome(const rma::SimOptions&)>& rerun) {
+  if (report.has_first_failure || !outcome.failed()) return;
+  FirstFailure failure;
+  failure.kind = outcome.kind();
+  failure.lock_name = outcome.lock_name;
+  failure.base_seed = config.base_seed;
+  failure.schedule_index = schedule_index;
+  failure.world_seed = opts.seed;
+  failure.trace = outcome.run.schedule;
+  if (failure.trace.empty() && config.record_traces && !opts.pick_hook) {
+    // The failing run was not recorded (randomized campaigns skip recording
+    // on the hot path): re-execute it deterministically with recording on.
+    rma::SimOptions record_opts = opts;
+    record_opts.record_schedule = true;
+    failure.trace = rerun(record_opts).run.schedule;
+  }
+  failure.raw_trace_len = failure.trace.picks.size();
+
+  if (config.shrink_failures && !failure.trace.picks.empty()) {
+    const bool want_mutex = outcome.mutex_violations > 0;
+    const TraceOracle oracle = [&](const rma::ScheduleTrace& candidate) {
+      const ScheduleOutcome replayed =
+          rerun(replay_options(config, opts.seed, candidate));
+      return want_mutex ? replayed.mutex_violations > 0
+                        : replayed.run.deadlocked;
+    };
+    failure.trace =
+        shrink_trace(failure.trace, oracle, config.max_shrink_replays);
+  }
+
+  if (!config.trace_dir.empty()) {
+    TraceCase repro;
+    repro.workload = config.workload_id;
+    repro.lock_name = failure.lock_name;
+    repro.kind = failure.kind;
+    repro.topology = config.topology;
+    repro.recorded_policy = config.policy;
+    repro.world_seed = failure.world_seed;
+    repro.acquires_per_proc = config.acquires_per_proc;
+    repro.writer_fraction = config.writer_fraction;
+    repro.writer_roles = config.writer_roles;
+    repro.max_steps = config.max_steps;
+    repro.trace = failure.trace;
+    // Topology size and policy keep names unique when several campaigns of
+    // one workload (different machines/policies) share a trace_dir.
+    std::ostringstream name;
+    name << config.trace_dir << "/"
+         << sanitize_for_filename(config.workload_id.empty()
+                                      ? failure.lock_name
+                                      : config.workload_id)
+         << "-P" << config.topology.nprocs() << "-"
+         << policy_name(config.policy) << "-" << failure.kind << "-s"
+         << schedule_index << ".trace";
+    std::string error;
+    if (write_trace_file(name.str(), repro, &error)) {
+      failure.trace_path = name.str();
+    }
+    // On I/O failure the report still carries the in-memory trace.
+  }
+
+  report.has_first_failure = true;
+  report.first_failure = std::move(failure);
+}
 
 CheckReport check_rw(const CheckConfig& config, const RwLockFactory& factory) {
   CheckReport report;
   for (u64 schedule = 0; schedule < config.schedules; ++schedule) {
     const rma::SimOptions opts = schedule_options(config, schedule);
-    auto world = rma::SimWorld::create(opts);
-    const auto lock = factory(*world);
-    CsMonitor monitor;
-    // Random role per (schedule, rank), as in the paper's §4.4 setup.
-    const auto is_writer = [&](Rank rank) {
-      Xoshiro256 rng(mix_seed(opts.seed, 0xAB0 + static_cast<u64>(rank)));
-      return rng.uniform() < config.writer_fraction;
-    };
-    const rma::RunResult run = world->run([&](rma::RmaComm& comm) {
-      const bool writer = is_writer(comm.rank());
-      for (i32 i = 0; i < config.acquires_per_proc; ++i) {
-        if (writer) {
-          lock->acquire_write(comm);
-          monitor.enter_write();
-          comm.compute(10);  // scheduling point: keeps the CS observable
-          monitor.exit_write();
-          lock->release_write(comm);
-        } else {
-          lock->acquire_read(comm);
-          monitor.enter_read();
-          comm.compute(10);
-          monitor.exit_read();
-          lock->release_read(comm);
-        }
-      }
-    });
-    fold_in(report, run, monitor);
+    const ScheduleOutcome outcome = run_rw_schedule(config, factory, opts);
+    fold_outcome(report, outcome);
+    capture_first_failure(report, config, outcome, schedule, opts,
+                          [&](const rma::SimOptions& replay_opts) {
+                            return run_rw_schedule(config, factory,
+                                                   replay_opts);
+                          });
   }
   return report;
 }
@@ -93,19 +256,14 @@ CheckReport check_exclusive(const CheckConfig& config,
   CheckReport report;
   for (u64 schedule = 0; schedule < config.schedules; ++schedule) {
     const rma::SimOptions opts = schedule_options(config, schedule);
-    auto world = rma::SimWorld::create(opts);
-    const auto lock = factory(*world);
-    CsMonitor monitor;
-    const rma::RunResult run = world->run([&](rma::RmaComm& comm) {
-      for (i32 i = 0; i < config.acquires_per_proc; ++i) {
-        lock->acquire(comm);
-        monitor.enter();
-        comm.compute(10);  // scheduling point: keeps the CS observable
-        monitor.exit();
-        lock->release(comm);
-      }
-    });
-    fold_in(report, run, monitor);
+    const ScheduleOutcome outcome =
+        run_exclusive_schedule(config, factory, opts);
+    fold_outcome(report, outcome);
+    capture_first_failure(report, config, outcome, schedule, opts,
+                          [&](const rma::SimOptions& replay_opts) {
+                            return run_exclusive_schedule(config, factory,
+                                                          replay_opts);
+                          });
   }
   return report;
 }

@@ -11,17 +11,26 @@
 //   * kRandom — uniform random walk over interleavings (many seeds);
 //   * kPct    — PCT priority scheduling (Burckhardt et al., ASPLOS'10):
 //               with d-1 priority-change points it finds any bug of depth d
-//               with probability >= 1/(n k^(d-1)) per run.
+//               with probability >= 1/(n k^(d-1)) per run;
+//   * bounded-exhaustive DFS (mc/explorer.hpp) — enumerates *all*
+//               interleavings of small configurations, the systematic
+//               complement the paper gets from SPIN.
 //
 // Mutual exclusion is observed by a CsMonitor; deadlocks are detected by
 // the engine (all unfinished processes blocked with no possible wake-up).
 // A step-limit hit is reported separately: it bounds exploration and can
 // also indicate livelock/starvation.
+//
+// Every schedule is recorded (rma::ScheduleTrace); the first failure is
+// kept in CheckReport::first_failure with its (base_seed, schedule index,
+// world seed) coordinates and a ddmin-shrunk trace that replays the
+// violation deterministically (see mc/schedule.hpp and docs/TESTING.md).
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "locks/lock.hpp"
 #include "rma/sim_world.hpp"
@@ -41,7 +50,37 @@ struct CheckConfig {
   /// Probability that a process is a writer (readers otherwise); roles are
   /// drawn per (seed, rank) as in the paper's random role assignment.
   double writer_fraction = 0.5;
+  /// Explicit per-rank roles for rw workloads (size == nprocs); empty =
+  /// random roles via writer_fraction. Lets tests and the exhaustive
+  /// explorer pin a reader/writer mix instead of depending on the seed.
+  std::vector<bool> writer_roles;
   i32 pct_change_points = 3;
+  /// Record every schedule so the first failure carries a replayable trace.
+  bool record_traces = true;
+  /// ddmin-shrink the first failing trace to a minimal counterexample.
+  bool shrink_failures = true;
+  /// Replay budget for shrinking (0 = unbounded).
+  u64 max_shrink_replays = 2000;
+  /// If non-empty, write the first failing (shrunk) trace as a
+  /// "rmalock-trace v1" file into this directory and report its path
+  /// (mc_verification + the CI artifact upload use this).
+  std::string trace_dir;
+  /// Workload id stamped into written trace files; mc_verification
+  /// --replay maps it back to a lock factory.
+  std::string workload_id;
+};
+
+/// Coordinates and replayable evidence of the first property violation.
+struct FirstFailure {
+  std::string kind;       // "mutex" or "deadlock"
+  std::string lock_name;  // Lock::name() of the subject
+  u64 base_seed = 0;
+  u64 schedule_index = 0;  // index within its campaign
+  u64 world_seed = 0;      // SimOptions::seed of the failing run
+  usize raw_trace_len = 0;       // picks recorded before shrinking
+  rma::ScheduleTrace trace;      // shrunk counterexample (== raw when
+                                 // shrinking is disabled or impossible)
+  std::string trace_path;        // file written iff CheckConfig::trace_dir
 };
 
 struct CheckReport {
@@ -50,11 +89,18 @@ struct CheckReport {
   u64 deadlocks = 0;
   u64 step_limit_hits = 0;
   u64 total_cs_entries = 0;
+  /// Exhaustive explorations that drained their full bounded schedule
+  /// space (mc/explorer.hpp); 0 for randomized campaigns.
+  u64 exhausted_spaces = 0;
+  bool has_first_failure = false;
+  FirstFailure first_failure;
 
   /// True iff no safety property was violated.
   [[nodiscard]] bool ok() const {
     return mutex_violations == 0 && deadlocks == 0;
   }
+  /// One line of counts; on failure, appends the first-failure coordinates
+  /// and a repro command.
   [[nodiscard]] std::string summary() const;
 
   CheckReport& operator+=(const CheckReport& other);
@@ -71,5 +117,60 @@ CheckReport check_rw(const CheckConfig& config, const RwLockFactory& factory);
 /// Explores `config.schedules` schedules of an all-writers workload.
 CheckReport check_exclusive(const CheckConfig& config,
                             const ExclusiveLockFactory& factory);
+
+// --- single-schedule building blocks ---------------------------------------
+// Shared by the randomized loops above, the bounded-exhaustive explorer
+// (mc/explorer.hpp), trace replay (mc_verification --replay), and tests.
+
+/// Outcome of one checked schedule.
+struct ScheduleOutcome {
+  rma::RunResult run;
+  u64 mutex_violations = 0;
+  u64 cs_entries = 0;
+  std::string lock_name;
+
+  [[nodiscard]] bool failed() const {
+    return mutex_violations > 0 || run.deadlocked;
+  }
+  /// "mutex" (takes precedence), "deadlock", or "none".
+  [[nodiscard]] const char* kind() const {
+    if (mutex_violations > 0) return "mutex";
+    if (run.deadlocked) return "deadlock";
+    return "none";
+  }
+};
+
+/// SimOptions for the `schedule`-th randomized schedule of `config`
+/// (world seed = mix_seed(base_seed, schedule), zero-latency network,
+/// deadlocks reported instead of aborting, recording per config).
+[[nodiscard]] rma::SimOptions schedule_options(const CheckConfig& config,
+                                               u64 schedule);
+
+/// SimOptions replaying `trace` under `config` with the given world seed.
+/// `trace` is not owned and must outlive the run.
+[[nodiscard]] rma::SimOptions replay_options(const CheckConfig& config,
+                                             u64 world_seed,
+                                             const rma::ScheduleTrace& trace);
+
+/// Runs one reader/writer (resp. all-writers) schedule under `opts`.
+ScheduleOutcome run_rw_schedule(const CheckConfig& config,
+                                const RwLockFactory& factory,
+                                const rma::SimOptions& opts);
+ScheduleOutcome run_exclusive_schedule(const CheckConfig& config,
+                                       const ExclusiveLockFactory& factory,
+                                       const rma::SimOptions& opts);
+
+/// Accumulates one schedule's outcome into the campaign counters.
+void fold_outcome(CheckReport& report, const ScheduleOutcome& outcome);
+
+/// If `outcome` failed and `report` has no failure yet: records the first
+/// failure, ddmin-shrinks its trace via `rerun` (per config), and writes the
+/// trace file (per config). `opts` must be the options the failing schedule
+/// ran under; `rerun` must re-execute one schedule with the given options.
+void capture_first_failure(
+    CheckReport& report, const CheckConfig& config,
+    const ScheduleOutcome& outcome, u64 schedule_index,
+    const rma::SimOptions& opts,
+    const std::function<ScheduleOutcome(const rma::SimOptions&)>& rerun);
 
 }  // namespace rmalock::mc

@@ -1,0 +1,204 @@
+#include "mc/explorer.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace rmalock::mc {
+
+namespace {
+
+/// One decision point on the current DFS path.
+struct Node {
+  /// Candidate ranks in enumeration order: the non-preempting choice (the
+  /// previously running rank, if still runnable) first, the rest ascending.
+  std::vector<Rank> order;
+  usize chosen = 0;
+  /// True iff the previously running rank was runnable here — making every
+  /// alternative (order index > 0) cost one preemption.
+  bool preempt_possible = false;
+  /// Preemptions spent before this decision.
+  i32 preempt_base = 0;
+  /// False beyond max_decision_depth: the decision is pinned to order[0].
+  bool branchable = true;
+
+  [[nodiscard]] i32 cost(usize choice) const {
+    return (preempt_possible && choice > 0) ? 1 : 0;
+  }
+  [[nodiscard]] i32 preemptions_through() const {
+    return preempt_base + cost(chosen);
+  }
+};
+
+}  // namespace
+
+ExploreStats explore_schedules(const ExploreConfig& config,
+                               const ExploreRunner& run_one) {
+  ExploreStats stats;
+  std::vector<Node> path;
+  bool capped = false;
+  for (;;) {
+    usize depth = 0;
+    Rank prev = kNilRank;
+    const rma::PickHook hook = [&](const std::vector<Rank>& candidates)
+        -> Rank {
+      const usize d = depth++;
+      if (d < path.size()) {
+        // Re-executing the committed prefix: the engine is deterministic,
+        // so the candidate set must match the recorded decision.
+        RMALOCK_CHECK_MSG(path[d].order.size() == candidates.size(),
+                          "nondeterministic workload under exploration "
+                          "(decision " << d << ": " << candidates.size()
+                          << " candidates, expected " << path[d].order.size()
+                          << ")");
+        prev = path[d].order[path[d].chosen];
+        return prev;
+      }
+      Node node;
+      node.preempt_base = path.empty() ? 0 : path.back().preemptions_through();
+      node.preempt_possible =
+          std::find(candidates.begin(), candidates.end(), prev) !=
+          candidates.end();
+      node.order.reserve(candidates.size());
+      if (node.preempt_possible) node.order.push_back(prev);
+      for (const Rank r : candidates) {  // candidates arrive sorted
+        if (r != prev) node.order.push_back(r);
+      }
+      node.branchable =
+          config.max_decision_depth == 0 || d < config.max_decision_depth;
+      if (!node.branchable && node.order.size() > 1) {
+        ++stats.truncated_by_depth;
+      }
+      prev = node.order[0];
+      path.push_back(std::move(node));
+      return prev;
+    };
+
+    const bool keep_going = run_one(hook);
+    ++stats.schedules;
+    if (!keep_going) {
+      stats.aborted = true;
+      break;
+    }
+
+    // Backtrack: deepest decision with an affordable untried alternative.
+    while (!path.empty()) {
+      Node& last = path.back();
+      const usize remaining = last.order.size() - last.chosen - 1;
+      if (last.branchable && remaining > 0) {
+        // All alternatives (index > 0) share one cost, so one check covers
+        // every remaining sibling.
+        const i32 alt_cost = last.preempt_possible ? 1 : 0;
+        if (config.max_preemptions < 0 ||
+            last.preempt_base + alt_cost <= config.max_preemptions) {
+          ++last.chosen;
+          break;
+        }
+        stats.pruned_by_preemption += remaining;
+      }
+      path.pop_back();
+    }
+    if (path.empty()) break;  // space drained — even if the cap was reached
+    if (config.max_schedules != 0 && stats.schedules >= config.max_schedules) {
+      capped = true;  // unexplored work remains but the budget is spent
+      break;
+    }
+  }
+  stats.complete = !stats.aborted && !capped;
+  return stats;
+}
+
+ExploreStats explore_iterative(const ExploreConfig& config,
+                               const ExploreRunner& run_one) {
+  RMALOCK_CHECK_MSG(config.max_preemptions >= 0,
+                    "explore_iterative needs a finite preemption budget");
+  ExploreStats total;
+  for (i32 bound = 0; bound <= config.max_preemptions; ++bound) {
+    ExploreConfig round = config;
+    round.max_preemptions = bound;
+    if (round.max_schedules != 0) {
+      if (total.schedules >= round.max_schedules) {
+        total.complete = false;
+        break;
+      }
+      round.max_schedules -= total.schedules;
+    }
+    const ExploreStats s = explore_schedules(round, run_one);
+    total.schedules += s.schedules;
+    total.pruned_by_preemption += s.pruned_by_preemption;
+    total.truncated_by_depth += s.truncated_by_depth;
+    total.complete = s.complete;
+    if (s.aborted) {
+      total.aborted = true;
+      total.complete = false;
+      break;
+    }
+    if (!s.complete) break;
+    if (s.pruned_by_preemption == 0) break;  // nothing left above this bound
+  }
+  return total;
+}
+
+namespace {
+
+template <typename Factory, typename Runner>
+CheckReport check_exhaustive_impl(const CheckConfig& config,
+                                  const ExploreConfig& explore,
+                                  const Factory& factory, bool iterative,
+                                  const Runner& run_schedule) {
+  // Trace files and reports stamp the policy the schedules actually ran
+  // under — the hook-driven kReplay — not the CheckConfig default.
+  CheckConfig exhaustive_config = config;
+  exhaustive_config.policy = rma::SchedPolicy::kReplay;
+  CheckReport report;
+  const ExploreRunner run_one = [&](const rma::PickHook& hook) {
+    rma::SimOptions opts = schedule_options(exhaustive_config, 0);
+    opts.pick_hook = hook;
+    // Record up front: these schedules are driven by the (stateful) DFS
+    // hook and cannot be re-executed after the fact for a lazy recording.
+    opts.record_schedule = exhaustive_config.record_traces;
+    // One fresh world per schedule: at ~1e5 schedules the default 256 KiB
+    // fiber stacks dominate wall time through page zeroing alone. The
+    // explorer only ever runs tiny configurations, so 64 KiB is ample.
+    opts.fiber_stack_bytes = 64 * 1024;
+    const ScheduleOutcome outcome =
+        run_schedule(exhaustive_config, factory, opts);
+    fold_outcome(report, outcome);
+    capture_first_failure(report, exhaustive_config, outcome,
+                          report.schedules_run - 1, opts,
+                          [&](const rma::SimOptions& replay_opts) {
+                            return run_schedule(exhaustive_config, factory,
+                                                replay_opts);
+                          });
+    return !outcome.failed();  // stop at the first counterexample
+  };
+  const ExploreStats stats = iterative ? explore_iterative(explore, run_one)
+                                       : explore_schedules(explore, run_one);
+  if (stats.complete) ++report.exhausted_spaces;
+  return report;
+}
+
+}  // namespace
+
+CheckReport check_rw_exhaustive(const CheckConfig& config,
+                                const ExploreConfig& explore,
+                                const RwLockFactory& factory, bool iterative) {
+  return check_exhaustive_impl(
+      config, explore, factory, iterative,
+      [](const CheckConfig& c, const RwLockFactory& f,
+         const rma::SimOptions& o) { return run_rw_schedule(c, f, o); });
+}
+
+CheckReport check_exclusive_exhaustive(const CheckConfig& config,
+                                       const ExploreConfig& explore,
+                                       const ExclusiveLockFactory& factory,
+                                       bool iterative) {
+  return check_exhaustive_impl(config, explore, factory, iterative,
+                               [](const CheckConfig& c,
+                                  const ExclusiveLockFactory& f,
+                                  const rma::SimOptions& o) {
+                                 return run_exclusive_schedule(c, f, o);
+                               });
+}
+
+}  // namespace rmalock::mc

@@ -137,6 +137,7 @@ RunResult SimWorld::run(const std::function<void(RmaComm&)>& body) {
   unfinished_ = p;
   ready_heap_ = {};
   ready_list_.clear();
+  replay_pos_ = 0;
   sched_rng_ = Xoshiro256(mix_seed(opts_.seed, 0xface5eedULL));
   std::fill(nic_free_.begin(), nic_free_.end(), 0);
   body_ = &body;
@@ -273,21 +274,48 @@ Rank SimWorld::pick_next() {
   usize idx = 0;
   if (opts_.policy == SchedPolicy::kRandom) {
     idx = static_cast<usize>(sched_rng_.below(ready_list_.size()));
-  } else {  // kPct: highest priority runnable
+  } else if (opts_.policy == SchedPolicy::kPct) {  // highest priority runnable
     for (usize i = 1; i < ready_list_.size(); ++i) {
       if (procs_[static_cast<usize>(ready_list_[i])]->pct_priority >
           procs_[static_cast<usize>(ready_list_[idx])]->pct_priority) {
         idx = i;
       }
     }
+  } else {  // kReplay
+    idx = replay_pick_index();
   }
   const Rank rank = ready_list_[idx];
+  if (opts_.record_schedule) result_.schedule.picks.push_back(rank);
   ready_list_[idx] = ready_list_.back();
   ready_list_.pop_back();
   Proc& proc = *procs_[static_cast<usize>(rank)];
   RMALOCK_DCHECK(proc.state == ProcState::kRunnable);
   proc.state = ProcState::kRunning;
   return rank;
+}
+
+usize SimWorld::replay_pick_index() {
+  usize fallback = 0;
+  for (usize i = 1; i < ready_list_.size(); ++i) {
+    if (ready_list_[i] < ready_list_[fallback]) fallback = i;
+  }
+  Rank desired;
+  if (opts_.replay != nullptr && replay_pos_ < opts_.replay->picks.size()) {
+    desired = opts_.replay->picks[replay_pos_++];
+  } else if (opts_.pick_hook) {
+    std::vector<Rank> candidates(ready_list_.begin(), ready_list_.end());
+    std::sort(candidates.begin(), candidates.end());
+    desired = opts_.pick_hook(candidates);
+  } else {
+    return fallback;
+  }
+  for (usize i = 0; i < ready_list_.size(); ++i) {
+    if (ready_list_[i] == desired) return i;
+  }
+  // Rank not runnable here (shrunk/edited trace, or a misbehaving hook):
+  // fall back deterministically so the replay still completes.
+  ++result_.replay_divergences;
+  return fallback;
 }
 
 void SimWorld::make_runnable(Proc& proc, Rank rank) {

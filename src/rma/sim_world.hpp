@@ -18,7 +18,11 @@
 //                      (deterministic DES; used by all benchmarks);
 //       kRandom      — uniformly random runnable process (model checking);
 //       kPct         — PCT priority scheduling with d change points
-//                      (Burckhardt et al.; stronger bug-finding guarantees).
+//                      (Burckhardt et al.; stronger bug-finding guarantees);
+//       kReplay      — re-execute a recorded ScheduleTrace (and/or drive
+//                      decisions through SimOptions::pick_hook): the
+//                      foundation of deterministic repro, counterexample
+//                      shrinking, and bounded-exhaustive exploration.
 //   * Flush is not a scheduling point: it changes no shared state, so
 //     skipping its yield halves engine steps without losing interleavings.
 //   * Spin-wait parking: a process that re-reads the same unchanged window
@@ -55,7 +59,14 @@ enum class SchedPolicy : u8 {
   kVirtualTime,  // deterministic min-clock DES (benchmarks)
   kRandom,       // uniform random walk over interleavings (model checking)
   kPct,          // PCT priority scheduling (model checking)
+  kReplay,       // re-execute a recorded ScheduleTrace / drive via pick_hook
 };
+
+/// Explicit scheduler hook (kReplay): called at each decision point not
+/// covered by SimOptions::replay with the runnable set sorted by rank;
+/// must return one of the candidates. This is how the bounded-exhaustive
+/// explorer enumerates interleavings.
+using PickHook = std::function<Rank(const std::vector<Rank>& candidates)>;
 
 struct SimOptions {
   topo::Topology topology;
@@ -77,6 +88,18 @@ struct SimOptions {
   /// Abort the process on deadlock (benchmarks want loud failure); when
   /// false the deadlock is reported in RunResult (model checking).
   bool abort_on_deadlock = true;
+  /// Record every scheduler decision into RunResult::schedule. Only list
+  /// policies (kRandom/kPct/kReplay) have decisions to record; kVirtualTime
+  /// is deterministic by construction and records nothing.
+  bool record_schedule = false;
+  /// kReplay: the decisions to re-execute (typically a RunResult::schedule
+  /// from a recorded run). Not owned; must outlive run(). Decisions beyond
+  /// the trace fall through to pick_hook, then to the deterministic
+  /// smallest-rank policy.
+  const ScheduleTrace* replay = nullptr;
+  /// kReplay: decision hook consulted after `replay` is exhausted (see
+  /// PickHook). Used by the exhaustive explorer.
+  PickHook pick_hook;
   /// Stack bytes per simulated process.
   usize fiber_stack_bytes = 256 * 1024;
 };
@@ -185,6 +208,9 @@ class SimWorld final : public World {
 
   /// Picks the next process to run; kNilRank if no one is runnable.
   Rank pick_next();
+  /// kReplay: index into ready_list_ of the next decision (replay trace,
+  /// then pick_hook, then deterministic smallest-rank fallback).
+  usize replay_pick_index();
   /// Called when no process is runnable: force-wake or declare deadlock.
   void handle_no_runnable();
   void begin_stop(bool deadlock, bool step_limit);
@@ -220,6 +246,7 @@ class SimWorld final : public World {
   Xoshiro256 sched_rng_{0};
   std::vector<u64> pct_change_steps_;
   u32 pct_next_priority_low_ = 0;
+  usize replay_pos_ = 0;  // kReplay: next decision in opts_.replay
 
   Fiber main_fiber_;
   Rank entering_rank_ = kNilRank;  // rank a fresh fiber should adopt

@@ -16,12 +16,28 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "common/types.hpp"
 #include "rma/comm.hpp"
 #include "topo/topology.hpp"
 
 namespace rmalock::rma {
+
+/// A recorded schedule: the rank chosen at every scheduler decision point of
+/// a SimWorld run under a list policy (kRandom/kPct/kReplay). Replaying the
+/// same picks against the same SimOptions re-executes the run bit-identically
+/// (the engine has no other source of nondeterminism); a truncated or edited
+/// trace still replays — unmatched decisions fall back to the deterministic
+/// smallest-rank policy — which is what makes ddmin-style shrinking possible.
+struct ScheduleTrace {
+  std::vector<Rank> picks;
+
+  [[nodiscard]] bool empty() const { return picks.empty(); }
+  [[nodiscard]] usize size() const { return picks.size(); }
+
+  friend bool operator==(const ScheduleTrace&, const ScheduleTrace&) = default;
+};
 
 /// Outcome of one World::run() invocation.
 struct RunResult {
@@ -34,6 +50,13 @@ struct RunResult {
   u64 steps = 0;
   /// Virtual (SimWorld) or wall (ThreadWorld) time of the longest process.
   Nanos makespan_ns = 0;
+  /// Scheduler decisions taken, when SimOptions::record_schedule was set
+  /// under a list policy (kRandom/kPct/kReplay); empty otherwise.
+  ScheduleTrace schedule;
+  /// kReplay only: decisions whose recorded rank was not runnable (possible
+  /// with shrunk/edited traces) and fell back to the smallest runnable rank.
+  /// 0 on a faithful replay of an unmodified trace.
+  u64 replay_divergences = 0;
 
   [[nodiscard]] bool ok() const { return !deadlocked && !step_limit_hit; }
 };

@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "locks/d_mcs.hpp"
 #include "locks/fompi_rw.hpp"
 #include "locks/fompi_spin.hpp"
 #include "locks/rma_mcs.hpp"
 #include "locks/rma_rw.hpp"
+#include "mc/schedule.hpp"
+#include "planted_locks.hpp"
 
 namespace rmalock::mc {
 namespace {
@@ -264,6 +268,252 @@ TEST(Checker, StepLimitIsReportedNotFatal) {
   EXPECT_FALSE(result.deadlocked);
   EXPECT_FALSE(result.ok());
   EXPECT_LE(result.steps, 64u + 4u);  // engine may finish the in-flight op
+}
+
+// ---------------------------------------------------------------------------
+// First-failure reporting, shrinking, and planted-bug true positives.
+// ---------------------------------------------------------------------------
+
+ExclusiveLockFactory no_lock_factory() {
+  return [](rma::World& world) { return std::make_unique<NoLock>(world); };
+}
+
+TEST(Checker, FirstFailureRecordsMutexCoordinates) {
+  auto config = small_config(rma::SchedPolicy::kRandom);
+  config.schedules = 10;
+  const auto report = check_exclusive(config, no_lock_factory());
+  ASSERT_TRUE(report.has_first_failure);
+  const FirstFailure& f = report.first_failure;
+  EXPECT_EQ(f.kind, "mutex");
+  EXPECT_EQ(f.lock_name, "NoLock");
+  EXPECT_EQ(f.base_seed, config.base_seed);
+  EXPECT_LT(f.schedule_index, config.schedules);
+  EXPECT_EQ(f.world_seed, mix_seed(config.base_seed, f.schedule_index));
+  EXPECT_GT(f.raw_trace_len, 0u);
+  EXPECT_LE(f.trace.picks.size(), f.raw_trace_len);
+  EXPECT_NE(report.summary().find("first_failure: kind=mutex"),
+            std::string::npos)
+      << report.summary();
+}
+
+TEST(Checker, FirstFailureRecordsDeadlockKind) {
+  auto config = small_config(rma::SchedPolicy::kRandom);
+  config.schedules = 5;
+  const auto report = check_exclusive(config, [](rma::World& world) {
+    return std::make_unique<LeakyLock>(world);
+  });
+  ASSERT_TRUE(report.has_first_failure);
+  EXPECT_EQ(report.first_failure.kind, "deadlock");
+}
+
+TEST(Checker, FirstFailurePropagatesThroughMerge) {
+  auto config = small_config(rma::SchedPolicy::kRandom);
+  config.schedules = 5;
+  CheckReport clean = check_exclusive(config, [](rma::World& world) {
+    return std::make_unique<locks::DMcs>(world);
+  });
+  ASSERT_FALSE(clean.has_first_failure);
+  const CheckReport failing = check_exclusive(config, no_lock_factory());
+  ASSERT_TRUE(failing.has_first_failure);
+
+  // Aggregating a failing report into a clean one keeps the coordinates...
+  clean += failing;
+  ASSERT_TRUE(clean.has_first_failure);
+  EXPECT_EQ(clean.first_failure.schedule_index,
+            failing.first_failure.schedule_index);
+  EXPECT_NE(clean.summary().find("first_failure"), std::string::npos);
+
+  // ...and an already-failing report keeps its *first* failure on merge.
+  CheckReport copy = failing;
+  CheckReport other = failing;
+  other.first_failure.schedule_index = 9999;
+  copy += other;
+  EXPECT_EQ(copy.first_failure.schedule_index,
+            failing.first_failure.schedule_index);
+}
+
+TEST(Checker, ShrunkCounterexampleReplaysDeterministically) {
+  auto config = small_config(rma::SchedPolicy::kRandom);
+  config.schedules = 10;
+  const auto report = check_exclusive(config, no_lock_factory());
+  ASSERT_TRUE(report.has_first_failure);
+  const FirstFailure& f = report.first_failure;
+  EXPECT_LT(f.trace.picks.size(), f.raw_trace_len) << "nothing was shrunk";
+
+  // Two independent replays of the shrunk trace in fresh worlds must both
+  // reproduce the violation — and identically so.
+  const ScheduleOutcome first = run_exclusive_schedule(
+      config, no_lock_factory(),
+      replay_options(config, f.world_seed, f.trace));
+  const ScheduleOutcome second = run_exclusive_schedule(
+      config, no_lock_factory(),
+      replay_options(config, f.world_seed, f.trace));
+  EXPECT_GT(first.mutex_violations, 0u);
+  EXPECT_EQ(first.mutex_violations, second.mutex_violations);
+  EXPECT_EQ(first.run.steps, second.run.steps);
+}
+
+TEST(Checker, TraceDirWritesReplayableFile) {
+  auto config = small_config(rma::SchedPolicy::kRandom);
+  config.schedules = 10;
+  config.trace_dir = ::testing::TempDir();
+  config.workload_id = "ex:no-lock";
+  const auto report = check_exclusive(config, no_lock_factory());
+  ASSERT_TRUE(report.has_first_failure);
+  ASSERT_FALSE(report.first_failure.trace_path.empty());
+  EXPECT_NE(report.summary().find("--replay"), std::string::npos);
+
+  TraceCase repro;
+  std::string error;
+  ASSERT_TRUE(read_trace_file(report.first_failure.trace_path, &repro,
+                              &error))
+      << error;
+  EXPECT_EQ(repro.workload, "ex:no-lock");
+  EXPECT_EQ(repro.kind, "mutex");
+  EXPECT_EQ(repro.topology, config.topology);
+  EXPECT_EQ(repro.world_seed, report.first_failure.world_seed);
+  EXPECT_EQ(repro.trace, report.first_failure.trace);
+
+  // Replaying straight from the file reproduces the violation.
+  CheckConfig from_file = config;
+  from_file.topology = repro.topology;
+  from_file.acquires_per_proc = repro.acquires_per_proc;
+  from_file.max_steps = repro.max_steps;
+  const ScheduleOutcome replayed = run_exclusive_schedule(
+      from_file, no_lock_factory(),
+      replay_options(from_file, repro.world_seed, repro.trace));
+  EXPECT_GT(replayed.mutex_violations, 0u);
+}
+
+// Planted bug #1 (tests/mc/planted_locks.hpp): an MCS variant that drops
+// the release handoff. Detected as a deadlock by all three checkers (the
+// exhaustive one is covered in test_explorer.cpp).
+TEST(Checker, PlantedMcsDroppedHandoffCaughtByRandomAndPct) {
+  for (const auto policy :
+       {rma::SchedPolicy::kRandom, rma::SchedPolicy::kPct}) {
+    auto config = small_config(policy);
+    config.schedules = 10;
+    config.acquires_per_proc = 2;
+    const auto report = check_exclusive(config, [](rma::World& world) {
+      return std::make_unique<test::PlantedMcs>(world, /*drop_handoff=*/true);
+    });
+    EXPECT_FALSE(report.ok());
+    EXPECT_GT(report.deadlocks, 0u);
+    ASSERT_TRUE(report.has_first_failure);
+    EXPECT_EQ(report.first_failure.kind, "deadlock");
+
+    // The shrunk counterexample replays to the same deadlock.
+    const ScheduleOutcome replayed = run_exclusive_schedule(
+        config,
+        [](rma::World& world) {
+          return std::make_unique<test::PlantedMcs>(world, true);
+        },
+        replay_options(config, report.first_failure.world_seed,
+                       report.first_failure.trace));
+    EXPECT_TRUE(replayed.run.deadlocked);
+  }
+}
+
+RwLockFactory faithful_reset_rw_factory() {
+  return [](rma::World& world) {
+    locks::RmaRwParams params = locks::RmaRwParams::defaults(world.topology());
+    params.tdc = 2;
+    params.tr = 1;  // reset on every reader departure: maximal race traffic
+    params.locality.assign(
+        static_cast<usize>(world.topology().num_levels()), 1);
+    params.paper_faithful_reader_reset = true;
+    return std::make_unique<locks::RmaRw>(world, params);
+  };
+}
+
+// Planted bug #2: the literal Listing 6/9 reader-side counter reset that
+// clobbers a concurrent writer's WRITE flag (real code path behind
+// RmaRwParams::paper_faithful_reader_reset; DESIGN.md §2.5). Seeds and
+// schedule counts are pinned to deterministic detections.
+TEST(Checker, PlantedRwWriteFlagClobberCaughtByRandom) {
+  CheckConfig config;
+  config.topology = topo::Topology::uniform({2}, 2);
+  config.policy = rma::SchedPolicy::kRandom;
+  config.schedules = 100;  // base_seed 1 fails at schedule 53
+  config.base_seed = 1;
+  config.acquires_per_proc = 8;
+  config.max_steps = 400'000;
+  const auto report = check_rw(config, faithful_reset_rw_factory());
+  EXPECT_GT(report.mutex_violations, 0u) << report.summary();
+  ASSERT_TRUE(report.has_first_failure);
+  EXPECT_EQ(report.first_failure.kind, "mutex");
+  EXPECT_LT(report.first_failure.trace.picks.size(),
+            report.first_failure.raw_trace_len);
+
+  // Deterministic replay of the shrunk counterexample, twice.
+  for (int i = 0; i < 2; ++i) {
+    const ScheduleOutcome replayed = run_rw_schedule(
+        config, faithful_reset_rw_factory(),
+        replay_options(config, report.first_failure.world_seed,
+                       report.first_failure.trace));
+    EXPECT_GT(replayed.mutex_violations, 0u) << "replay " << i;
+  }
+}
+
+TEST(Checker, PlantedRwWriteFlagClobberCaughtByPct) {
+  CheckConfig config;
+  config.topology = topo::Topology::uniform({2}, 2);
+  config.policy = rma::SchedPolicy::kPct;
+  config.schedules = 50;  // base_seed 1, d=6 fails at schedule 34
+  config.base_seed = 1;
+  config.acquires_per_proc = 8;
+  config.max_steps = 400'000;
+  config.pct_change_points = 6;
+  const auto report = check_rw(config, faithful_reset_rw_factory());
+  EXPECT_GT(report.mutex_violations, 0u) << report.summary();
+  ASSERT_TRUE(report.has_first_failure);
+  EXPECT_EQ(report.first_failure.kind, "mutex");
+  const ScheduleOutcome replayed = run_rw_schedule(
+      config, faithful_reset_rw_factory(),
+      replay_options(config, report.first_failure.world_seed,
+                     report.first_failure.trace));
+  EXPECT_GT(replayed.mutex_violations, 0u);
+}
+
+// An RwLock that never excludes anybody: any writer in the mix produces
+// violations, while an all-reader population is trivially clean — which
+// makes it a probe for whether writer_roles actually controls the roles.
+class NoRwLock final : public locks::RwLock {
+ public:
+  explicit NoRwLock(rma::World& world) : scratch_(world.allocate(1)) {}
+  void acquire_read(rma::RmaComm& comm) override { touch(comm); }
+  void release_read(rma::RmaComm& comm) override { touch(comm); }
+  void acquire_write(rma::RmaComm& comm) override { touch(comm); }
+  void release_write(rma::RmaComm& comm) override { touch(comm); }
+  [[nodiscard]] std::string name() const override { return "NoRwLock"; }
+
+ private:
+  void touch(rma::RmaComm& comm) {
+    comm.accumulate(1, 0, scratch_, rma::AccumOp::kSum);
+    comm.flush(0);
+  }
+  WinOffset scratch_;
+};
+
+TEST(Checker, ExplicitWriterRolesOverrideRandomAssignment) {
+  CheckConfig config;
+  config.topology = topo::Topology::uniform({}, 4);
+  config.policy = rma::SchedPolicy::kRandom;
+  config.schedules = 5;
+  config.acquires_per_proc = 4;
+  config.max_steps = 400'000;
+  const auto factory = [](rma::World& world) {
+    return std::make_unique<NoRwLock>(world);
+  };
+  // Seed-drawn roles put writers in the mix: the null lock must be caught.
+  const auto random_roles = check_rw(config, factory);
+  EXPECT_GT(random_roles.mutex_violations, 0u) << random_roles.summary();
+  // Pinning every rank to reader makes the same workload trivially clean —
+  // proof that writer_roles overrides the seed-drawn assignment.
+  config.writer_roles = {false, false, false, false};
+  const auto all_readers = check_rw(config, factory);
+  EXPECT_TRUE(all_readers.ok()) << all_readers.summary();
+  EXPECT_EQ(all_readers.total_cs_entries, 5u * 4 * 4);
 }
 
 TEST(CheckReport, SummaryAndMerge) {
