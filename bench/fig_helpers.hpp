@@ -51,6 +51,8 @@ inline BenchResult run_exclusive_point(
   const BenchResult result = harness::run_exclusive_bench(*world, *lock, config);
   report.add(series, p, "throughput_mlocks_s", result.throughput_mlocks_s);
   report.add(series, p, "latency_us_mean", result.latency_us.mean);
+  report.add(series, p, "latency_us_p50", result.latency_us.median);
+  report.add(series, p, "latency_us_p95", result.latency_us.p95);
   return result;
 }
 
@@ -89,6 +91,8 @@ inline BenchResult run_rw_point(
   const BenchResult result = harness::run_rw_bench(*world, *lock, config);
   report.add(series, p, "throughput_mlocks_s", result.throughput_mlocks_s);
   report.add(series, p, "latency_us_mean", result.latency_us.mean);
+  report.add(series, p, "latency_us_p50", result.latency_us.median);
+  report.add(series, p, "latency_us_p95", result.latency_us.p95);
   return result;
 }
 

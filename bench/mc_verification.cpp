@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/timer.hpp"
 #include "harness/bench_common.hpp"
 #include "locks/rma_mcs.hpp"
 #include "locks/rma_rw.hpp"
@@ -91,6 +92,33 @@ struct Campaign {
   topo::Topology topology;
 };
 
+/// Folds one campaign's counters (and wall time) into the --json record.
+void record_campaign(harness::FigureReport& json, const std::string& series,
+                     i32 nprocs, const mc::CheckReport& report,
+                     double wall_s) {
+  json.add(series, nprocs, "schedules",
+           static_cast<double>(report.schedules_run));
+  json.add(series, nprocs, "cs_entries",
+           static_cast<double>(report.total_cs_entries));
+  json.add(series, nprocs, "mutex_violations",
+           static_cast<double>(report.mutex_violations));
+  json.add(series, nprocs, "deadlocks",
+           static_cast<double>(report.deadlocks));
+  json.add(series, nprocs, "wall_s", wall_s);
+}
+
+/// Writes the campaign record iff --json was given (mc_verification prints
+/// its own summaries, so only the file side of FigureReport is used).
+void finish_json(harness::FigureReport& json) {
+  if (harness::bench_json_path().empty()) return;
+  if (json.write_json(harness::bench_json_path())) {
+    std::printf("JSON written to %s\n", harness::bench_json_path().c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 harness::bench_json_path().c_str());
+  }
+}
+
 mc::CheckConfig base_config(const topo::Topology& topology,
                             rma::SchedPolicy policy, u64 schedules,
                             i32 acquires, const std::string& trace_dir,
@@ -107,6 +135,9 @@ mc::CheckConfig base_config(const topo::Topology& topology,
 }
 
 int run_randomized(bool quick, bool smoke, const std::string& trace_dir) {
+  harness::FigureReport json(
+      "mc_randomized", "§4.4 randomized campaign (random + PCT schedules)",
+      "all tests confirm mutual exclusion and deadlock freedom");
   // N = 1..4 with equal children per level, largest = 256 procs (paper).
   const Campaign campaigns[] = {
       {"N=1 P=8", topo::Topology::uniform({}, 8)},
@@ -134,6 +165,7 @@ int run_randomized(bool quick, bool smoke, const std::string& trace_dir) {
       const char* policy_name =
           policy == rma::SchedPolicy::kRandom ? "random" : "pct";
       {
+        const Timer timer;
         const auto report = mc::check_rw(
             base_config(campaign.topology, policy, schedules, acquires,
                         trace_dir, "rw:rma-rw"),
@@ -141,8 +173,12 @@ int run_randomized(bool quick, bool smoke, const std::string& trace_dir) {
         std::printf("RMA-RW  %-10s %-7s %s\n", campaign.name, policy_name,
                     report.summary().c_str());
         all_ok = all_ok && report.ok();
+        record_campaign(json, std::string("rw:rma-rw/") + policy_name,
+                        campaign.topology.nprocs(), report,
+                        timer.elapsed_s());
       }
       {
+        const Timer timer;
         const auto report = mc::check_exclusive(
             base_config(campaign.topology, policy, schedules, acquires,
                         trace_dir, "ex:rma-mcs"),
@@ -150,6 +186,9 @@ int run_randomized(bool quick, bool smoke, const std::string& trace_dir) {
         std::printf("RMA-MCS %-10s %-7s %s\n", campaign.name, policy_name,
                     report.summary().c_str());
         all_ok = all_ok && report.ok();
+        record_campaign(json, std::string("ex:rma-mcs/") + policy_name,
+                        campaign.topology.nprocs(), report,
+                        timer.elapsed_s());
       }
     }
   }
@@ -176,6 +215,7 @@ int run_randomized(bool quick, bool smoke, const std::string& trace_dir) {
 
   std::printf("\nVERDICT: %s\n", all_ok ? "all safety properties hold"
                                         : "VIOLATIONS FOUND");
+  finish_json(json);
   return 0;  // report only; tests/mc asserts
 }
 
@@ -203,6 +243,10 @@ int run_exhaustive(bool quick, bool smoke, const std::string& trace_dir) {
     cases[0].max_preemptions = 3;
   }
 
+  harness::FigureReport json(
+      "mc_exhaustive", "bounded-exhaustive DFS sweep",
+      "every interleaving within the bounds enumerated; wall_s is the "
+      "engine-throughput perf gate");
   std::printf("==========================================================\n");
   std::printf("mc_verification --exhaustive — bounded-exhaustive DFS\n");
   std::printf("(iterative preemption deepening; 'exhausted_spaces=1' means\n");
@@ -221,12 +265,15 @@ int run_exhaustive(bool quick, bool smoke, const std::string& trace_dir) {
       config.max_steps = 400'000;
       config.trace_dir = trace_dir;
       config.workload_id = "ex:rma-mcs";
+      const Timer timer;
       const auto report = mc::check_exclusive_exhaustive(
           config, explore, make_exclusive_factory("ex:rma-mcs"),
           /*iterative=*/true);
       std::printf("RMA-MCS %-6s acq=%d d<=%d %s\n", c.name, c.acquires,
                   c.max_preemptions, report.summary().c_str());
       all_ok = all_ok && report.ok();
+      record_campaign(json, "ex:rma-mcs/exhaustive", c.topology.nprocs(),
+                      report, timer.elapsed_s());
     }
     {
       mc::CheckConfig config;
@@ -242,16 +289,20 @@ int run_exhaustive(bool quick, bool smoke, const std::string& trace_dir) {
       for (i32 r = 0; r < c.topology.nprocs(); r += 2) {
         config.writer_roles[static_cast<usize>(r)] = true;
       }
+      const Timer timer;
       const auto report = mc::check_rw_exhaustive(
           config, explore, make_rw_factory("rw:rma-rw"), /*iterative=*/true);
       std::printf("RMA-RW  %-6s acq=%d d<=%d %s\n", c.name, c.acquires,
                   c.max_preemptions, report.summary().c_str());
       all_ok = all_ok && report.ok();
+      record_campaign(json, "rw:rma-rw/exhaustive", c.topology.nprocs(),
+                      report, timer.elapsed_s());
     }
   }
   std::printf("\nVERDICT: %s\n",
               all_ok ? "all enumerated interleavings are safe"
                      : "VIOLATIONS FOUND");
+  finish_json(json);
   return all_ok ? 0 : 1;
 }
 
@@ -319,7 +370,8 @@ int main(int argc, char** argv) {
   const auto usage = [&] {
     std::fprintf(stderr,
                  "usage: %s [--smoke] [--quick] [--exhaustive] "
-                 "[--replay <trace-file>] [--trace-dir <dir>]\n",
+                 "[--replay <trace-file>] [--trace-dir <dir>] "
+                 "[--json <path>]\n",
                  argv[0]);
     std::exit(2);
   };
@@ -337,6 +389,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--trace-dir") == 0) {
       if (i + 1 >= argc) usage();
       trace_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) usage();
+      passthrough.push_back(argv[i]);
+      passthrough.push_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--smoke") == 0 ||
                std::strcmp(argv[i], "--quick") == 0) {
       passthrough.push_back(argv[i]);

@@ -1,0 +1,172 @@
+// DES engine wall-clock throughput microbenchmark — the perf gate for the
+// engine itself (not a paper figure).
+//
+// Every fig benchmark and MC campaign runs on top of SimWorld, so engine
+// steps per wall-clock second bounds how much virtual-time experimentation
+// and exhaustive exploration a revision can afford. This binary pins that
+// number in three shapes:
+//
+//   virtual-time  the benchmark configuration: kVirtualTime scheduling over
+//                 the paper's topology, RMA-MCS under ECSB-style load, P
+//                 swept like the figures (RMALOCK_PS applies);
+//   replay        the counterexample-reproduction configuration: kReplay
+//                 re-execution of one recorded kRandom schedule, repeated —
+//                 the path the shrinker and --replay hammer;
+//   mc-churn      the model-checking configuration: a fresh small world per
+//                 schedule (construction + stacks + a short random run),
+//                 which is what bounded-exhaustive sweeps do ~1e5 times.
+//
+// Metrics: engine_msteps_per_s (million scheduling-point steps / wall s),
+// sim_mops_per_s (million simulated RMA ops / wall s), wall_ms, and for
+// mc-churn worlds_per_s. Run with --json BENCH_micro_engine.json and
+// compare records across revisions (docs/PERF.md).
+#include <memory>
+
+#include "common/timer.hpp"
+#include "harness/bench_common.hpp"
+#include "locks/rma_mcs.hpp"
+#include "rma/sim_world.hpp"
+
+namespace {
+
+using namespace rmalock;
+using harness::BenchEnv;
+using harness::FigureReport;
+
+locks::RmaMcsParams mcs_params(const topo::Topology& topo) {
+  locks::RmaMcsParams params;
+  params.locality.assign(static_cast<usize>(topo.num_levels()), 32);
+  return params;
+}
+
+/// One ECSB-style measured run; returns (steps, total ops, wall ns).
+struct EngineRun {
+  u64 steps = 0;
+  u64 ops = 0;
+  Nanos wall_ns = 0;
+};
+
+EngineRun run_lock_loop(rma::SimWorld& world, i32 acquires_per_proc) {
+  locks::RmaMcs lock(world, mcs_params(world.topology()));
+  const Timer timer;
+  const rma::RunResult result = world.run([&](rma::RmaComm& comm) {
+    for (i32 i = 0; i < acquires_per_proc; ++i) {
+      lock.acquire(comm);
+      lock.release(comm);
+    }
+  });
+  EngineRun run;
+  run.wall_ns = timer.elapsed_ns();
+  run.steps = result.steps;
+  run.ops = world.aggregate_stats().total_ops();
+  return run;
+}
+
+void add_rates(FigureReport& report, const std::string& series, i32 p,
+               const EngineRun& run) {
+  const double wall = static_cast<double>(run.wall_ns);
+  report.add(series, p, "engine_msteps_per_s",
+             static_cast<double>(run.steps) / wall * 1e3);
+  report.add(series, p, "sim_mops_per_s",
+             static_cast<double>(run.ops) / wall * 1e3);
+  report.add(series, p, "wall_ms", wall / 1e6);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::apply_bench_cli(argc, argv);
+  const BenchEnv env = BenchEnv::from_env();
+  FigureReport report(
+      "micro_engine", "DES engine wall-clock throughput",
+      "engine-perf gate, not a paper figure: rates must not regress "
+      "across revisions (compare BENCH_*.json)");
+
+  // --- kVirtualTime path: the figure-benchmark configuration -------------
+  for (const i32 p : env.ps) {
+    auto world = rma::SimWorld::create(env.sim_options_for(p));
+    const i32 acquires = env.ops_for(p, /*total_target=*/60'000);
+    const EngineRun run = run_lock_loop(*world, acquires);
+    add_rates(report, "virtual-time/rma-mcs", p, run);
+  }
+
+  // --- kReplay path: repeated re-execution of one recorded schedule ------
+  {
+    const topo::Topology topology = topo::Topology::uniform({2}, 4);  // P=8
+    rma::SimOptions opts;
+    opts.topology = topology;
+    opts.latency = rma::LatencyModel::zero(topology.num_levels());
+    opts.seed = env.seed;
+    opts.policy = rma::SchedPolicy::kRandom;
+    opts.record_schedule = true;
+    rma::ScheduleTrace trace;
+    {
+      auto recorder = rma::SimWorld::create(opts);
+      locks::RmaMcs lock(*recorder, mcs_params(topology));
+      trace = recorder
+                  ->run([&](rma::RmaComm& comm) {
+                    for (i32 i = 0; i < (env.smoke ? 4 : 8); ++i) {
+                      lock.acquire(comm);
+                      lock.release(comm);
+                    }
+                  })
+                  .schedule;
+    }
+    rma::SimOptions replay_opts = opts;
+    replay_opts.policy = rma::SchedPolicy::kReplay;
+    replay_opts.record_schedule = false;
+    replay_opts.replay = &trace;
+    auto world = rma::SimWorld::create(replay_opts);
+    locks::RmaMcs lock(*world, mcs_params(topology));
+    const i32 replays = env.smoke ? 50 : 400;
+    EngineRun total;
+    const Timer timer;
+    for (i32 r = 0; r < replays; ++r) {
+      const rma::RunResult result = world->run([&](rma::RmaComm& comm) {
+        for (i32 i = 0; i < (env.smoke ? 4 : 8); ++i) {
+          lock.acquire(comm);
+          lock.release(comm);
+        }
+      });
+      total.steps += result.steps;
+    }
+    total.wall_ns = timer.elapsed_ns();
+    total.ops = world->aggregate_stats().total_ops();
+    add_rates(report, "replay/rma-mcs", topology.nprocs(), total);
+    report.add("replay/rma-mcs", topology.nprocs(), "runs_per_s",
+               static_cast<double>(replays) /
+                   static_cast<double>(total.wall_ns) * 1e9);
+  }
+
+  // --- mc-churn: a fresh world per schedule (exhaustive-sweep shape) -----
+  {
+    const topo::Topology topology = topo::Topology::uniform({}, 4);  // P=4
+    const i32 worlds = env.smoke ? 200 : 2000;
+    EngineRun total;
+    const Timer timer;
+    for (i32 w = 0; w < worlds; ++w) {
+      rma::SimOptions opts;
+      opts.topology = topology;
+      opts.latency = rma::LatencyModel::zero(topology.num_levels());
+      opts.seed = env.seed + static_cast<u64>(w);
+      opts.policy = rma::SchedPolicy::kRandom;
+      opts.fiber_stack_bytes = 64 * 1024;  // the MC explorer's stack size
+      auto world = rma::SimWorld::create(std::move(opts));
+      const EngineRun run = run_lock_loop(*world, /*acquires_per_proc=*/2);
+      total.steps += run.steps;
+      total.ops += run.ops;
+    }
+    total.wall_ns = timer.elapsed_ns();
+    add_rates(report, "mc-churn/rma-mcs", topology.nprocs(), total);
+    report.add("mc-churn/rma-mcs", topology.nprocs(), "worlds_per_s",
+               static_cast<double>(worlds) /
+                   static_cast<double>(total.wall_ns) * 1e9);
+  }
+
+  report.check("rates are finite and positive",
+               report.value("virtual-time/rma-mcs", env.ps.back(),
+                            "engine_msteps_per_s") > 0,
+               "sanity: the engine made progress under measurement");
+  report.print();
+  return report.all_checks_passed() ? 0 : 1;
+}

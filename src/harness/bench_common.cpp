@@ -62,6 +62,20 @@ i32 BenchEnv::ops_for(i32 p, i32 total_target, i32 min_ops) const {
   return std::max(min_ops, target / p);
 }
 
+namespace {
+std::string g_json_path;
+}  // namespace
+
+const std::string& bench_json_path() { return g_json_path; }
+
+const char* bench_git_rev() {
+#ifdef RMALOCK_GIT_REV
+  return RMALOCK_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
 void apply_bench_cli(int argc, char** argv) {
   for (i32 i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -73,8 +87,11 @@ void apply_bench_cli(int argc, char** argv) {
       setenv("RMALOCK_PS", "16,32", /*overwrite=*/0);
     } else if (std::strcmp(arg, "--quick") == 0) {
       setenv("RMALOCK_QUICK", "1", /*overwrite=*/1);
+    } else if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      g_json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--quick]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--smoke] [--quick] [--json <path>]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
@@ -167,6 +184,83 @@ void FigureReport::print() const {
   }
   std::printf("\n");
   std::fflush(stdout);
+  if (!bench_json_path().empty()) {
+    if (write_json(bench_json_path())) {
+      std::printf("JSON written to %s\n\n", bench_json_path().c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   bench_json_path().c_str());
+    }
+  }
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool FigureReport::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const BenchEnv env = BenchEnv::from_env();
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"rmalock-bench-v1\",\n");
+  std::fprintf(f, "  \"bench\": \"%s\",\n", json_escape(figure_id_).c_str());
+  std::fprintf(f, "  \"title\": \"%s\",\n", json_escape(title_).c_str());
+  std::fprintf(f, "  \"git_rev\": \"%s\",\n", json_escape(bench_git_rev()).c_str());
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(env.seed));
+  std::fprintf(f, "  \"quick\": %s,\n", env.quick ? "true" : "false");
+  std::fprintf(f, "  \"smoke\": %s,\n", env.smoke ? "true" : "false");
+  std::fprintf(f, "  \"procs_per_node\": %d,\n", env.procs_per_node);
+  std::fprintf(f, "  \"records\": [");
+  bool first = true;
+  for (const std::string& series : series_order_) {
+    for (const i32 p : ps_) {
+      for (const std::string& metric : metric_order_) {
+        if (!has(series, p, metric)) continue;
+        std::fprintf(f, "%s\n    {\"series\": \"%s\", \"p\": %d, "
+                     "\"metric\": \"%s\", \"value\": %.9g}",
+                     first ? "" : ",", json_escape(series).c_str(), p,
+                     json_escape(metric).c_str(), value(series, p, metric));
+        first = false;
+      }
+    }
+  }
+  std::fprintf(f, "\n  ],\n");
+  std::fprintf(f, "  \"checks\": [");
+  for (usize i = 0; i < checks_.size(); ++i) {
+    std::fprintf(f, "%s\n    {\"name\": \"%s\", \"pass\": %s, "
+                 "\"detail\": \"%s\"}",
+                 i == 0 ? "" : ",", json_escape(checks_[i].name).c_str(),
+                 checks_[i].pass ? "true" : "false",
+                 json_escape(checks_[i].detail).c_str());
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace rmalock::harness

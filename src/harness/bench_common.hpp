@@ -49,12 +49,23 @@ struct BenchEnv {
 
 /// Translates bench CLI flags into the environment knobs above, so every
 /// bench binary accepts the same interface:
-///   --smoke  minimal sweep for ctest smoke runs (sets RMALOCK_SMOKE and,
-///            unless the caller exported one, RMALOCK_PS=16,32)
-///   --quick  the RMALOCK_QUICK=1 sweep
+///   --smoke        minimal sweep for ctest smoke runs (sets RMALOCK_SMOKE
+///                  and, unless the caller exported one, RMALOCK_PS=16,32)
+///   --quick        the RMALOCK_QUICK=1 sweep
+///   --json <path>  write the figure's results as a machine-readable
+///                  "rmalock-bench-v1" JSON record to <path> when the
+///                  report is printed (see docs/PERF.md for the schema and
+///                  how to compare records across revisions)
 /// Unknown arguments abort with a usage message. Must run before the first
 /// BenchEnv::from_env() call.
 void apply_bench_cli(int argc, char** argv);
+
+/// Path given via --json ("" when absent).
+[[nodiscard]] const std::string& bench_json_path();
+
+/// Git revision the binary was built from (CMake configure-time stamp;
+/// "unknown" outside a git checkout).
+[[nodiscard]] const char* bench_git_rev();
 
 /// Collects (series, P, metric) -> value, renders figure output.
 class FigureReport {
@@ -73,8 +84,17 @@ class FigureReport {
   void check(const std::string& name, bool pass, const std::string& detail);
 
   /// Prints the header, one pivot table per metric (rows = series,
-  /// columns = P), all CSV lines, and the shape-check verdicts.
+  /// columns = P), all CSV lines, and the shape-check verdicts. Also writes
+  /// the JSON record when --json was given (see write_json).
   void print() const;
+
+  /// Writes the report as one "rmalock-bench-v1" JSON object:
+  /// {schema, bench, title, git_rev, seed, quick, smoke, procs_per_node,
+  ///  records: [{series, p, metric, value}...],
+  ///  checks: [{name, pass, detail}...]}.
+  /// Returns false (and keeps going — benches must not die on I/O) when the
+  /// file cannot be written.
+  bool write_json(const std::string& path) const;
 
   /// True iff all shape checks passed.
   [[nodiscard]] bool all_checks_passed() const;

@@ -17,16 +17,16 @@ DMcs::DMcs(rma::World& world, Rank tail_rank)
 // Listing 2.
 void DMcs::acquire(rma::RmaComm& comm) {
   const Rank p = comm.rank();
-  // Prepare local fields.
-  comm.put(kNilRank, p, next_);
-  comm.put(1, p, wait_);
+  // Prepare local fields: both puts pipeline into the one flush.
+  comm.iput(kNilRank, p, next_);
+  comm.iput(1, p, wait_);
   comm.flush(p);
   // Enter the tail of the MCS queue and get the predecessor.
   const i64 pred = comm.fao(p, tail_rank_, tail_, rma::AccumOp::kReplace);
   comm.flush(tail_rank_);  // ensure completion of FAO
   if (pred != kNilRank) {  // there is a predecessor
     // Make the predecessor see us.
-    comm.put(p, static_cast<Rank>(pred), next_);
+    comm.iput(p, static_cast<Rank>(pred), next_);
     comm.flush(static_cast<Rank>(pred));
     i64 waiting = 1;
     do {  // spin locally until we get the lock
@@ -51,8 +51,8 @@ void DMcs::release(rma::RmaComm& comm) {
       comm.flush(p);
     } while (successor == kNilRank);
   }
-  // Notify the successor.
-  comm.put(0, static_cast<Rank>(successor), wait_);
+  // Notify the successor (pipelined handoff put).
+  comm.iput(0, static_cast<Rank>(successor), wait_);
   comm.flush(static_cast<Rank>(successor));
 }
 

@@ -32,8 +32,8 @@ DistributedTree::LevelClaim DistributedTree::acquire_level(rma::RmaComm& comm,
   const WinOffset next = next_offset(q);
   const WinOffset status_off = status_offset(q);
 
-  comm.put(kNilRank, node, next);
-  comm.put(kStatusWait, node, status_off);
+  comm.iput(kNilRank, node, next);
+  comm.iput(kStatusWait, node, status_off);
   comm.flush(node);
   // Enter the DQ at level q within this machine element.
   const Rank tail_rank = tail_host(p, q);
@@ -42,7 +42,7 @@ DistributedTree::LevelClaim DistributedTree::acquire_level(rma::RmaComm& comm,
   comm.flush(tail_rank);
   if (pred != kNilRank) {
     // Make the predecessor see us.
-    comm.put(node, static_cast<Rank>(pred), next);
+    comm.iput(node, static_cast<Rank>(pred), next);
     comm.flush(static_cast<Rank>(pred));
     i64 status = kStatusWait;
     do {  // wait until the predecessor passes the lock
@@ -57,7 +57,7 @@ DistributedTree::LevelClaim DistributedTree::acquire_level(rma::RmaComm& comm,
     }
   }
   // Start to acquire the next level of the tree.
-  comm.put(kStatusAcquireStart, node, status_off);
+  comm.iput(kStatusAcquireStart, node, status_off);
   comm.flush(node);
   return LevelClaim{/*acquired=*/false, kStatusAcquireStart};
 }
@@ -72,7 +72,7 @@ bool DistributedTree::try_pass_local(rma::RmaComm& comm, i32 q, i64 tl) {
   if (succ != kNilRank && status < tl) {
     // Pass the lock to succ at this level together with the number of past
     // lock passings within this machine element.
-    comm.put(status + 1, static_cast<Rank>(succ), status_offset(q));
+    comm.iput(status + 1, static_cast<Rank>(succ), status_offset(q));
     comm.flush(static_cast<Rank>(succ));
     return true;
   }
@@ -98,7 +98,7 @@ void DistributedTree::finish_release_upward(rma::RmaComm& comm, i32 q) {
     } while (succ == kNilRank);
   }
   // Notify succ to acquire the lock at the parent level.
-  comm.put(kStatusAcquireParent, static_cast<Rank>(succ), status_offset(q));
+  comm.iput(kStatusAcquireParent, static_cast<Rank>(succ), status_offset(q));
   comm.flush(static_cast<Rank>(succ));
 }
 
@@ -121,7 +121,7 @@ void DistributedTree::release_root_exclusive(rma::RmaComm& comm) {
   }
   // Pass the root lock with the incremented count (never ACQUIRE_PARENT:
   // the root has no parent, and without readers no threshold applies).
-  comm.put(status + 1, static_cast<Rank>(succ), status_offset(q));
+  comm.iput(status + 1, static_cast<Rank>(succ), status_offset(q));
   comm.flush(static_cast<Rank>(succ));
 }
 

@@ -21,14 +21,14 @@ void FompiRw::acquire_read(rma::RmaComm& comm) {
     comm.flush(home_);
     if (previous < kWriteFlag) return;  // no writer: we are in
     // A writer slipped in; undo our registration and retry.
-    comm.accumulate(-1, home_, word_, rma::AccumOp::kSum);
+    comm.iaccumulate(-1, home_, word_, rma::AccumOp::kSum);
     comm.flush(home_);
     comm.compute(comm.rng().range(100, 400));
   }
 }
 
 void FompiRw::release_read(rma::RmaComm& comm) {
-  comm.accumulate(-1, home_, word_, rma::AccumOp::kSum);
+  comm.iaccumulate(-1, home_, word_, rma::AccumOp::kSum);
   comm.flush(home_);
 }
 
@@ -51,7 +51,7 @@ void FompiRw::acquire_write(rma::RmaComm& comm) {
 void FompiRw::release_write(rma::RmaComm& comm) {
   // Subtract the flag instead of storing zero: concurrent reader FAO(+1)
   // registrations that are about to back off must not be erased.
-  comm.accumulate(-kWriteFlag, home_, word_, rma::AccumOp::kSum);
+  comm.iaccumulate(-kWriteFlag, home_, word_, rma::AccumOp::kSum);
   comm.flush(home_);
 }
 

@@ -31,7 +31,7 @@ void FompiSpin::acquire(rma::RmaComm& comm) {
 }
 
 void FompiSpin::release(rma::RmaComm& comm) {
-  comm.put(kFree, home_, word_);
+  comm.iput(kFree, home_, word_);
   comm.flush(home_);
 }
 

@@ -30,10 +30,15 @@ RmaRw::RmaRw(rma::World& world, RmaRwParams params)
 // ---------------------------------------------------------------------------
 
 void RmaRw::set_counters_to_write(rma::RmaComm& comm) {
+  // Raise the WRITE flag on every counter: blocks new readers (their FAO
+  // result jumps past T_R, so they back off). The flags are independent, so
+  // issue them all nonblocking and complete them in one flush round: the
+  // broadcast pipelines in the NIC and costs ~1 round trip + one injection
+  // slot per counter instead of one full round trip per counter.
   for (const Rank host : counter_hosts_) {
-    // Raise the WRITE flag: blocks new readers on this counter (their FAO
-    // result jumps past T_R, so they back off).
-    comm.accumulate(kWriteFlag, host, arrive_, rma::AccumOp::kSum);
+    comm.iaccumulate(kWriteFlag, host, arrive_, rma::AccumOp::kSum);
+  }
+  for (const Rank host : counter_hosts_) {
     comm.flush(host);
   }
 }
@@ -52,7 +57,7 @@ void RmaRw::drain_readers(rma::RmaComm& comm) {
         // Defensive self-healing: the flag can only disappear through a
         // counter reset; re-apply and re-check (cannot fire with the
         // flag-preserving reader reset, see DESIGN.md §2.5).
-        comm.accumulate(kWriteFlag, host, arrive_, rma::AccumOp::kSum);
+        comm.iaccumulate(kWriteFlag, host, arrive_, rma::AccumOp::kSum);
         comm.flush(host);
         continue;
       }
@@ -62,6 +67,19 @@ void RmaRw::drain_readers(rma::RmaComm& comm) {
 }
 
 void RmaRw::reset_counters(rma::RmaComm& comm) {
+  // Pipelined, in the *original* per-host op order (read, read, clear
+  // DEPART, clear ARRIVE — so recorded schedules keep replaying
+  // bit-identically over this path, see tests/mc/test_replay_compat.cpp).
+  //
+  // Per counter the invariant is unchanged: DEPART is cleared *before*
+  // ARRIVE drops below the flag threshold — once readers can run again, a
+  // reader-side reset may claim the DEPART quantum by CAS (see
+  // reader_reset_counter); clearing it first means such a claim can only
+  // see 0 and back off, never double-subtract. The flush between the two
+  // iaccumulates pins that ordering (it is the nonblocking ops' ordering
+  // point). Only the ARRIVE clear's acknowledgement is deferred: it
+  // overlaps with the next counter's reads and is collected by the
+  // trailing flush round.
   for (const Rank host : counter_hosts_) {
     const i64 arrived = comm.get(host, arrive_);
     const i64 departed = comm.get(host, depart_);
@@ -70,13 +88,11 @@ void RmaRw::reset_counters(rma::RmaComm& comm) {
     if (arrived >= kWriteFlagThreshold) {
       sub_arrive -= kWriteFlag;  // reset the WRITE mode if it was set
     }
-    // DEPART is cleared *before* ARRIVE drops below the flag threshold:
-    // once readers can run again, a reader-side reset may claim the DEPART
-    // quantum by CAS (see reader_reset_counter) — clearing it first means
-    // such a claim can only see 0 and back off, never double-subtract.
-    comm.accumulate(-departed, host, depart_, rma::AccumOp::kSum);
-    comm.flush(host);
-    comm.accumulate(sub_arrive, host, arrive_, rma::AccumOp::kSum);
+    comm.iaccumulate(-departed, host, depart_, rma::AccumOp::kSum);
+    comm.flush(host);  // DEPART cleared before ARRIVE moves
+    comm.iaccumulate(sub_arrive, host, arrive_, rma::AccumOp::kSum);
+  }
+  for (const Rank host : counter_hosts_) {
     comm.flush(host);
   }
 }
@@ -111,7 +127,7 @@ void RmaRw::reader_reset_counter(rma::RmaComm& comm, Rank counter) {
   const i64 previous = comm.cas(0, departed, counter, depart_);
   comm.flush(counter);
   if (previous != departed) return;  // another resetter claimed it
-  comm.accumulate(-departed, counter, arrive_, rma::AccumOp::kSum);
+  comm.iaccumulate(-departed, counter, arrive_, rma::AccumOp::kSum);
   comm.flush(counter);
 }
 
@@ -164,7 +180,7 @@ void RmaRw::acquire_read(rma::RmaComm& comm) {
         }
       }
       // Back off and try again.
-      comm.accumulate(-1, counter, arrive_, rma::AccumOp::kSum);
+      comm.iaccumulate(-1, counter, arrive_, rma::AccumOp::kSum);
       comm.flush(counter);
     } else {
       done = true;  // admitted: we are in the CS
@@ -174,7 +190,7 @@ void RmaRw::acquire_read(rma::RmaComm& comm) {
 
 void RmaRw::release_read(rma::RmaComm& comm) {
   const Rank counter = counter_of(comm.rank());
-  comm.accumulate(1, counter, depart_, rma::AccumOp::kSum);
+  comm.iaccumulate(1, counter, depart_, rma::AccumOp::kSum);
   comm.flush(counter);
 }
 
@@ -197,8 +213,8 @@ void RmaRw::acquire_root_writer(rma::RmaComm& comm) {
   const Rank node = tree_.node_host(p, q);
   const WinOffset status_off = tree_.status_offset(q);
 
-  comm.put(kNilRank, node, tree_.next_offset(q));
-  comm.put(kStatusWait, node, status_off);
+  comm.iput(kNilRank, node, tree_.next_offset(q));
+  comm.iput(kStatusWait, node, status_off);
   comm.flush(node);  // prepare to enter the DQ
   // Enqueue at the end of the root DQ.
   const Rank tail_rank = tree_.tail_host(p, q);
@@ -207,7 +223,7 @@ void RmaRw::acquire_root_writer(rma::RmaComm& comm) {
   comm.flush(tail_rank);
 
   if (pred != kNilRank) {  // there is a predecessor
-    comm.put(node, static_cast<Rank>(pred), tree_.next_offset(q));
+    comm.iput(node, static_cast<Rank>(pred), tree_.next_offset(q));
     comm.flush(static_cast<Rank>(pred));
     i64 status = kStatusWait;
     do {  // wait until the predecessor notifies us
@@ -218,7 +234,7 @@ void RmaRw::acquire_root_writer(rma::RmaComm& comm) {
       // The readers have the lock now; take it back.
       set_counters_to_write(comm);
       drain_readers(comm);
-      comm.put(kStatusAcquireStart, node, status_off);
+      comm.iput(kStatusAcquireStart, node, status_off);
       comm.flush(node);
     }
     // Otherwise: writer-to-writer pass — counters are already in WRITE
@@ -226,7 +242,7 @@ void RmaRw::acquire_root_writer(rma::RmaComm& comm) {
   } else {  // no predecessor: take the lock from the readers
     set_counters_to_write(comm);
     drain_readers(comm);
-    comm.put(kStatusAcquireStart, node, status_off);
+    comm.iput(kStatusAcquireStart, node, status_off);
     comm.flush(node);
   }
 }
@@ -278,7 +294,7 @@ void RmaRw::release_root_writer(rma::RmaComm& comm) {
     } while (succ == kNilRank);
   }
   // Pass the lock (or the MODE_CHANGE notification) to the successor.
-  comm.put(next_stat, static_cast<Rank>(succ), status_off);
+  comm.iput(next_stat, static_cast<Rank>(succ), status_off);
   comm.flush(static_cast<Rank>(succ));
 }
 

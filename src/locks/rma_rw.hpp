@@ -99,6 +99,16 @@ class RmaRw final : public RwLock {
   [[nodiscard]] WinOffset arrive_offset() const { return arrive_; }
   [[nodiscard]] WinOffset depart_offset() const { return depart_; }
 
+  // Listing 6 counter manipulation — the writer's mode-switch steps.
+  // Public because the distributed counter is a structure in its own right
+  // (§3.2.1) and its cost model is pinned by unit tests (the pipelined
+  // WRITE-flag broadcast must stay ~1 RTT + one injection slot per
+  // counter, see tests/locks/test_rma_rw.cpp). Only meaningful while the
+  // caller holds the write lock at the root.
+  void set_counters_to_write(rma::RmaComm& comm);
+  void drain_readers(rma::RmaComm& comm);
+  void reset_counters(rma::RmaComm& comm);
+
  private:
   [[nodiscard]] i64 locality_threshold(i32 q) const {
     return params_.locality[static_cast<usize>(q - 1)];
@@ -108,10 +118,6 @@ class RmaRw final : public RwLock {
   void acquire_root_writer(rma::RmaComm& comm);
   // Listing 8.
   void release_root_writer(rma::RmaComm& comm);
-  // Listing 6: set_counters_to_WRITE / reset_counters.
-  void set_counters_to_write(rma::RmaComm& comm);
-  void drain_readers(rma::RmaComm& comm);
-  void reset_counters(rma::RmaComm& comm);
   // Reader-side counter reset: clears the departed readers but never the
   // WRITE flag (DESIGN.md §2.5 — fixes a mutual-exclusion race in the
   // literal Listing 6/9 composition).

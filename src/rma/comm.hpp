@@ -15,6 +15,18 @@
 // immediately after value-returning calls, so the stronger model here
 // changes no protocol behaviour. Flush remains a completion/cost point.
 //
+// Nonblocking issue: iput/iaccumulate are the pipelined variants of
+// put/accumulate (MPI-3 request-based RMA, foMPI's nonblocking puts). Their
+// effects are applied at issue like every other op, but their latency is
+// charged at the next flush(target) as max(completion times) — overlapped
+// issues to C targets cost ~1 round trip + C injection slots instead of C
+// round trips. Ordering guarantees: (1) a nonblocking op carries release
+// ordering — everything the issuer wrote before it is visible to any
+// process that observes its effect (lock handoffs may publish flags
+// directly with iput); (2) effects are visible to other processes no later
+// than the issuer's next flush(target), which also orders two nonblocking
+// ops on either side of it.
+//
 // A window is an array of 64-bit signed words per process; offsets are word
 // indices. The null rank ∅ is kNilRank (-1).
 #pragma once
@@ -61,8 +73,25 @@ class RmaComm {
                   WinOffset offset) = 0;
 
   /// Complete all pending RMA calls started by the calling process and
-  /// targeted at target.
+  /// targeted at target. This is the completion/cost point of the
+  /// nonblocking ops below.
   virtual void flush(Rank target) = 0;
+
+  // --- nonblocking issue (see the header comment) --------------------------
+
+  /// Pipelined put: effect applied at issue, completion charged by the next
+  /// flush(target). Runtimes without a pipelined path may fall back to the
+  /// blocking op (the default), which is always correct — just slower.
+  virtual void iput(i64 src_data, Rank target, WinOffset offset) {
+    put(src_data, target, offset);
+  }
+
+  /// Pipelined accumulate: effect applied at issue, completion charged by
+  /// the next flush(target).
+  virtual void iaccumulate(i64 oprd, Rank target, WinOffset offset,
+                           AccumOp op) {
+    accumulate(oprd, target, offset, op);
+  }
 
   // --- runtime services ----------------------------------------------------
 

@@ -5,12 +5,20 @@
 #include <cstdlib>
 
 #include "common/check.hpp"
+#include "rma/stack_pool.hpp"
 
 namespace rmalock::rma {
 
 namespace {
 /// World whose fibers run on this thread (run() is not reentrant).
 thread_local SimWorld* t_fiber_world = nullptr;
+
+/// RMALOCK_TRACE is immutable for the process lifetime: read it once
+/// instead of per SimWorld construction (sweeps build thousands of worlds).
+bool trace_env_enabled() {
+  static const bool enabled = std::getenv("RMALOCK_TRACE") != nullptr;
+  return enabled;
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -30,6 +38,15 @@ class SimComm final : public RmaComm {
   void put(i64 src_data, Rank target, WinOffset offset) override {
     world_.execute_op(rank_, OpKind::kPut, target, offset, src_data, 0,
                       AccumOp::kReplace);
+  }
+  void iput(i64 src_data, Rank target, WinOffset offset) override {
+    world_.execute_op(rank_, OpKind::kPut, target, offset, src_data, 0,
+                      AccumOp::kReplace, IssueMode::kNonblocking);
+  }
+  void iaccumulate(i64 oprd, Rank target, WinOffset offset,
+                   AccumOp op) override {
+    world_.execute_op(rank_, OpKind::kAccumulate, target, offset, oprd, 0, op,
+                      IssueMode::kNonblocking);
   }
   i64 get(Rank target, WinOffset offset) override {
     return world_.execute_op(rank_, OpKind::kGet, target, offset, 0, 0,
@@ -67,7 +84,7 @@ class SimComm final : public RmaComm {
 
 SimWorld::SimWorld(SimOptions opts)
     : World(opts.topology), opts_(std::move(opts)) {
-  trace_ = std::getenv("RMALOCK_TRACE") != nullptr;
+  trace_ = trace_env_enabled();
   if (opts_.latency.rma_ns.empty()) {
     opts_.latency = LatencyModel::xc30(topology_.num_levels());
   }
@@ -84,16 +101,34 @@ SimWorld::SimWorld(SimOptions opts)
     procs_.back()->stats = OpStats(topology_.num_levels());
   }
   windows_.resize(static_cast<usize>(p));
-  waiters_.resize(static_cast<usize>(p));
   nic_free_.assign(static_cast<usize>(p), 0);
+  // Distance classes are pure topology: precompute the P x P table once so
+  // the per-op hot path is a byte load instead of a per-level division walk.
+  dclass_.resize(static_cast<usize>(p) * static_cast<usize>(p));
+  for (Rank a = 0; a < p; ++a) {
+    for (Rank b = 0; b < p; ++b) {
+      dclass_[static_cast<usize>(a) * static_cast<usize>(p) +
+              static_cast<usize>(b)] =
+          static_cast<u8>(distance_class(topology_, a, b));
+    }
+  }
 }
 
-SimWorld::~SimWorld() = default;
+SimWorld::~SimWorld() {
+  // Stacks outlive the world in the thread-local pool: sweeps and MC
+  // campaigns that build a world per point reuse them (see stack_pool.hpp).
+  for (auto& proc : procs_) {
+    StackPool::local().release(std::move(proc->stack),
+                               opts_.fiber_stack_bytes);
+  }
+}
 
 void SimWorld::grow_windows(usize words) {
   RMALOCK_CHECK_MSG(!running_, "allocate() while run() in flight");
   for (auto& w : windows_) w.resize(words, 0);
-  for (auto& wl : waiters_) wl.resize(words);
+  // No run is in flight, so every waiter list is empty: re-strides freely.
+  waiter_stride_ = words;
+  waiter_heads_.assign(static_cast<usize>(nprocs()) * words, -1);
 }
 
 i64 SimWorld::read_word(Rank rank, WinOffset offset) const {
@@ -163,6 +198,7 @@ RunResult SimWorld::run(const std::function<void(RmaComm&)>& body) {
       pct_change_steps_.push_back(1 + sched_rng_.below(horizon));
     }
     std::sort(pct_change_steps_.begin(), pct_change_steps_.end());
+    pct_next_change_ = 0;
     for (i32 r = 0; r < p; ++r) {
       procs_[static_cast<usize>(r)]->pct_priority = prio[static_cast<usize>(r)];
     }
@@ -173,10 +209,11 @@ RunResult SimWorld::run(const std::function<void(RmaComm&)>& body) {
     proc.clock = 0;
     proc.state = ProcState::kRunnable;
     proc.wait_cells.clear();
+    proc.pending_acks.clear();
     proc.num_polls = 0;
     proc.rng = Xoshiro256(mix_seed(opts_.seed, static_cast<u64>(r)));
     if (!proc.stack) {
-      proc.stack = std::make_unique<char[]>(opts_.fiber_stack_bytes);
+      proc.stack = StackPool::local().acquire(opts_.fiber_stack_bytes);
     }
     proc.fiber.init(proc.stack.get(), opts_.fiber_stack_bytes, &fiber_entry);
     if (opts_.policy == SchedPolicy::kVirtualTime) {
@@ -185,9 +222,9 @@ RunResult SimWorld::run(const std::function<void(RmaComm&)>& body) {
       ready_list_.push_back(r);
     }
   }
-  for (auto& per_rank : waiters_) {
-    for (auto& cell : per_rank) cell.clear();
-  }
+  std::fill(waiter_heads_.begin(), waiter_heads_.end(), -1);
+  waiter_nodes_.clear();
+  waiter_free_ = -1;
 
   t_fiber_world = this;
   const Rank first = pick_next();
@@ -452,9 +489,10 @@ void SimWorld::bump_step(Rank origin) {
     begin_stop(/*deadlock=*/false, /*step_limit=*/true);
     throw StopRun{};
   }
-  if (opts_.policy == SchedPolicy::kPct && !pct_change_steps_.empty() &&
-      steps_ >= pct_change_steps_.front()) {
-    pct_change_steps_.erase(pct_change_steps_.begin());
+  if (opts_.policy == SchedPolicy::kPct &&
+      pct_next_change_ < pct_change_steps_.size() &&
+      steps_ >= pct_change_steps_[pct_next_change_]) {
+    ++pct_next_change_;
     procs_[static_cast<usize>(origin)]->pct_priority = --pct_next_priority_low_;
   }
 }
@@ -547,11 +585,48 @@ i64 SimWorld::apply_to_window(OpKind kind, Rank target, WinOffset offset,
   }
 }
 
+void SimWorld::register_waiter(Rank target, WinOffset offset, Rank waiter) {
+  const usize cell = wait_cell(target, offset);
+  i32 node;
+  if (waiter_free_ != -1) {
+    node = waiter_free_;
+    waiter_free_ = waiter_nodes_[static_cast<usize>(node)].next;
+  } else {
+    node = static_cast<i32>(waiter_nodes_.size());
+    waiter_nodes_.emplace_back();
+  }
+  waiter_nodes_[static_cast<usize>(node)] =
+      WaiterNode{waiter, waiter_heads_[cell]};
+  waiter_heads_[cell] = node;
+}
+
+void SimWorld::remove_waiter(Rank target, WinOffset offset, Rank waiter) {
+  const usize cell = wait_cell(target, offset);
+  i32* link = &waiter_heads_[cell];
+  while (*link != -1) {
+    WaiterNode& node = waiter_nodes_[static_cast<usize>(*link)];
+    if (node.rank == waiter) {
+      const i32 freed = *link;
+      *link = node.next;
+      node.next = waiter_free_;
+      waiter_free_ = freed;
+      return;
+    }
+    link = &node.next;
+  }
+}
+
 void SimWorld::wake_waiters(Rank target, WinOffset offset, Nanos write_time) {
-  auto& cell =
-      waiters_[static_cast<usize>(target)][static_cast<usize>(offset)];
-  if (cell.empty()) return;
-  for (const Rank r : cell) {
+  const usize cell = wait_cell(target, offset);
+  i32 head = waiter_heads_[cell];
+  if (head == -1) return;
+  waiter_heads_[cell] = -1;
+  while (head != -1) {
+    const Rank r = waiter_nodes_[static_cast<usize>(head)].rank;
+    const i32 next = waiter_nodes_[static_cast<usize>(head)].next;
+    waiter_nodes_[static_cast<usize>(head)].next = waiter_free_;
+    waiter_free_ = head;
+    head = next;
     Proc& proc = *procs_[static_cast<usize>(r)];
     if (proc.state != ProcState::kParked) continue;  // stale entry
     // Only wake if the proc is still parked *on this cell* — its wait set
@@ -573,7 +648,6 @@ void SimWorld::wake_waiters(Rank target, WinOffset offset, Nanos write_time) {
     }
     make_runnable(proc, r);
   }
-  cell.clear();
 }
 
 bool SimWorld::track_poll(Proc& proc, Rank target, WinOffset offset,
@@ -662,15 +736,7 @@ bool SimWorld::poll_snapshot_is_current(Proc& proc) {
 
 void SimWorld::unregister_waits(Proc& proc, Rank rank) {
   for (const auto& [target, offset] : proc.wait_cells) {
-    auto& cell =
-        waiters_[static_cast<usize>(target)][static_cast<usize>(offset)];
-    for (usize i = 0; i < cell.size(); ++i) {
-      if (cell[i] == rank) {
-        cell[i] = cell.back();
-        cell.pop_back();
-        break;
-      }
-    }
+    remove_waiter(target, offset, rank);
   }
   proc.wait_cells.clear();
 }
@@ -681,9 +747,7 @@ void SimWorld::park_until_cell_write(Rank origin) {
   self.wait_cells.clear();
   for (i32 i = 0; i < self.num_polls; ++i) {
     const PollEntry& entry = self.polls[static_cast<usize>(i)];
-    waiters_[static_cast<usize>(entry.target)]
-            [static_cast<usize>(entry.offset)]
-                .push_back(origin);
+    register_waiter(entry.target, entry.offset, origin);
     self.wait_cells.emplace_back(entry.target, entry.offset);
   }
   if (trace_) [[unlikely]] {
@@ -707,18 +771,56 @@ void SimWorld::park_until_cell_write(Rank origin) {
   check_stop(origin);
 }
 
+void SimWorld::note_pending_ack(Proc& proc, Rank target, Nanos ack_time) {
+  for (auto& [rank, ack] : proc.pending_acks) {
+    if (rank == target) {
+      ack = std::max(ack, ack_time);
+      return;
+    }
+  }
+  proc.pending_acks.emplace_back(target, ack_time);
+}
+
+bool SimWorld::settle_pending_acks(Proc& proc, Rank target) {
+  for (usize i = 0; i < proc.pending_acks.size(); ++i) {
+    if (proc.pending_acks[i].first != target) continue;
+    const bool jumped = proc.pending_acks[i].second > proc.clock;
+    if (jumped) proc.clock = proc.pending_acks[i].second;
+    proc.pending_acks[i] = proc.pending_acks.back();
+    proc.pending_acks.pop_back();
+    return jumped;
+  }
+  return false;
+}
+
 i64 SimWorld::execute_op(Rank origin, OpKind kind, Rank target,
-                         WinOffset offset, i64 operand, i64 cmp, AccumOp aop) {
+                         WinOffset offset, i64 operand, i64 cmp, AccumOp aop,
+                         IssueMode mode) {
   check_stop(origin);
   Proc& self = *procs_[static_cast<usize>(origin)];
   RMALOCK_DCHECK(target >= 0 && target < nprocs());
-  const i32 dclass = distance_class(topology_, origin, target);
+  const i32 dclass = dclass_of(origin, target);
 
   if (kind == OpKind::kFlush) {
     // Flush changes no shared state: charge its cost but skip the
     // scheduling point (halves engine steps for the flush-heavy listings).
+    // It is the completion point of nonblocking ops: the origin catches up
+    // to max(completion + return trip) of everything it issued at target.
     self.stats.record(kind, dclass);
     self.clock += opts_.latency.flush_ns;
+    if (!self.pending_acks.empty() && settle_pending_acks(self, target) &&
+        opts_.policy == SchedPolicy::kVirtualTime) {
+      // The deferred round trip can jump the clock far ahead. Hand the cpu
+      // back so procs still behind in virtual time book their NIC slots in
+      // arrival order — without this the issuer races through the
+      // (non-scheduling) flush and its *next* op is booked ahead of
+      // earlier arrivals, which inverts the target's NIC queue and
+      // inflates queueing delay under contention. List policies skip the
+      // yield: flush changes no shared state (no interleaving is lost)
+      // and their decision sequences must stay bit-compatible with
+      // recorded schedule traces.
+      yield_cpu(origin);
+    }
     return 0;
   }
 
@@ -729,13 +831,28 @@ i64 SimWorld::execute_op(Rank origin, OpKind kind, Rank target,
                    static_cast<usize>(offset) <
                        windows_[static_cast<usize>(target)].size());
 
-    // Cost accounting: full end-to-end latency charged at the op; remote
-    // ops additionally queue in the target's NIC (contention model).
+    // Cost accounting: a blocking op charges full end-to-end latency at the
+    // op; a nonblocking op charges the origin only its injection slot here
+    // and defers the rest to flush. Remote ops of either mode queue in the
+    // target's NIC (contention model).
     const Nanos cost = opts_.latency.op_cost(kind, dclass);
     Nanos completion;  // when the op takes effect at the target
     if (dclass == 0) {
+      // Self access: no pipelining win to model; both modes charge the op.
       self.clock += cost;
       completion = self.clock;
+    } else if (mode == IssueMode::kNonblocking) {
+      const Nanos occupancy = opts_.latency.occupancy(kind, dclass);
+      // The request departs now; the origin's NIC stays busy for one
+      // injection slot (that slot overlaps the wire time — it is what
+      // serializes a burst of issues, not what delays each request).
+      const Nanos arrival = self.clock + cost / 2;
+      self.clock += occupancy;
+      const Nanos start =
+          std::max(arrival, nic_free_[static_cast<usize>(target)]);
+      nic_free_[static_cast<usize>(target)] = start + occupancy;
+      completion = start + occupancy;
+      note_pending_ack(self, target, completion + (cost - cost / 2));
     } else {
       const Nanos occupancy = opts_.latency.occupancy(kind, dclass);
       const Nanos arrival = self.clock + cost / 2;

@@ -25,6 +25,16 @@
 //                      shrinking, and bounded-exhaustive exploration.
 //   * Flush is not a scheduling point: it changes no shared state, so
 //     skipping its yield halves engine steps without losing interleavings.
+//   * Nonblocking issue (iput/iaccumulate) applies its effect at issue —
+//     same engine path, same scheduling point, same visibility as the
+//     blocking op — but charges the origin only its NIC injection slot;
+//     the round trip is charged by the next flush(target) as
+//     max(completion times) of the ops pending there. A flush whose
+//     settlement jumps the clock yields under kVirtualTime (so procs keep
+//     booking NIC slots in arrival order) but never under list policies:
+//     converting a lock from put to iput changes *costs* only, and kReplay
+//     traces and the exhaustive explorer stay bit-compatible (see
+//     tests/mc/test_replay_compat.cpp).
 //   * Spin-wait parking: a process that re-reads the same unchanged window
 //     cells (three identical polls) is parked and woken by the next write
 //     to any of those cells, with its clock advanced to the writer's
@@ -155,6 +165,10 @@ class SimWorld final : public World {
     bool woken_by_write = false;
     // Cells this proc is registered on while parked: (target, offset).
     std::vector<std::pair<Rank, WinOffset>> wait_cells;
+    // Nonblocking ops issued but not yet flushed: per target, the virtual
+    // time the origin reaches when flush(target) completes them (completion
+    // + the acknowledgement's return trip). Small: protocols flush promptly.
+    std::vector<std::pair<Rank, Nanos>> pending_acks;
     std::array<PollEntry, 4> polls{};
     i32 num_polls = 0;
     u64 poll_epoch = 0;  // counts this proc's Get operations
@@ -185,13 +199,22 @@ class SimWorld final : public World {
 
   // --- engine (all called from the currently running fiber) ---------------
   i64 execute_op(Rank origin, OpKind kind, Rank target, WinOffset offset,
-                 i64 operand, i64 cmp, AccumOp aop);
+                 i64 operand, i64 cmp, AccumOp aop,
+                 IssueMode mode = IssueMode::kBlocking);
   void execute_compute(Rank origin, Nanos ns);
   void execute_barrier(Rank origin);
 
   i64 apply_to_window(OpKind kind, Rank target, WinOffset offset, i64 operand,
                       i64 cmp, AccumOp aop, bool* wrote);
   void wake_waiters(Rank target, WinOffset offset, Nanos write_time);
+
+  /// Records a nonblocking op's acknowledgement time (completion + return
+  /// trip) for the next flush(target) to charge.
+  void note_pending_ack(Proc& proc, Rank target, Nanos ack_time);
+  /// flush(target): advances proc.clock past every pending ack to target.
+  /// True iff a pending ack actually raised the clock (a jump that needs a
+  /// virtual-time rescheduling point, see the flush path in execute_op).
+  bool settle_pending_acks(Proc& proc, Rank target);
 
   /// Updates origin's poll tracker after a get; returns true if the caller
   /// should park (3 identical reads of this cell with no local progress).
@@ -220,6 +243,21 @@ class SimWorld final : public World {
   void make_runnable(Proc& proc, Rank rank);
   void unregister_waits(Proc& proc, Rank rank);
 
+  // --- waiter arena --------------------------------------------------------
+  [[nodiscard]] usize wait_cell(Rank target, WinOffset offset) const {
+    return static_cast<usize>(target) * waiter_stride_ +
+           static_cast<usize>(offset);
+  }
+  void register_waiter(Rank target, WinOffset offset, Rank waiter);
+  void remove_waiter(Rank target, WinOffset offset, Rank waiter);
+
+  /// Distance class of (origin, target), precomputed (hot: once per op).
+  [[nodiscard]] i32 dclass_of(Rank origin, Rank target) const {
+    return dclass_[static_cast<usize>(origin) *
+                       static_cast<usize>(nprocs()) +
+                   static_cast<usize>(target)];
+  }
+
   // Per-process accessors used by SimComm.
   [[nodiscard]] Nanos proc_clock(Rank rank) const {
     return procs_[static_cast<usize>(rank)]->clock;
@@ -235,9 +273,22 @@ class SimWorld final : public World {
   std::vector<std::unique_ptr<Proc>> procs_;
   std::vector<std::vector<i64>> windows_;  // [rank][offset]
   std::vector<Nanos> nic_free_;            // per-rank NIC availability time
-  // waiters_[rank][offset] = ranks parked on that cell (may hold stale
-  // entries for procs already woken; filtered by state on wake).
-  std::vector<std::vector<std::vector<Rank>>> waiters_;
+  std::vector<u8> dclass_;  // [origin * P + target] distance classes
+
+  // Parked-waiter arena: one singly-linked list of ranks per window cell
+  // (may hold stale entries for procs already woken; filtered by state on
+  // wake). Heads are indexed rank * waiter_stride_ + offset; nodes live in
+  // a free-listed per-world arena so parking never heap-allocates after
+  // warmup — the previous vector<vector<vector<Rank>>> shape paid an
+  // allocation per first park on every cell of every run.
+  struct WaiterNode {
+    Rank rank = kNilRank;
+    i32 next = -1;  // index into waiter_nodes_; -1 = end of chain
+  };
+  std::vector<i32> waiter_heads_;  // -1 = empty cell
+  std::vector<WaiterNode> waiter_nodes_;
+  i32 waiter_free_ = -1;  // free list threaded through WaiterNode::next
+  usize waiter_stride_ = 0;  // == window words per rank
 
   // Scheduler state (valid during run()).
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
@@ -245,6 +296,7 @@ class SimWorld final : public World {
   std::vector<Rank> ready_list_;    // kRandom / kPct
   Xoshiro256 sched_rng_{0};
   std::vector<u64> pct_change_steps_;
+  usize pct_next_change_ = 0;  // index of the next unfired change point
   u32 pct_next_priority_low_ = 0;
   usize replay_pos_ = 0;  // kReplay: next decision in opts_.replay
 

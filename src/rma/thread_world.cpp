@@ -30,6 +30,32 @@ class ThreadComm final : public RmaComm {
     note_progress();
   }
 
+  // Nonblocking issue: release-ordered per-word atomics. Release (not
+  // relaxed) because converted lock paths publish handoff/release flags
+  // through these ops — the holder's preceding CS writes must be ordered
+  // before the flag lands, even when no flush intervenes (FompiSpin::
+  // release, FompiRw::release_write). They stay cheaper than the seq_cst
+  // blocking ops: no acquire side and no total-order participation; the
+  // fence in flush() remains the full completion/ordering point the
+  // iput/iaccumulate contract documents.
+  void iput(i64 src_data, Rank target, WinOffset offset) override {
+    account(OpKind::kPut, target);
+    world_.word(target, offset).store(src_data, std::memory_order_release);
+    note_progress();
+  }
+
+  void iaccumulate(i64 oprd, Rank target, WinOffset offset,
+                   AccumOp op) override {
+    account(OpKind::kAccumulate, target);
+    auto& word = world_.word(target, offset);
+    if (op == AccumOp::kSum) {
+      word.fetch_add(oprd, std::memory_order_release);
+    } else {
+      word.exchange(oprd, std::memory_order_release);
+    }
+    note_progress();
+  }
+
   i64 get(Rank target, WinOffset offset) override {
     account(OpKind::kGet, target);
     const i64 value =
@@ -84,6 +110,9 @@ class ThreadComm final : public RmaComm {
 
   void flush(Rank target) override {
     account(OpKind::kFlush, target);
+    // Completion point of the relaxed nonblocking issues above: the fence
+    // (at least release semantics) orders them before everything the
+    // caller publishes after the flush.
     std::atomic_thread_fence(std::memory_order_seq_cst);
   }
 

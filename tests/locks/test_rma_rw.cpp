@@ -329,6 +329,85 @@ TEST(RmaRw, UncontendedReaderPathIsCheap) {
   EXPECT_EQ(stats.total(rma::OpKind::kCas), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Pipelined writer mode switch (the nonblocking-issue acceptance property):
+// set_counters_to_write over C remote counters must cost ~1 RTT plus one
+// NIC injection slot per counter — not C round trips.
+// ---------------------------------------------------------------------------
+
+/// Replicates SimWorld's pipelined cost arithmetic for the WRITE-flag
+/// broadcast: one nonblocking remote atomic per (idle, distinct) counter
+/// host, then one flush per host.
+Nanos expected_flag_broadcast_ns(const rma::LatencyModel& m,
+                                 const std::vector<i32>& dclasses) {
+  Nanos clock = 0;
+  std::vector<Nanos> acks;
+  for (const i32 d : dclasses) {
+    const auto du = static_cast<usize>(d);
+    const Nanos cost = m.atomic_ns[du];
+    const Nanos occ = m.atomic_occupancy_ns[du];
+    const Nanos arrival = clock + cost / 2;  // departs at issue time
+    clock += occ;  // injection slot overlaps the wire time
+    acks.push_back(arrival + occ + (cost - cost / 2));
+  }
+  for (const Nanos ack : acks) {
+    clock = std::max(clock + m.flush_ns, ack);
+  }
+  return clock;
+}
+
+/// The pre-pipelining cost of the same broadcast: a full serialized round
+/// trip (plus flush) per counter.
+Nanos blocking_flag_broadcast_ns(const rma::LatencyModel& m,
+                                 const std::vector<i32>& dclasses) {
+  Nanos clock = 0;
+  for (const i32 d : dclasses) {
+    const auto du = static_cast<usize>(d);
+    clock += m.atomic_ns[du] + m.atomic_occupancy_ns[du] + m.flush_ns;
+  }
+  return clock;
+}
+
+/// Virtual time rank 1 spends in set_counters_to_write on a C-node machine
+/// (2 procs/node, T_DC = 2: one counter per node; every other rank idle).
+Nanos measured_flag_broadcast_ns(i32 nodes) {
+  auto world = test::make_sim_xc30(topo::Topology::uniform({nodes}, 2));
+  RmaRw lock(*world, make_params(world->topology(), /*tdc=*/2, /*tl=*/16,
+                                 /*tr=*/1000));
+  Nanos elapsed = 0;
+  world->run([&](rma::RmaComm& comm) {
+    if (comm.rank() != 1) return;  // rank 1: hosts no counter itself
+    const Nanos t0 = comm.now_ns();
+    lock.set_counters_to_write(comm);
+    elapsed = comm.now_ns() - t0;
+  });
+  return elapsed;
+}
+
+TEST(RmaRw, WriterModeSwitchCostIsPipelined) {
+  const rma::LatencyModel m = rma::LatencyModel::xc30(2);
+  // Counter hosts as seen from rank 1: its own node's host (class 1) plus
+  // C-1 remote nodes' hosts (class 2).
+  const auto dclasses = [](i32 nodes) {
+    std::vector<i32> d(static_cast<usize>(nodes), 2);
+    d[0] = 1;
+    return d;
+  };
+  const Nanos cost4 = measured_flag_broadcast_ns(4);
+  const Nanos cost8 = measured_flag_broadcast_ns(8);
+  EXPECT_EQ(cost4, expected_flag_broadcast_ns(m, dclasses(4)))
+      << "C=4 cost must match the latency-model arithmetic";
+  EXPECT_EQ(cost8, expected_flag_broadcast_ns(m, dclasses(8)))
+      << "C=8 cost must match the latency-model arithmetic";
+  // Sublinear: each extra counter adds ~one injection slot + flush, not a
+  // round trip.
+  EXPECT_LE(cost8 - cost4,
+            4 * (m.atomic_occupancy_ns[2] + m.flush_ns) + 100);
+  // And the absolute win over the serialized pre-pipelining shape.
+  EXPECT_LT(cost8 * 2, blocking_flag_broadcast_ns(m, dclasses(8)))
+      << "pipelined broadcast must beat serialized round trips by >2x";
+}
+
 TEST(RmaRwDeathTest, RejectsBadParams) {
   auto world = make_sim(topo::Topology::nodes(2, 2));
   RmaRwParams bad = RmaRwParams::defaults(world->topology());

@@ -1,0 +1,173 @@
+// Replay compatibility: recorded "rmalock-trace v1" files must keep
+// replaying bit-identically across engine and lock-protocol changes.
+//
+// The golden traces under tests/mc/data/ were recorded with kRandom
+// schedules of the mc_verification workloads *before* the nonblocking-op
+// pipeline landed. Replaying them asserts three things:
+//
+//   1. zero divergences — every recorded pick named a runnable rank, i.e.
+//      the park/wake structure of the run is unchanged;
+//   2. the re-recorded schedule equals the golden one pick-for-pick — the
+//      run has exactly the same scheduler decision points (an engine change
+//      that adds or removes scheduling points shows up here even when no
+//      divergence is counted);
+//   3. the outcome kind is unchanged (these goldens are clean runs).
+//
+// This is the contract that lets counterexample traces from old CI runs
+// stay replayable: nonblocking issue must stay off the scheduling-decision
+// path (iput yields exactly where put yielded; flush never yields).
+//
+// Regenerating (only legitimate after an *intentional* scheduling change,
+// with the old goldens' loss called out in the PR):
+//   RMALOCK_REGEN_GOLDEN=1 ./test_replay_compat
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "locks/rma_mcs.hpp"
+#include "locks/rma_rw.hpp"
+#include "mc/checker.hpp"
+#include "mc/schedule.hpp"
+
+#ifndef RMALOCK_TEST_DATA_DIR
+#error "RMALOCK_TEST_DATA_DIR must point at tests/mc/data"
+#endif
+
+namespace rmalock {
+namespace {
+
+// Same factories as mc_verification's workload registry: small thresholds
+// so short runs still cross the writer mode-switch (set_counters_to_write /
+// drain_readers / reset_counters) and level-passing paths that the
+// nonblocking conversion touched.
+mc::RwLockFactory rw_factory() {
+  return [](rma::World& world) {
+    locks::RmaRwParams params = locks::RmaRwParams::defaults(world.topology());
+    params.tr = 3;
+    params.locality.assign(static_cast<usize>(world.topology().num_levels()),
+                           2);
+    return std::make_unique<locks::RmaRw>(world, params);
+  };
+}
+
+mc::ExclusiveLockFactory exclusive_factory() {
+  return [](rma::World& world) {
+    locks::RmaMcsParams params =
+        locks::RmaMcsParams::defaults(world.topology());
+    params.locality.assign(static_cast<usize>(world.topology().num_levels()),
+                           2);
+    return std::make_unique<locks::RmaMcs>(world, params);
+  };
+}
+
+struct GoldenCase {
+  const char* file;      // under tests/mc/data/
+  const char* workload;  // "rw:rma-rw" or "ex:rma-mcs"
+  topo::Topology topology;
+  u64 world_seed;
+  i32 acquires;
+};
+
+std::vector<GoldenCase> golden_cases() {
+  return {
+      {"replay_rw_P4_s11.trace", "rw:rma-rw", topo::Topology::uniform({}, 4),
+       11, 4},
+      {"replay_rw_P2x2_s12.trace", "rw:rma-rw",
+       topo::Topology::uniform({2}, 2), 12, 4},
+      {"replay_ex_P4_s21.trace", "ex:rma-mcs", topo::Topology::uniform({}, 4),
+       21, 4},
+      {"replay_ex_P2x2_s22.trace", "ex:rma-mcs",
+       topo::Topology::uniform({2}, 2), 22, 4},
+  };
+}
+
+std::string data_path(const char* file) {
+  return std::string(RMALOCK_TEST_DATA_DIR) + "/" + file;
+}
+
+mc::CheckConfig config_for(const GoldenCase& c) {
+  mc::CheckConfig config;
+  config.topology = c.topology;
+  config.acquires_per_proc = c.acquires;
+  config.max_steps = 400'000;
+  // Fixed parity roles keep the reader/writer mix independent of any seed
+  // derivation details.
+  config.writer_roles.assign(static_cast<usize>(c.topology.nprocs()), false);
+  for (i32 r = 0; r < c.topology.nprocs(); r += 2) {
+    config.writer_roles[static_cast<usize>(r)] = true;
+  }
+  return config;
+}
+
+mc::ScheduleOutcome run_case(const GoldenCase& c, const mc::CheckConfig& config,
+                             const rma::SimOptions& opts) {
+  if (std::string(c.workload) == "rw:rma-rw") {
+    return mc::run_rw_schedule(config, rw_factory(), opts);
+  }
+  return mc::run_exclusive_schedule(config, exclusive_factory(), opts);
+}
+
+/// Records the golden traces with kRandom scheduling (regeneration mode).
+void regenerate() {
+  for (const GoldenCase& c : golden_cases()) {
+    const mc::CheckConfig config = config_for(c);
+    rma::SimOptions opts = mc::schedule_options(config, 0);
+    opts.seed = c.world_seed;
+    opts.policy = rma::SchedPolicy::kRandom;
+    opts.record_schedule = true;
+    const mc::ScheduleOutcome outcome = run_case(c, config, opts);
+    ASSERT_TRUE(outcome.run.ok()) << c.file << ": golden run must be clean";
+    mc::TraceCase golden;
+    golden.workload = c.workload;
+    golden.lock_name = outcome.lock_name;
+    golden.kind = "none";
+    golden.topology = c.topology;
+    golden.recorded_policy = rma::SchedPolicy::kRandom;
+    golden.world_seed = c.world_seed;
+    golden.acquires_per_proc = c.acquires;
+    golden.writer_roles = config.writer_roles;
+    golden.max_steps = config.max_steps;
+    golden.trace = outcome.run.schedule;
+    std::string error;
+    ASSERT_TRUE(mc::write_trace_file(data_path(c.file), golden, &error))
+        << error;
+  }
+}
+
+TEST(ReplayCompat, GoldenTracesReplayBitIdentically) {
+  if (std::getenv("RMALOCK_REGEN_GOLDEN") != nullptr) {
+    regenerate();
+    GTEST_SKIP() << "golden traces regenerated";
+  }
+  for (const GoldenCase& c : golden_cases()) {
+    SCOPED_TRACE(c.file);
+    mc::TraceCase golden;
+    std::string error;
+    ASSERT_TRUE(mc::read_trace_file(data_path(c.file), &golden, &error))
+        << error;
+    ASSERT_FALSE(golden.trace.empty());
+    ASSERT_EQ(golden.workload, c.workload);
+
+    const mc::CheckConfig config = config_for(c);
+    rma::SimOptions opts =
+        mc::replay_options(config, golden.world_seed, golden.trace);
+    opts.record_schedule = true;  // re-record to compare pick-for-pick
+    const mc::ScheduleOutcome outcome = run_case(c, config, opts);
+
+    EXPECT_EQ(outcome.run.replay_divergences, 0u)
+        << "a recorded pick named a rank that is no longer runnable there";
+    EXPECT_TRUE(outcome.run.ok()) << "golden run no longer completes cleanly";
+    EXPECT_EQ(outcome.mutex_violations, 0u);
+    // The decision-point structure must be unchanged: same number of
+    // scheduler decisions, same pick at every one of them.
+    EXPECT_EQ(outcome.run.schedule.picks, golden.trace.picks)
+        << "scheduling decision points moved (recorded "
+        << outcome.run.schedule.picks.size() << " picks, golden has "
+        << golden.trace.picks.size() << ")";
+  }
+}
+
+}  // namespace
+}  // namespace rmalock

@@ -1,0 +1,260 @@
+// Nonblocking-op conformance: iput/iaccumulate semantics must be identical
+// on SimWorld and ThreadWorld, and SimWorld's pipelined cost accounting
+// must match the LatencyModel arithmetic exactly.
+//
+// The portable contract (comm.hpp): effects are applied atomically; they
+// are guaranteed visible to other processes no later than the issuer's next
+// flush(target); a flush between two nonblocking ops orders them. Cost (a
+// SimWorld-only notion): issue charges the origin one injection slot
+// (occupancy), flush charges max(completion + return trip) of the ops
+// pending at the target.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "rma/latency_model.hpp"
+#include "support/test_support.hpp"
+
+namespace rmalock {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Cross-backend semantics (run identically on SimWorld and ThreadWorld)
+// ---------------------------------------------------------------------------
+
+/// rank 0 publishes two cells with nonblocking ops, flushes, then raises a
+/// flag with a blocking put; every other rank spins on its own flag copy
+/// and must then observe both nonblocking effects.
+void check_visibility_at_flush(rma::World& world) {
+  const WinOffset data = world.allocate(1);
+  const WinOffset accum = world.allocate(1);
+  const WinOffset flag = world.allocate(1);
+  std::atomic<i64> wrong_data{0};
+  std::atomic<i64> wrong_accum{0};
+
+  const auto result = world.run([&](rma::RmaComm& comm) {
+    const i32 p = comm.nprocs();
+    if (comm.rank() == 0) {
+      for (Rank r = 1; r < p; ++r) {
+        comm.iput(42, r, data);
+        comm.iaccumulate(5, r, accum, rma::AccumOp::kSum);
+        comm.iaccumulate(2, r, accum, rma::AccumOp::kSum);
+      }
+      for (Rank r = 1; r < p; ++r) comm.flush(r);
+      // Publication point: the flag is ordered after the flushed issues.
+      for (Rank r = 1; r < p; ++r) {
+        comm.put(1, r, flag);
+        comm.flush(r);
+      }
+    } else {
+      while (comm.get(comm.rank(), flag) != 1) {
+        comm.flush(comm.rank());
+      }
+      const i64 d = comm.get(comm.rank(), data);
+      const i64 a = comm.get(comm.rank(), accum);
+      comm.flush(comm.rank());
+      if (d != 42) wrong_data.fetch_add(1);
+      if (a != 7) wrong_accum.fetch_add(1);
+    }
+  });
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(wrong_data.load(), 0);
+  EXPECT_EQ(wrong_accum.load(), 0);
+}
+
+TEST(Nonblocking, VisibleAtFlushOnSimWorld) {
+  auto world = test::make_sim(topo::Topology::uniform({2}, 2));
+  check_visibility_at_flush(*world);
+}
+
+TEST(Nonblocking, VisibleAtFlushOnThreadWorld) {
+  auto world = test::make_threads(topo::Topology::uniform({2}, 2));
+  check_visibility_at_flush(*world);
+}
+
+/// A flush between two nonblocking ops to one cell orders them: the second
+/// value must win on both backends.
+void check_flush_orders_same_cell(rma::World& world) {
+  const WinOffset cell = world.allocate(1);
+  const WinOffset flag = world.allocate(1);
+  std::atomic<i64> wrong{0};
+  const auto result = world.run([&](rma::RmaComm& comm) {
+    if (comm.rank() == 0) {
+      comm.iput(1, 1, cell);
+      comm.flush(1);
+      comm.iput(2, 1, cell);
+      comm.flush(1);
+      comm.put(1, 1, flag);
+      comm.flush(1);
+    } else if (comm.rank() == 1) {
+      while (comm.get(1, flag) != 1) comm.flush(1);
+      const i64 v = comm.get(1, cell);
+      comm.flush(1);
+      if (v != 2) wrong.fetch_add(1);
+    }
+  });
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+TEST(Nonblocking, FlushOrdersSameCellOnSimWorld) {
+  auto world = test::make_sim(topo::Topology::uniform({}, 2));
+  check_flush_orders_same_cell(*world);
+}
+
+TEST(Nonblocking, FlushOrdersSameCellOnThreadWorld) {
+  auto world = test::make_threads(topo::Topology::uniform({}, 2));
+  check_flush_orders_same_cell(*world);
+}
+
+TEST(Nonblocking, EffectsApplyAtIssueInEngineOrderOnSimWorld) {
+  // SimWorld applies nonblocking effects at issue (engine order): the
+  // issuer itself reads them back immediately, before any flush.
+  auto world = test::make_sim(topo::Topology::uniform({}, 2));
+  const WinOffset cell = world->allocate(1);
+  world->run([&](rma::RmaComm& comm) {
+    if (comm.rank() != 0) return;
+    comm.iput(9, 1, cell);
+    const i64 v = comm.get(1, cell);
+    comm.flush(1);
+    EXPECT_EQ(v, 9);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// SimWorld cost accounting (pinned against the LatencyModel arithmetic)
+// ---------------------------------------------------------------------------
+
+/// Replicates SimWorld's nonblocking cost arithmetic for a burst of
+/// remote atomic issues to distinct idle targets followed by per-target
+/// flushes (the set_counters_to_write shape).
+Nanos expected_pipelined_burst(const rma::LatencyModel& m,
+                               const std::vector<i32>& dclasses) {
+  Nanos clock = 0;
+  std::vector<Nanos> acks;
+  for (const i32 d : dclasses) {
+    const auto du = static_cast<usize>(d);
+    const Nanos cost = m.atomic_ns[du];
+    const Nanos occ = m.atomic_occupancy_ns[du];
+    const Nanos arrival = clock + cost / 2;  // departs at issue time
+    clock += occ;  // origin injection slot (overlaps the wire time)
+    const Nanos completion = arrival + occ;  // idle target NIC
+    acks.push_back(completion + (cost - cost / 2));
+  }
+  for (const Nanos ack : acks) {
+    clock += m.flush_ns;
+    clock = std::max(clock, ack);
+  }
+  return clock;
+}
+
+/// The blocking (pre-pipelining) cost of the same burst: one full round
+/// trip plus a flush per target.
+Nanos expected_blocking_burst(const rma::LatencyModel& m,
+                              const std::vector<i32>& dclasses) {
+  Nanos clock = 0;
+  for (const i32 d : dclasses) {
+    const auto du = static_cast<usize>(d);
+    const Nanos cost = m.atomic_ns[du];
+    const Nanos occ = m.atomic_occupancy_ns[du];
+    const Nanos completion = clock + cost / 2 + occ;
+    clock = completion + (cost - cost / 2) + m.flush_ns;
+  }
+  return clock;
+}
+
+TEST(NonblockingCost, IssueChargesOneInjectionSlot) {
+  // P=2 across two nodes: distance class 2 under the 2-level model.
+  const topo::Topology topology = topo::Topology::uniform({2}, 1);
+  auto world = test::make_sim_xc30(topology);
+  const rma::LatencyModel model =
+      rma::LatencyModel::xc30(topology.num_levels());
+  const WinOffset cell = world->allocate(1);
+  world->run([&](rma::RmaComm& comm) {
+    if (comm.rank() != 0) return;
+    const Nanos t0 = comm.now_ns();
+    comm.iput(1, 1, cell);
+    EXPECT_EQ(comm.now_ns() - t0, model.rma_occupancy_ns[2])
+        << "issue must cost exactly the origin's injection slot";
+    comm.flush(1);
+    // Ack: request half + target occupancy + reply half — one occupancy
+    // cheaper than it looks because the injection slot overlaps the wire.
+    EXPECT_EQ(comm.now_ns() - t0,
+              model.rma_ns[2] + model.rma_occupancy_ns[2])
+        << "flush must charge the full pipelined round trip";
+  });
+}
+
+TEST(NonblockingCost, BurstToDistinctTargetsIsOneRttPlusInjections) {
+  // 9 single-process nodes: rank 0 broadcasts to 8 remote targets, all at
+  // distance class 2 — the writer mode-switch shape.
+  const topo::Topology topology = topo::Topology::uniform({9}, 1);
+  auto world = test::make_sim_xc30(topology);
+  const rma::LatencyModel model =
+      rma::LatencyModel::xc30(topology.num_levels());
+  const WinOffset cell = world->allocate(1);
+  const std::vector<i32> dclasses(8, 2);
+  const Nanos expected = expected_pipelined_burst(model, dclasses);
+  const Nanos blocking = expected_blocking_burst(model, dclasses);
+  world->run([&](rma::RmaComm& comm) {
+    if (comm.rank() != 0) return;
+    const Nanos t0 = comm.now_ns();
+    for (Rank r = 1; r <= 8; ++r) {
+      comm.iaccumulate(1, r, cell, rma::AccumOp::kSum);
+    }
+    for (Rank r = 1; r <= 8; ++r) comm.flush(r);
+    const Nanos elapsed = comm.now_ns() - t0;
+    EXPECT_EQ(elapsed, expected) << "cost must match the model arithmetic";
+    // The headline property: ~1 RTT + C injection slots, sublinear in C —
+    // far below C round trips.
+    const Nanos rtt = model.atomic_ns[2] + model.atomic_occupancy_ns[2];
+    EXPECT_LE(elapsed, rtt + 9 * model.atomic_occupancy_ns[2] +
+                           8 * model.flush_ns + 1);
+    EXPECT_LT(elapsed * 3, blocking)
+        << "pipelining must beat 8 serialized round trips by >3x";
+  });
+}
+
+TEST(NonblockingCost, PendingOpsStillQueueInTheTargetNic) {
+  // Two nonblocking issues to the *same* remote target serialize in its
+  // NIC: the second completion is one occupancy later.
+  const topo::Topology topology = topo::Topology::uniform({2}, 1);
+  auto world = test::make_sim_xc30(topology);
+  const rma::LatencyModel model =
+      rma::LatencyModel::xc30(topology.num_levels());
+  const WinOffset cell = world->allocate(1);
+  world->run([&](rma::RmaComm& comm) {
+    if (comm.rank() != 0) return;
+    const Nanos t0 = comm.now_ns();
+    comm.iput(1, 1, cell);
+    comm.iput(2, 1, cell);
+    comm.flush(1);
+    const Nanos occ = model.rma_occupancy_ns[2];
+    const Nanos cost = model.rma_ns[2];
+    // First op departs at t0, completes at t0+cost/2+occ. The second
+    // departs one injection slot later (t0+occ), arrives t0+occ+cost/2 —
+    // exactly when the target NIC frees — and completes one occupancy
+    // later; its ack adds the reply half.
+    const Nanos expected = occ + cost / 2 + occ + (cost - cost / 2);
+    EXPECT_EQ(comm.now_ns() - t0, std::max(model.flush_ns + 2 * occ,
+                                           expected));
+  });
+}
+
+TEST(NonblockingCost, ZeroModelKeepsNonblockingNearFree) {
+  // The MC configuration (zero latency) must stay well-ordered: issue
+  // costs 0 (occupancy 0), flush costs 1.
+  auto world = test::make_sim(topo::Topology::uniform({}, 2));
+  const WinOffset cell = world->allocate(1);
+  world->run([&](rma::RmaComm& comm) {
+    if (comm.rank() != 0) return;
+    const Nanos t0 = comm.now_ns();
+    comm.iput(1, 1, cell);
+    comm.flush(1);
+    EXPECT_LE(comm.now_ns() - t0, 2);
+  });
+}
+
+}  // namespace
+}  // namespace rmalock
