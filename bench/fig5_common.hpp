@@ -15,24 +15,29 @@ inline FigureReport run_fig5(const std::string& figure_id, Workload workload,
       "higher throughput (max 0.2%-vs-2% gap 1.8x, 0.2%-vs-5% gap 4.4x) "
       "(Fig. 5)");
   const double fws[] = {0.002, 0.02, 0.05};
+  std::vector<SweepTask> tasks;
   for (const i32 p : env.ps) {
     for (const double fw : fws) {
       const std::string suffix =
           fw == 0.002 ? "0.2%" : (fw == 0.02 ? "2%" : "5%");
-      run_rw_point(
-          env, p, workload, fw,
-          [](rma::World& w) {
-            return std::make_unique<locks::RmaRw>(
-                w, rw_params(w.topology(), /*tdc=*/16, /*tl_leaf=*/16,
-                             /*tl_root=*/16, /*tr=*/1000));
-          },
-          report, "RMA-RW " + suffix);
-      run_rw_point(
-          env, p, workload, fw,
-          [](rma::World& w) { return std::make_unique<locks::FompiRw>(w); },
-          report, "foMPI-RW " + suffix);
+      tasks.push_back({"RMA-RW " + suffix, p, [&env, p, workload, fw] {
+                         return measure_rw_point(
+                             env, p, workload, fw, [](rma::World& w) {
+                               return std::make_unique<locks::RmaRw>(
+                                   w, rw_params(w.topology(), /*tdc=*/16,
+                                                /*tl_leaf=*/16,
+                                                /*tl_root=*/16, /*tr=*/1000));
+                             });
+                       }});
+      tasks.push_back({"foMPI-RW " + suffix, p, [&env, p, workload, fw] {
+                         return measure_rw_point(
+                             env, p, workload, fw, [](rma::World& w) {
+                               return std::make_unique<locks::FompiRw>(w);
+                             });
+                       }});
     }
   }
+  run_sweep_tasks(env, report, tasks);
   // Shape checks at the largest P.
   const i32 pmax = env.ps.back();
   if (latency_figure) {

@@ -1,12 +1,22 @@
 // Shared sweep drivers for the figure-reproduction binaries.
+//
+// Sweeps are fleets of independent SimWorld runs: every (series, P) point
+// derives everything from the BenchEnv and its own parameters, so the
+// drivers here measure points through a work-stealing TaskPool (--jobs /
+// RMALOCK_JOBS; default 1 = the plain sequential loop) and merge the
+// results into the FigureReport in canonical sweep order. Virtual-time
+// metrics are bit-identical at any jobs value; only wall clock changes.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "harness/bench_common.hpp"
 #include "harness/microbench.hpp"
+#include "harness/task_pool.hpp"
 #include "locks/d_mcs.hpp"
 #include "locks/fompi_rw.hpp"
 #include "locks/fompi_spin.hpp"
@@ -37,22 +47,43 @@ inline locks::RmaRwParams rw_params(const topo::Topology& topo, i32 tdc,
   return params;
 }
 
+/// The headline metrics every figure records for one (series, P) point.
+inline FigureReport::SeriesPoint point_metrics(const std::string& series,
+                                               i32 p,
+                                               const BenchResult& result) {
+  FigureReport::SeriesPoint point;
+  point.series = series;
+  point.p = p;
+  point.metrics = {{"throughput_mlocks_s", result.throughput_mlocks_s},
+                   {"latency_us_mean", result.latency_us.mean},
+                   {"latency_us_p50", result.latency_us.median},
+                   {"latency_us_p95", result.latency_us.p95}};
+  return point;
+}
+
+/// Measures one exclusive-lock configuration (no report side effects —
+/// safe to call from a TaskPool worker).
+inline BenchResult measure_exclusive_point(
+    const BenchEnv& env, i32 p, Workload workload, i32 total_ops,
+    const std::function<std::unique_ptr<locks::ExclusiveLock>(rma::World&)>&
+        factory) {
+  auto world = rma::SimWorld::create(env.sim_options_for(p));
+  const auto lock = factory(*world);
+  MicrobenchConfig config;
+  config.workload = workload;
+  config.ops_per_proc = env.ops_for(p, total_ops);
+  return harness::run_exclusive_bench(*world, *lock, config);
+}
+
 /// Runs one exclusive-lock configuration and records both metrics.
 inline BenchResult run_exclusive_point(
     const BenchEnv& env, i32 p, Workload workload, i32 total_ops,
     const std::function<std::unique_ptr<locks::ExclusiveLock>(rma::World&)>&
         factory,
     FigureReport& report, const std::string& series) {
-  auto world = rma::SimWorld::create(env.sim_options_for(p));
-  const auto lock = factory(*world);
-  MicrobenchConfig config;
-  config.workload = workload;
-  config.ops_per_proc = env.ops_for(p, total_ops);
-  const BenchResult result = harness::run_exclusive_bench(*world, *lock, config);
-  report.add(series, p, "throughput_mlocks_s", result.throughput_mlocks_s);
-  report.add(series, p, "latency_us_mean", result.latency_us.mean);
-  report.add(series, p, "latency_us_p50", result.latency_us.median);
-  report.add(series, p, "latency_us_p95", result.latency_us.p95);
+  const BenchResult result =
+      measure_exclusive_point(env, p, workload, total_ops, factory);
+  report.add_points({point_metrics(series, p, result)});
   return result;
 }
 
@@ -74,10 +105,11 @@ inline Nanos rw_duration_ns(const BenchEnv& env, i32 p) {
 /// is a write with probability F_W — the request-mix reading of the
 /// Facebook workload); parameter studies that need "multiple writers per
 /// machine element" (§5.2.2) pass kStaticRanks.
-inline BenchResult run_rw_point(
+/// Measures one reader-writer configuration (no report side effects —
+/// safe to call from a TaskPool worker).
+inline BenchResult measure_rw_point(
     const BenchEnv& env, i32 p, Workload workload, double fw,
     const std::function<std::unique_ptr<locks::RwLock>(rma::World&)>& factory,
-    FigureReport& report, const std::string& series,
     harness::RoleMode role_mode = harness::RoleMode::kPerOp,
     Nanos duration_override_ns = 0) {
   auto world = rma::SimWorld::create(env.sim_options_for(p));
@@ -88,12 +120,44 @@ inline BenchResult run_rw_point(
                                                 : rw_duration_ns(env, p);
   config.fw = fw;
   config.role_mode = role_mode;
-  const BenchResult result = harness::run_rw_bench(*world, *lock, config);
-  report.add(series, p, "throughput_mlocks_s", result.throughput_mlocks_s);
-  report.add(series, p, "latency_us_mean", result.latency_us.mean);
-  report.add(series, p, "latency_us_p50", result.latency_us.median);
-  report.add(series, p, "latency_us_p95", result.latency_us.p95);
+  return harness::run_rw_bench(*world, *lock, config);
+}
+
+inline BenchResult run_rw_point(
+    const BenchEnv& env, i32 p, Workload workload, double fw,
+    const std::function<std::unique_ptr<locks::RwLock>(rma::World&)>& factory,
+    FigureReport& report, const std::string& series,
+    harness::RoleMode role_mode = harness::RoleMode::kPerOp,
+    Nanos duration_override_ns = 0) {
+  const BenchResult result = measure_rw_point(env, p, workload, fw, factory,
+                                              role_mode, duration_override_ns);
+  report.add_points({point_metrics(series, p, result)});
   return result;
+}
+
+/// One sweep point: a label and a measurement closure. The closure runs on
+/// a TaskPool worker; it must derive everything from its captures and
+/// touch no shared state.
+struct SweepTask {
+  std::string series;
+  i32 p = 0;
+  std::function<BenchResult()> measure;
+};
+
+/// Measures every task (in parallel at env.jobs > 1) and merges metrics
+/// into the report in task order — the report is byte-identical to running
+/// the same tasks through a sequential loop, whatever order the workers
+/// finish in.
+inline void run_sweep_tasks(const BenchEnv& env, FigureReport& report,
+                            const std::vector<SweepTask>& tasks) {
+  std::vector<FigureReport::SeriesPoint> slots(tasks.size());
+  harness::TaskPool pool(env.jobs);
+  pool.run(tasks.size(), [&](u64 i) {
+    const SweepTask& task = tasks[static_cast<usize>(i)];
+    slots[static_cast<usize>(i)] =
+        point_metrics(task.series, task.p, task.measure());
+  });
+  report.add_points(slots);
 }
 
 /// Fig. 3 driver: the three exclusive schemes over the P sweep.
@@ -108,23 +172,32 @@ inline FigureReport run_fig3(const std::string& figure_id, Workload workload,
             "(~10x at P=1024); D-MCS in between (Fig. 3a)"
           : "RMA-MCS sustains the highest throughput at every P >= 32; "
             "foMPI-Spin is the slowest (Fig. 3b-e)");
+  std::vector<SweepTask> tasks;
   for (const i32 p : env.ps) {
-    run_exclusive_point(
-        env, p, workload, /*total_ops=*/4000,
-        [](rma::World& w) { return std::make_unique<locks::FompiSpin>(w); },
-        report, "foMPI-Spin");
-    run_exclusive_point(
-        env, p, workload, /*total_ops=*/16000,
-        [](rma::World& w) { return std::make_unique<locks::DMcs>(w); },
-        report, "D-MCS");
-    run_exclusive_point(
-        env, p, workload, /*total_ops=*/16000,
-        [](rma::World& w) {
-          return std::make_unique<locks::RmaMcs>(
-              w, default_mcs_params(w.topology()));
-        },
-        report, "RMA-MCS");
+    tasks.push_back({"foMPI-Spin", p, [&env, p, workload] {
+                       return measure_exclusive_point(
+                           env, p, workload, /*total_ops=*/4000,
+                           [](rma::World& w) {
+                             return std::make_unique<locks::FompiSpin>(w);
+                           });
+                     }});
+    tasks.push_back({"D-MCS", p, [&env, p, workload] {
+                       return measure_exclusive_point(
+                           env, p, workload, /*total_ops=*/16000,
+                           [](rma::World& w) {
+                             return std::make_unique<locks::DMcs>(w);
+                           });
+                     }});
+    tasks.push_back({"RMA-MCS", p, [&env, p, workload] {
+                       return measure_exclusive_point(
+                           env, p, workload, /*total_ops=*/16000,
+                           [](rma::World& w) {
+                             return std::make_unique<locks::RmaMcs>(
+                                 w, default_mcs_params(w.topology()));
+                           });
+                     }});
   }
+  run_sweep_tasks(env, report, tasks);
   const i32 pmax = env.ps.back();
   if (latency_figure) {
     report.check("rma-mcs lowest latency",

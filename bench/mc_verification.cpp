@@ -15,6 +15,13 @@
 //   --replay <f>  deterministic re-execution of a recorded counterexample
 //                 trace file ("rmalock-trace v1", see docs/TESTING.md).
 //
+// --jobs N (RMALOCK_JOBS; 0 = all cores) runs the randomized and
+// exhaustive campaigns on the work-stealing parallel campaign runtime.
+// Reports, counterexample coordinates, shrunk traces, and trace files are
+// bit-identical to the sequential run (docs/PERF.md, "Parallel
+// campaigns"); --replay is a single deterministic re-execution and
+// ignores the knob.
+//
 // Counterexamples: any first failure is ddmin-shrunk and, when a trace
 // directory is configured (--trace-dir DIR or RMALOCK_TRACE_DIR), written
 // as a replayable trace file whose path is printed in the summary — that is
@@ -122,7 +129,7 @@ void finish_json(harness::FigureReport& json) {
 mc::CheckConfig base_config(const topo::Topology& topology,
                             rma::SchedPolicy policy, u64 schedules,
                             i32 acquires, const std::string& trace_dir,
-                            const std::string& workload_id) {
+                            const std::string& workload_id, i32 jobs) {
   mc::CheckConfig config;
   config.topology = topology;
   config.policy = policy;
@@ -131,10 +138,12 @@ mc::CheckConfig base_config(const topo::Topology& topology,
   config.max_steps = 4'000'000;
   config.trace_dir = trace_dir;
   config.workload_id = workload_id;
+  config.jobs = jobs;
   return config;
 }
 
-int run_randomized(bool quick, bool smoke, const std::string& trace_dir) {
+int run_randomized(bool quick, bool smoke, const std::string& trace_dir,
+                   i32 jobs) {
   harness::FigureReport json(
       "mc_randomized", "§4.4 randomized campaign (random + PCT schedules)",
       "all tests confirm mutual exclusion and deadlock freedom");
@@ -168,7 +177,7 @@ int run_randomized(bool quick, bool smoke, const std::string& trace_dir) {
         const Timer timer;
         const auto report = mc::check_rw(
             base_config(campaign.topology, policy, schedules, acquires,
-                        trace_dir, "rw:rma-rw"),
+                        trace_dir, "rw:rma-rw", jobs),
             make_rw_factory("rw:rma-rw"));
         std::printf("RMA-RW  %-10s %-7s %s\n", campaign.name, policy_name,
                     report.summary().c_str());
@@ -181,7 +190,7 @@ int run_randomized(bool quick, bool smoke, const std::string& trace_dir) {
         const Timer timer;
         const auto report = mc::check_exclusive(
             base_config(campaign.topology, policy, schedules, acquires,
-                        trace_dir, "ex:rma-mcs"),
+                        trace_dir, "ex:rma-mcs", jobs),
             make_exclusive_factory("ex:rma-mcs"));
         std::printf("RMA-MCS %-10s %-7s %s\n", campaign.name, policy_name,
                     report.summary().c_str());
@@ -203,7 +212,7 @@ int run_randomized(bool quick, bool smoke, const std::string& trace_dir) {
         faithful ? "rw:rma-rw-faithful-reset" : "rw:rma-rw-fixed-reset";
     mc::CheckConfig config = base_config(
         topo::Topology::uniform({2}, 2), rma::SchedPolicy::kRandom,
-        quick ? 50 : 400, 8, faithful ? "" : trace_dir, id);
+        quick ? 50 : 400, 8, faithful ? "" : trace_dir, id, jobs);
     config.writer_fraction = 0.5;
     const auto report = mc::check_rw(config, make_rw_factory(id));
     std::printf("%-28s %s\n",
@@ -223,7 +232,8 @@ int run_randomized(bool quick, bool smoke, const std::string& trace_dir) {
 // Bounded-exhaustive campaign (--exhaustive)
 // ---------------------------------------------------------------------------
 
-int run_exhaustive(bool quick, bool smoke, const std::string& trace_dir) {
+int run_exhaustive(bool quick, bool smoke, const std::string& trace_dir,
+                   i32 jobs) {
   struct ExhaustiveCase {
     const char* name;
     topo::Topology topology;
@@ -265,6 +275,7 @@ int run_exhaustive(bool quick, bool smoke, const std::string& trace_dir) {
       config.max_steps = 400'000;
       config.trace_dir = trace_dir;
       config.workload_id = "ex:rma-mcs";
+      config.jobs = jobs;
       const Timer timer;
       const auto report = mc::check_exclusive_exhaustive(
           config, explore, make_exclusive_factory("ex:rma-mcs"),
@@ -282,6 +293,7 @@ int run_exhaustive(bool quick, bool smoke, const std::string& trace_dir) {
       config.max_steps = 400'000;
       config.trace_dir = trace_dir;
       config.workload_id = "rw:rma-rw";
+      config.jobs = jobs;
       // Fixed reader/writer mix: every rank alternates by parity so the
       // enumerated space always contains reader/writer interactions.
       config.writer_roles.assign(
@@ -371,7 +383,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--smoke] [--quick] [--exhaustive] "
                  "[--replay <trace-file>] [--trace-dir <dir>] "
-                 "[--json <path>]\n",
+                 "[--jobs <n>] [--json <path>]\n",
                  argv[0]);
     std::exit(2);
   };
@@ -389,7 +401,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--trace-dir") == 0) {
       if (i + 1 >= argc) usage();
       trace_dir = argv[++i];
-    } else if (std::strcmp(argv[i], "--json") == 0) {
+    } else if (std::strcmp(argv[i], "--json") == 0 ||
+               std::strcmp(argv[i], "--jobs") == 0) {
       if (i + 1 >= argc) usage();
       passthrough.push_back(argv[i]);
       passthrough.push_back(argv[++i]);
@@ -405,6 +418,8 @@ int main(int argc, char** argv) {
   const harness::BenchEnv env = harness::BenchEnv::from_env();
 
   if (!replay_path.empty()) return run_replay(replay_path);
-  if (exhaustive) return run_exhaustive(env.quick, env.smoke, trace_dir);
-  return run_randomized(env.quick, env.smoke, trace_dir);
+  if (exhaustive) {
+    return run_exhaustive(env.quick, env.smoke, trace_dir, env.jobs);
+  }
+  return run_randomized(env.quick, env.smoke, trace_dir, env.jobs);
 }

@@ -14,16 +14,24 @@
 //                 the path the shrinker and --replay hammer;
 //   mc-churn      the model-checking configuration: a fresh small world per
 //                 schedule (construction + stacks + a short random run),
-//                 which is what bounded-exhaustive sweeps do ~1e5 times.
+//                 which is what bounded-exhaustive sweeps do ~1e5 times;
+//   task-pool     the mc-churn fleet driven through the work-stealing
+//                 TaskPool at jobs=1 (pool overhead vs the inline loop)
+//                 and jobs=all-cores (parallel campaign scaling) — the
+//                 overhead/scaling gate for the parallel campaign runtime.
 //
 // Metrics: engine_msteps_per_s (million scheduling-point steps / wall s),
 // sim_mops_per_s (million simulated RMA ops / wall s), wall_ms, and for
-// mc-churn worlds_per_s. Run with --json BENCH_micro_engine.json and
-// compare records across revisions (docs/PERF.md).
+// mc-churn/task-pool worlds_per_s (plus speedup_vs_j1 for the parallel
+// pool). Run with --json BENCH_micro_engine.json and compare records
+// across revisions (docs/PERF.md).
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/timer.hpp"
 #include "harness/bench_common.hpp"
+#include "harness/task_pool.hpp"
 #include "locks/rma_mcs.hpp"
 #include "rma/sim_world.hpp"
 
@@ -161,6 +169,62 @@ int main(int argc, char** argv) {
     report.add("mc-churn/rma-mcs", topology.nprocs(), "worlds_per_s",
                static_cast<double>(worlds) /
                    static_cast<double>(total.wall_ns) * 1e9);
+  }
+
+  // --- task-pool: the parallel campaign runtime's overhead gate ----------
+  {
+    // The mc-churn fleet again, but driven through the TaskPool. jobs=1
+    // exercises the inline path (its rate vs mc-churn is pure pool
+    // overhead); jobs=all-cores pins the parallel scaling on this host.
+    const topo::Topology topology = topo::Topology::uniform({}, 4);  // P=4
+    const i32 worlds = env.smoke ? 200 : 2000;
+    const i32 hw_jobs = harness::TaskPool::resolve_jobs(0);
+    std::vector<i32> job_counts{1};
+    if (hw_jobs > 1) job_counts.push_back(hw_jobs);
+    double j1_worlds_per_s = 0.0;
+    for (const i32 jobs : job_counts) {
+      std::vector<EngineRun> slots(static_cast<usize>(worlds));
+      harness::TaskPool pool(jobs);
+      const Timer timer;
+      pool.run(static_cast<u64>(worlds), [&](u64 w) {
+        rma::SimOptions opts;
+        opts.topology = topology;
+        opts.latency = rma::LatencyModel::zero(topology.num_levels());
+        opts.seed = env.seed + w;
+        opts.policy = rma::SchedPolicy::kRandom;
+        opts.fiber_stack_bytes = 64 * 1024;  // the MC explorer's stack size
+        auto world = rma::SimWorld::create(std::move(opts));
+        slots[static_cast<usize>(w)] =
+            run_lock_loop(*world, /*acquires_per_proc=*/2);
+      });
+      EngineRun total;
+      total.wall_ns = timer.elapsed_ns();
+      for (const EngineRun& run : slots) {
+        total.steps += run.steps;
+        total.ops += run.ops;
+      }
+      const std::string series = "task-pool/j" + std::to_string(jobs);
+      const double worlds_per_s = static_cast<double>(worlds) /
+                                  static_cast<double>(total.wall_ns) * 1e9;
+      add_rates(report, series, topology.nprocs(), total);
+      report.add(series, topology.nprocs(), "worlds_per_s", worlds_per_s);
+      if (jobs == 1) {
+        j1_worlds_per_s = worlds_per_s;
+      } else {
+        report.add(series, topology.nprocs(), "speedup_vs_j1",
+                   worlds_per_s / j1_worlds_per_s);
+      }
+    }
+    // Pool overhead is gated like every other micro_engine rate: by
+    // comparing the recorded task-pool/j1 vs mc-churn worlds_per_s across
+    // revisions' BENCH_*.json (a hard in-process ratio check flakes under
+    // a loaded ctest -j host, where a few-ms wall measurement can lose
+    // the core mid-series). Here only sanity is asserted.
+    report.check(
+        "task-pool fleet completed",
+        report.value("task-pool/j1", topology.nprocs(), "worlds_per_s") > 0,
+        "jobs=1 pool dispatch ran the mc-churn fleet to completion; "
+        "compare worlds_per_s vs mc-churn across revisions for overhead");
   }
 
   report.check("rates are finite and positive",

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "harness/task_pool.hpp"
 
 namespace rmalock::harness {
 
@@ -24,6 +25,9 @@ BenchEnv BenchEnv::from_env() {
   }
   if (const char* seed = std::getenv("RMALOCK_SEED")) {
     env.seed = std::strtoull(seed, nullptr, 10);
+  }
+  if (const char* jobs = std::getenv("RMALOCK_JOBS")) {
+    env.jobs = static_cast<i32>(std::strtol(jobs, nullptr, 10));
   }
   if (const char* ps = std::getenv("RMALOCK_PS")) {
     env.ps.clear();
@@ -87,10 +91,14 @@ void apply_bench_cli(int argc, char** argv) {
       setenv("RMALOCK_PS", "16,32", /*overwrite=*/0);
     } else if (std::strcmp(arg, "--quick") == 0) {
       setenv("RMALOCK_QUICK", "1", /*overwrite=*/1);
+    } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      setenv("RMALOCK_JOBS", argv[++i], /*overwrite=*/1);
     } else if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
       g_json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--quick] [--json <path>]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--quick] [--jobs <n>] "
+                   "[--json <path>]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -129,6 +137,14 @@ bool FigureReport::has(const std::string& series, i32 p,
   const auto pp = s->second.find(p);
   if (pp == s->second.end()) return false;
   return pp->second.count(metric) > 0;
+}
+
+void FigureReport::add_points(const std::vector<SeriesPoint>& points) {
+  for (const SeriesPoint& point : points) {
+    for (const auto& [metric, value] : point.metrics) {
+      add(point.series, point.p, metric, value);
+    }
+  }
 }
 
 void FigureReport::check(const std::string& name, bool pass,
@@ -235,6 +251,8 @@ bool FigureReport::write_json(const std::string& path) const {
   std::fprintf(f, "  \"quick\": %s,\n", env.quick ? "true" : "false");
   std::fprintf(f, "  \"smoke\": %s,\n", env.smoke ? "true" : "false");
   std::fprintf(f, "  \"procs_per_node\": %d,\n", env.procs_per_node);
+  std::fprintf(f, "  \"jobs\": %d,\n", TaskPool::resolve_jobs(env.jobs));
+  std::fprintf(f, "  \"wall_time_s\": %.6f,\n", wall_.elapsed_s());
   std::fprintf(f, "  \"records\": [");
   bool first = true;
   for (const std::string& series : series_order_) {

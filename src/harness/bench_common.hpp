@@ -12,15 +12,19 @@
 //   RMALOCK_SMOKE  =1: minimal sweep, must finish in <2s (ctest smoke);
 //                  implies RMALOCK_QUICK
 //   RMALOCK_SEED   world seed (default 1)
+//   RMALOCK_JOBS   campaign worker threads (default 1 = sequential;
+//                  0 = all hardware threads) — see docs/PERF.md,
+//                  "Parallel campaigns"
 //
 // Bench mains call apply_bench_cli(argc, argv) first, which maps the
-// --smoke / --quick flags onto these knobs.
+// --smoke / --quick / --jobs flags onto these knobs.
 #pragma once
 
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/timer.hpp"
 #include "rma/sim_world.hpp"
 #include "topo/topology.hpp"
 
@@ -32,6 +36,11 @@ struct BenchEnv {
   u64 seed = 1;
   bool quick = false;
   bool smoke = false;
+  /// Campaign worker threads (--jobs / RMALOCK_JOBS): 1 = sequential
+  /// (default), <= 0 = all hardware threads. Parallel sweeps keep every
+  /// virtual-time metric bit-identical to the sequential run; only wall
+  /// clock changes.
+  i32 jobs = 1;
 
   static BenchEnv from_env();
 
@@ -52,6 +61,8 @@ struct BenchEnv {
 ///   --smoke        minimal sweep for ctest smoke runs (sets RMALOCK_SMOKE
 ///                  and, unless the caller exported one, RMALOCK_PS=16,32)
 ///   --quick        the RMALOCK_QUICK=1 sweep
+///   --jobs <n>     campaign worker threads (RMALOCK_JOBS; 1 = sequential
+///                  default, 0 = all hardware threads)
 ///   --json <path>  write the figure's results as a machine-readable
 ///                  "rmalock-bench-v1" JSON record to <path> when the
 ///                  report is printed (see docs/PERF.md for the schema and
@@ -75,6 +86,23 @@ class FigureReport {
 
   void add(const std::string& series, i32 p, const std::string& metric,
            double value);
+
+  /// One sweep point's metrics, produced by a (possibly parallel) measure
+  /// step and merged later. Keeping the measurement result separate from
+  /// the report lets a TaskPool fill pre-sized slots concurrently while
+  /// the report itself stays single-threaded.
+  struct SeriesPoint {
+    std::string series;
+    i32 p = 0;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  /// Order-preserving merge: adds every point exactly as a sequential
+  /// loop of add() calls would, so series/metric/P orderings (and thus
+  /// tables, CSV lines, and JSON records) are independent of the order in
+  /// which parallel workers finished the measurements.
+  void add_points(const std::vector<SeriesPoint>& points);
+
   [[nodiscard]] double value(const std::string& series, i32 p,
                              const std::string& metric) const;
   [[nodiscard]] bool has(const std::string& series, i32 p,
@@ -90,10 +118,14 @@ class FigureReport {
 
   /// Writes the report as one "rmalock-bench-v1" JSON object:
   /// {schema, bench, title, git_rev, seed, quick, smoke, procs_per_node,
+  ///  jobs, wall_time_s,
   ///  records: [{series, p, metric, value}...],
   ///  checks: [{name, pass, detail}...]}.
-  /// Returns false (and keeps going — benches must not die on I/O) when the
-  /// file cannot be written.
+  /// `jobs` is the resolved campaign worker count and `wall_time_s` the
+  /// wall clock from report construction to this write — together they
+  /// let cross-revision comparisons separate engine regressions from
+  /// parallel-speedup changes. Returns false (and keeps going — benches
+  /// must not die on I/O) when the file cannot be written.
   bool write_json(const std::string& path) const;
 
   /// True iff all shape checks passed.
@@ -114,6 +146,9 @@ class FigureReport {
   std::vector<i32> ps_;
   std::map<std::string, std::map<i32, std::map<std::string, double>>> data_;
   std::vector<Check> checks_;
+  /// Started at construction; write_json() reports its elapsed seconds as
+  /// the campaign's wall time.
+  Timer wall_;
 };
 
 }  // namespace rmalock::harness

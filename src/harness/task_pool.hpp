@@ -1,0 +1,88 @@
+// Work-stealing task pool for campaigns of independent SimWorld runs.
+//
+// Every campaign driver in this repo — the MC checker's schedule loops, the
+// bounded-exhaustive explorer, the figure-sweep benchmarks — executes a
+// fleet of *independent* deterministic simulations: task i derives its
+// entire behaviour from (configuration, i), never from any other task. The
+// pool exploits exactly that shape: the caller names a task count, workers
+// drain index ranges and steal from each other when their range runs dry,
+// and every task writes into a caller-owned slot keyed by its index. The
+// *merge* of those slots back into a report stays sequential and in
+// canonical index order, which is what keeps parallel campaign output
+// bit-identical to the sequential run (see docs/PERF.md, "Parallel
+// campaigns").
+//
+// Design notes:
+//   * jobs == 1 runs every task inline on the calling thread — no threads,
+//     no atomics on the task path — so the sequential default is literally
+//     the pre-pool code path and replay/golden-trace semantics cannot
+//     shift.
+//   * Tasks are coarse (a full SimWorld run, ~0.1–10 ms), so the deques are
+//     mutex-protected rather than lock-free: the overhead is noise at this
+//     granularity (pinned by the task-pool shape in bench/micro_engine) and
+//     the implementation is trivially TSan-clean.
+//   * Workers take from the *front* of their own deque and steal from the
+//     *back* of a victim's, so contiguous index ranges stay contiguous per
+//     worker — friendlier to the thread-local fiber StackPool, which then
+//     sees a steady stack size per worker.
+//   * stop_after(i) lets a task declare "indices > i are no longer needed"
+//     (the exhaustive explorer uses it when a subtree finds a violation:
+//     earlier subtrees must still finish for deterministic counts, later
+//     ones are dead work). It only ever lowers the threshold.
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace rmalock::harness {
+
+class TaskPool {
+ public:
+  /// Maps a jobs request onto a worker count: n >= 1 is taken literally,
+  /// n <= 0 means "all hardware threads" (the --jobs 0 / RMALOCK_JOBS=0
+  /// convention used by CI).
+  [[nodiscard]] static i32 resolve_jobs(i32 requested);
+
+  /// A pool that will run campaigns on `jobs` workers (resolved as above).
+  /// Threads are spawned per run() call and joined before it returns; the
+  /// object itself is cheap.
+  explicit TaskPool(i32 jobs);
+
+  [[nodiscard]] i32 jobs() const { return jobs_; }
+
+  /// Runs task(0) .. task(num_tasks - 1), each exactly once, and returns
+  /// when all have finished (or been skipped via stop_after). With one
+  /// job the tasks run inline, in index order. With several jobs the
+  /// calling thread participates as worker 0.
+  ///
+  /// Tasks must be independent: they may not touch another task's slot and
+  /// must tolerate running on any thread in any order. If a task throws,
+  /// the remaining tasks are abandoned and the exception thrown by the
+  /// smallest task index is rethrown from run() (smallest-index selection
+  /// keeps failure reporting independent of completion order).
+  void run(u64 num_tasks, const std::function<void(u64 index)>& task);
+
+  /// Declares that tasks with index > `index` need not run. Callable from
+  /// inside a task; monotonic (the threshold only decreases). Tasks at or
+  /// below the threshold always run — deterministic merges depend on it.
+  void stop_after(u64 index);
+
+  /// Indices actually executed by the previous run() (== num_tasks unless
+  /// stop_after or an exception intervened). For tests and logging.
+  [[nodiscard]] u64 tasks_executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shared;  // per-run() state, defined in task_pool.cpp
+
+  void worker_loop(Shared& shared, usize worker);
+
+  i32 jobs_ = 1;
+  std::atomic<u64> stop_after_;
+  std::atomic<u64> executed_{0};
+};
+
+}  // namespace rmalock::harness

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "harness/task_pool.hpp"
 #include "mc/monitor.hpp"
 #include "mc/schedule.hpp"
 
@@ -166,6 +167,26 @@ std::string sanitize_for_filename(const std::string& s) {
   return out;
 }
 
+/// Destination path for a failing schedule's trace file. Built lazily —
+/// only when a failure is actually being recorded — so no campaign pays
+/// for filename assembly on clean schedules. Topology size and policy keep
+/// names unique when several campaigns of one workload (different
+/// machines/policies) share a trace_dir; the schedule index is the
+/// campaign-global one, so sequential and --jobs N campaigns produce the
+/// same file name.
+std::string failure_trace_path(const CheckConfig& config,
+                               const std::string& lock_name,
+                               const std::string& kind, u64 schedule_index) {
+  std::ostringstream name;
+  name << config.trace_dir << "/"
+       << sanitize_for_filename(
+              config.workload_id.empty() ? lock_name : config.workload_id)
+       << "-P" << config.topology.nprocs() << "-"
+       << policy_name(config.policy) << "-" << kind << "-s" << schedule_index
+       << ".trace";
+  return name.str();
+}
+
 }  // namespace
 
 void capture_first_failure(
@@ -215,19 +236,11 @@ void capture_first_failure(
     repro.writer_roles = config.writer_roles;
     repro.max_steps = config.max_steps;
     repro.trace = failure.trace;
-    // Topology size and policy keep names unique when several campaigns of
-    // one workload (different machines/policies) share a trace_dir.
-    std::ostringstream name;
-    name << config.trace_dir << "/"
-         << sanitize_for_filename(config.workload_id.empty()
-                                      ? failure.lock_name
-                                      : config.workload_id)
-         << "-P" << config.topology.nprocs() << "-"
-         << policy_name(config.policy) << "-" << failure.kind << "-s"
-         << schedule_index << ".trace";
+    const std::string name = failure_trace_path(config, failure.lock_name,
+                                                failure.kind, schedule_index);
     std::string error;
-    if (write_trace_file(name.str(), repro, &error)) {
-      failure.trace_path = name.str();
+    if (write_trace_file(name, repro, &error)) {
+      failure.trace_path = name;
     }
     // On I/O failure the report still carries the in-memory trace.
   }
@@ -236,36 +249,67 @@ void capture_first_failure(
   report.first_failure = std::move(failure);
 }
 
-CheckReport check_rw(const CheckConfig& config, const RwLockFactory& factory) {
+namespace {
+
+/// Shared driver for the randomized campaigns. `run_one` executes one
+/// schedule under the given options (workload + factory already bound).
+///
+/// Sequential (jobs == 1) and parallel (jobs > 1) paths are observably
+/// identical: schedule i's options depend only on (config, i), the
+/// parallel path collects outcomes into per-index slots, and folding /
+/// first-failure capture (including ddmin shrinking and trace-file
+/// writing) always happens on the calling thread, in index order — so the
+/// reported first failure is the smallest failing schedule index no matter
+/// which worker finished first.
+template <typename RunOne>
+CheckReport check_campaign(const CheckConfig& config, const RunOne& run_one) {
   CheckReport report;
+  // The schedule-invariant option parts (topology copy, latency model,
+  // PCT horizon) are built once, outside the hot schedule loop; per
+  // schedule only the world seed changes.
+  rma::SimOptions opts = schedule_options(config, 0);
+  const auto rerun = [&](const rma::SimOptions& replay_opts) {
+    return run_one(replay_opts);
+  };
+  const i32 jobs = harness::TaskPool::resolve_jobs(config.jobs);
+  if (jobs <= 1 || config.schedules <= 1) {
+    for (u64 schedule = 0; schedule < config.schedules; ++schedule) {
+      opts.seed = mix_seed(config.base_seed, schedule);
+      const ScheduleOutcome outcome = run_one(opts);
+      fold_outcome(report, outcome);
+      capture_first_failure(report, config, outcome, schedule, opts, rerun);
+    }
+    return report;
+  }
+  std::vector<ScheduleOutcome> slots(static_cast<usize>(config.schedules));
+  harness::TaskPool pool(jobs);
+  pool.run(config.schedules, [&](u64 schedule) {
+    rma::SimOptions task_opts = opts;  // private copy per task
+    task_opts.seed = mix_seed(config.base_seed, schedule);
+    slots[static_cast<usize>(schedule)] = run_one(task_opts);
+  });
   for (u64 schedule = 0; schedule < config.schedules; ++schedule) {
-    const rma::SimOptions opts = schedule_options(config, schedule);
-    const ScheduleOutcome outcome = run_rw_schedule(config, factory, opts);
-    fold_outcome(report, outcome);
-    capture_first_failure(report, config, outcome, schedule, opts,
-                          [&](const rma::SimOptions& replay_opts) {
-                            return run_rw_schedule(config, factory,
-                                                   replay_opts);
-                          });
+    opts.seed = mix_seed(config.base_seed, schedule);
+    fold_outcome(report, slots[static_cast<usize>(schedule)]);
+    capture_first_failure(report, config, slots[static_cast<usize>(schedule)],
+                          schedule, opts, rerun);
   }
   return report;
 }
 
+}  // namespace
+
+CheckReport check_rw(const CheckConfig& config, const RwLockFactory& factory) {
+  return check_campaign(config, [&](const rma::SimOptions& opts) {
+    return run_rw_schedule(config, factory, opts);
+  });
+}
+
 CheckReport check_exclusive(const CheckConfig& config,
                             const ExclusiveLockFactory& factory) {
-  CheckReport report;
-  for (u64 schedule = 0; schedule < config.schedules; ++schedule) {
-    const rma::SimOptions opts = schedule_options(config, schedule);
-    const ScheduleOutcome outcome =
-        run_exclusive_schedule(config, factory, opts);
-    fold_outcome(report, outcome);
-    capture_first_failure(report, config, outcome, schedule, opts,
-                          [&](const rma::SimOptions& replay_opts) {
-                            return run_exclusive_schedule(config, factory,
-                                                          replay_opts);
-                          });
-  }
-  return report;
+  return check_campaign(config, [&](const rma::SimOptions& opts) {
+    return run_exclusive_schedule(config, factory, opts);
+  });
 }
 
 }  // namespace rmalock::mc

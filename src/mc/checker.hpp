@@ -68,6 +68,15 @@ struct CheckConfig {
   /// Workload id stamped into written trace files; mc_verification
   /// --replay maps it back to a lock factory.
   std::string workload_id;
+  /// Worker threads for the campaign (--jobs / RMALOCK_JOBS): 1 = the
+  /// sequential loop (default), n > 1 = run schedules on a work-stealing
+  /// TaskPool, <= 0 = all hardware threads. Every observable output —
+  /// counters, first-failure coordinates, shrunk traces, trace files — is
+  /// bit-identical across jobs values: schedule i's world seed is
+  /// mix_seed(base_seed, i) regardless of which worker runs it, outcomes
+  /// land in per-index slots, and the merge walks them in index order
+  /// (docs/PERF.md, "Parallel campaigns").
+  i32 jobs = 1;
 };
 
 /// Coordinates and replayable evidence of the first property violation.

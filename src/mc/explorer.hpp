@@ -42,6 +42,14 @@ struct ExploreConfig {
   usize max_decision_depth = 0;
   /// Preemption budget per schedule (-1 = unbounded).
   i32 max_preemptions = -1;
+  /// Parallel campaigns (CheckConfig::jobs > 1) shard the DFS at this
+  /// decision depth: every reachable decision prefix of this length is
+  /// enumerated sequentially, then each prefix's subtree is explored as an
+  /// independent task. 0 = auto (deepen until the frontier is a few times
+  /// wider than the worker count). Sequential runs ignore it. Any depth
+  /// yields the same enumeration — the knob only trades shard granularity
+  /// against frontier-probe overhead (docs/PERF.md).
+  usize shard_depth = 0;
 };
 
 struct ExploreStats {
