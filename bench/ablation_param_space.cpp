@@ -24,30 +24,37 @@ int main(int argc, char** argv) {
           " (SOB, F_W = 5%): points of the Figure-1 cube",
       "each parameter moves its own tradeoff: T_DC reader<->writer latency, "
       "T_L locality<->fairness, T_R reader<->writer throughput (Fig. 1)");
+  // Grid points are independent SimWorld runs — measured through the
+  // TaskPool (--jobs / RMALOCK_JOBS), merged in grid order.
+  std::vector<std::function<FigureReport::SeriesPoint()>> point_tasks;
   for (const i32 tdc : {4, 16, 64}) {
     for (const i64 tl : {4, 32}) {
       for (const i64 tr : {100, 2000}) {
         if (tdc > p) continue;
-        auto world = rma::SimWorld::create(env.sim_options_for(p));
-        locks::RmaRw lock(*world,
-                          rw_params(world->topology(), tdc, tl, tl, tr));
-        MicrobenchConfig config;
-        config.workload = Workload::kSob;
-        config.ops_per_proc = ops;
-        config.fw = 0.05;
-        const auto result = harness::run_rw_bench(*world, lock, config);
-        const std::string series = "TDC=" + std::to_string(tdc) +
-                                   ",TL=" + std::to_string(tl) +
-                                   ",TR=" + std::to_string(tr);
-        report.add(series, p, "throughput_mlocks_s",
-                   result.throughput_mlocks_s);
-        report.add(series, p, "reader_latency_us",
-                   result.reader_latency_us.mean);
-        report.add(series, p, "writer_latency_us",
-                   result.writer_latency_us.mean);
+        point_tasks.push_back([&env, p, ops, tdc, tl, tr] {
+          auto world = rma::SimWorld::create(env.sim_options_for(p));
+          locks::RmaRw lock(*world,
+                            rw_params(world->topology(), tdc, tl, tl, tr));
+          MicrobenchConfig config;
+          config.workload = Workload::kSob;
+          config.ops_per_proc = ops;
+          config.fw = 0.05;
+          const auto result = harness::run_rw_bench(*world, lock, config);
+          FigureReport::SeriesPoint point;
+          point.series = "TDC=" + std::to_string(tdc) +
+                         ",TL=" + std::to_string(tl) +
+                         ",TR=" + std::to_string(tr);
+          point.p = p;
+          point.metrics = {
+              {"throughput_mlocks_s", result.throughput_mlocks_s},
+              {"reader_latency_us", result.reader_latency_us.mean},
+              {"writer_latency_us", result.writer_latency_us.mean}};
+          return point;
+        });
       }
     }
   }
+  run_point_tasks(env, report, point_tasks);
   // One axis-level check: more counters (small T_DC) must increase writer
   // latency (writers touch every counter).
   report.check(

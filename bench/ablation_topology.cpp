@@ -53,20 +53,31 @@ int main(int argc, char** argv) {
              w, default_mcs_params(w.topology()));
        }}};
 
+  // Each (scheme, P) point derives from its captures only, so the sweep
+  // runs through the TaskPool (--jobs / RMALOCK_JOBS) and merges in task
+  // order — output is byte-identical to the sequential loop.
+  std::vector<std::function<FigureReport::SeriesPoint()>> point_tasks;
   for (const i32 p : env.ps) {
     for (const auto& [name, factory] : factories) {
-      const auto xc30 =
-          run_with_model(env, p, rma::LatencyModel::xc30(2), factory);
-      report.add(name, p, "inter_node_ops_per_acquire",
-                 static_cast<double>(xc30.op_stats.total_at_least(2)) /
-                     static_cast<double>(xc30.total_acquires));
-      report.add(name, p, "throughput_mlocks_s", xc30.throughput_mlocks_s);
-      const auto flat =
-          run_with_model(env, p, rma::LatencyModel::flat(2), factory);
-      report.add(name, p, "flat_net_throughput_mlocks_s",
-                 flat.throughput_mlocks_s);
+      point_tasks.push_back([&env, p, name = name, factory = factory] {
+        const auto xc30 =
+            run_with_model(env, p, rma::LatencyModel::xc30(2), factory);
+        const auto flat =
+            run_with_model(env, p, rma::LatencyModel::flat(2), factory);
+        FigureReport::SeriesPoint point;
+        point.series = name;
+        point.p = p;
+        point.metrics = {
+            {"inter_node_ops_per_acquire",
+             static_cast<double>(xc30.op_stats.total_at_least(2)) /
+                 static_cast<double>(xc30.total_acquires)},
+            {"throughput_mlocks_s", xc30.throughput_mlocks_s},
+            {"flat_net_throughput_mlocks_s", flat.throughput_mlocks_s}};
+        return point;
+      });
     }
   }
+  run_point_tasks(env, report, point_tasks);
 
   const i32 pmax = env.ps.back();
   report.check(

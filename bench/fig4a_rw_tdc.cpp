@@ -15,20 +15,24 @@ int main(int argc, char** argv) {
       "fig4a", "T_DC analysis: SOB throughput [mln locks/s], F_W = 2%",
       "lower T_DC (more counters) costs writers; larger T_DC helps until "
       "reader contention dominates (Fig. 4a)");
+  std::vector<SweepTask> tasks;
   for (const i32 p : env.ps) {
     for (const i32 tdc : {2, 4, 8, 16, 32, 64}) {
       if (tdc > p) continue;
-      run_rw_point(
-          env, p, Workload::kSob, /*fw=*/0.02,
-          [tdc](rma::World& w) {
-            return std::make_unique<locks::RmaRw>(
-                w, rw_params(w.topology(), tdc, /*tl_leaf=*/16,
-                             /*tl_root=*/16, /*tr=*/1000));
-          },
-          report, "TDC=" + std::to_string(tdc),
-          harness::RoleMode::kStaticRanks);
+      tasks.push_back({"TDC=" + std::to_string(tdc), p, [&env, p, tdc] {
+                         return measure_rw_point(
+                             env, p, Workload::kSob, /*fw=*/0.02,
+                             [tdc](rma::World& w) {
+                               return std::make_unique<locks::RmaRw>(
+                                   w, rw_params(w.topology(), tdc,
+                                                /*tl_leaf=*/16,
+                                                /*tl_root=*/16, /*tr=*/1000));
+                             },
+                             harness::RoleMode::kStaticRanks);
+                       }});
     }
   }
+  run_sweep_tasks(env, report, tasks);
   const i32 pmax = env.ps.back();
   report.check(
       "per-node counters beat per-2-procs counters",

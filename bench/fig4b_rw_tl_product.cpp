@@ -16,21 +16,26 @@ int main(int argc, char** argv) {
       "smaller product = higher throughput (readers get the lock more "
       "often) at the cost of writer fairness (Fig. 4b)");
   const i64 tl_leaf = 25;
+  std::vector<SweepTask> tasks;
   for (const i32 p : env.ps) {
     for (const i64 product : {500, 1000, 2500, 5000, 7500}) {
       const i64 tl_root = product / tl_leaf;
-      run_rw_point(
-          env, p, Workload::kSob, /*fw=*/0.25,
-          [tl_root, tl_leaf](rma::World& w) {
-            return std::make_unique<locks::RmaRw>(
-                w, rw_params(w.topology(), /*tdc=*/16, tl_leaf, tl_root,
-                             /*tr=*/1000));
-          },
-          report, "prod=" + std::to_string(product),
-          harness::RoleMode::kStaticRanks,
-          env.quick ? 6'000'000 : 15'000'000);
+      tasks.push_back(
+          {"prod=" + std::to_string(product), p,
+           [&env, p, tl_root, tl_leaf] {
+             return measure_rw_point(
+                 env, p, Workload::kSob, /*fw=*/0.25,
+                 [tl_root, tl_leaf](rma::World& w) {
+                   return std::make_unique<locks::RmaRw>(
+                       w, rw_params(w.topology(), /*tdc=*/16, tl_leaf,
+                                    tl_root, /*tr=*/1000));
+                 },
+                 harness::RoleMode::kStaticRanks,
+                 env.quick ? 6'000'000 : 15'000'000);
+           }});
     }
   }
+  run_sweep_tasks(env, report, tasks);
   const i32 pmax = env.ps.back();
   report.check("small product wins",
                report.value("prod=500", pmax, "throughput_mlocks_s") >

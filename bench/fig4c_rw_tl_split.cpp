@@ -15,21 +15,25 @@ int main(int argc, char** argv) {
       "more node-local passes (higher T_L,2) = higher throughput; the "
       "options differ by <=25% (Fig. 4c)");
   const std::pair<i64, i64> splits[] = {{50, 20}, {25, 40}, {10, 100}};
+  std::vector<SweepTask> tasks;
   for (const i32 p : env.ps) {
     for (const auto& [tl_leaf, tl_root] : splits) {
-      run_rw_point(
-          env, p, Workload::kSob, /*fw=*/0.25,
-          [tl_leaf, tl_root](rma::World& w) {
-            return std::make_unique<locks::RmaRw>(
-                w, rw_params(w.topology(), /*tdc=*/16, tl_leaf, tl_root,
-                             /*tr=*/1000));
-          },
-          report,
-          std::to_string(tl_leaf) + "-" + std::to_string(tl_root),
-          harness::RoleMode::kStaticRanks,
-          env.quick ? 6'000'000 : 15'000'000);
+      tasks.push_back(
+          {std::to_string(tl_leaf) + "-" + std::to_string(tl_root), p,
+           [&env, p, tl_leaf = tl_leaf, tl_root = tl_root] {
+             return measure_rw_point(
+                 env, p, Workload::kSob, /*fw=*/0.25,
+                 [tl_leaf, tl_root](rma::World& w) {
+                   return std::make_unique<locks::RmaRw>(
+                       w, rw_params(w.topology(), /*tdc=*/16, tl_leaf,
+                                    tl_root, /*tr=*/1000));
+                 },
+                 harness::RoleMode::kStaticRanks,
+                 env.quick ? 6'000'000 : 15'000'000);
+           }});
     }
   }
+  run_sweep_tasks(env, report, tasks);
   // The paper: higher T_L,2 raises throughput, but "the differences
   // between the considered options are small (up to 25%)". The direction
   // is clearest mid-sweep, where writers dominate the machine; at very

@@ -14,21 +14,25 @@ int main(int argc, char** argv) {
       "throughput-friendly splits (50-20) show the higher mean latency "
       "(Fig. 4d)");
   const std::pair<i64, i64> splits[] = {{50, 20}, {25, 40}, {10, 100}};
+  std::vector<SweepTask> tasks;
   for (const i32 p : env.ps) {
     for (const auto& [tl_leaf, tl_root] : splits) {
-      run_rw_point(
-          env, p, Workload::kEcsb, /*fw=*/0.25,
-          [tl_leaf, tl_root](rma::World& w) {
-            return std::make_unique<locks::RmaRw>(
-                w, rw_params(w.topology(), /*tdc=*/16, tl_leaf, tl_root,
-                             /*tr=*/1000));
-          },
-          report,
-          std::to_string(tl_leaf) + "-" + std::to_string(tl_root),
-          harness::RoleMode::kStaticRanks,
-          env.quick ? 6'000'000 : 15'000'000);
+      tasks.push_back(
+          {std::to_string(tl_leaf) + "-" + std::to_string(tl_root), p,
+           [&env, p, tl_leaf = tl_leaf, tl_root = tl_root] {
+             return measure_rw_point(
+                 env, p, Workload::kEcsb, /*fw=*/0.25,
+                 [tl_leaf, tl_root](rma::World& w) {
+                   return std::make_unique<locks::RmaRw>(
+                       w, rw_params(w.topology(), /*tdc=*/16, tl_leaf,
+                                    tl_root, /*tr=*/1000));
+                 },
+                 harness::RoleMode::kStaticRanks,
+                 env.quick ? 6'000'000 : 15'000'000);
+           }});
     }
   }
+  run_sweep_tasks(env, report, tasks);
   const i32 pmax = env.ps.back();
   report.check("locality raises mean latency",
                report.value("50-20", pmax, "latency_us_mean") >=

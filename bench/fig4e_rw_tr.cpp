@@ -15,18 +15,22 @@ int main(int argc, char** argv) {
       "fig4e", "T_R analysis: ECSB throughput [mln locks/s], F_W = 0.2%",
       "throughput for T_R in {1000, 2000} drops at high P; larger T_R "
       "prefers the (cheaper) readers and wins (Fig. 4e)");
+  std::vector<SweepTask> tasks;
   for (const i32 p : env.ps) {
     for (const i64 tr : {1000, 2000, 3000, 4000, 5000, 6000}) {
-      run_rw_point(
-          env, p, Workload::kEcsb, /*fw=*/0.002,
-          [tr](rma::World& w) {
-            return std::make_unique<locks::RmaRw>(
-                w, rw_params(w.topology(), /*tdc=*/16, /*tl_leaf=*/16,
-                             /*tl_root=*/16, tr));
-          },
-          report, "TR=" + std::to_string(tr));
+      tasks.push_back({"TR=" + std::to_string(tr), p, [&env, p, tr] {
+                         return measure_rw_point(
+                             env, p, Workload::kEcsb, /*fw=*/0.002,
+                             [tr](rma::World& w) {
+                               return std::make_unique<locks::RmaRw>(
+                                   w, rw_params(w.topology(), /*tdc=*/16,
+                                                /*tl_leaf=*/16,
+                                                /*tl_root=*/16, tr));
+                             });
+                       }});
     }
   }
+  run_sweep_tasks(env, report, tasks);
   const i32 pmax = env.ps.back();
   report.check("large T_R wins at scale",
                report.value("TR=6000", pmax, "throughput_mlocks_s") >=

@@ -18,22 +18,26 @@ int main(int argc, char** argv) {
       "T_R x F_W analysis: ECSB throughput [mln locks/s], F_W in {2%, 5%}",
       "within one F_W the T_R choices are nearly indistinguishable; lower "
       "F_W gives the higher band (Fig. 4f)");
+  std::vector<SweepTask> tasks;
   for (const i32 p : env.ps) {
     for (const double fw : {0.02, 0.05}) {
       for (const i64 tr : {3000, 4000, 5000}) {
         const std::string series = std::to_string(tr) + "-" +
                                    std::to_string(static_cast<int>(fw * 100));
-        run_rw_point(
-            env, p, Workload::kEcsb, fw,
-            [tr](rma::World& w) {
-              return std::make_unique<locks::RmaRw>(
-                  w, rw_params(w.topology(), /*tdc=*/16, /*tl_leaf=*/16,
-                               /*tl_root=*/16, tr));
-            },
-            report, series);
+        tasks.push_back({series, p, [&env, p, fw, tr] {
+                           return measure_rw_point(
+                               env, p, Workload::kEcsb, fw,
+                               [tr](rma::World& w) {
+                                 return std::make_unique<locks::RmaRw>(
+                                     w, rw_params(w.topology(), /*tdc=*/16,
+                                                  /*tl_leaf=*/16,
+                                                  /*tl_root=*/16, tr));
+                               });
+                         }});
       }
     }
   }
+  run_sweep_tasks(env, report, tasks);
   const i32 pmax = env.ps.back();
   const double band2 = report.value("3000-2", pmax, "throughput_mlocks_s");
   const double band2b = report.value("5000-2", pmax, "throughput_mlocks_s");

@@ -4,6 +4,7 @@
 // foMPI-RW, and RMA-RW.
 #include "fig_helpers.hpp"
 #include "harness/dht_bench.hpp"
+#include "lockspace/lockspace.hpp"
 
 namespace rmalock::bench {
 namespace {
@@ -53,6 +54,23 @@ void run_panel(FigureReport& report, const BenchEnv& env, double fw,
       report.add("RMA-RW " + suffix, p, "total_time_ms",
                  static_cast<double>(result.elapsed_ns) / 1e6);
     }
+    {
+      // The same synchronization through the LockSpace directory: one
+      // named lock per volume (RMA-RW backend with its default parameters,
+      // which equal the direct leg's at 16 procs/node). The single-hot-
+      // volume workload touches exactly one named lock, so any gap vs the
+      // direct RMA-RW series is pure lock-manager overhead — and the
+      // directory is O(1) local arithmetic with zero virtual-time cost.
+      auto world = rma::SimWorld::create(env.sim_options_for(p));
+      dht::DistributedHashTable table(*world, volume_for(p, ops, fw));
+      lockspace::LockSpaceConfig space_config;
+      space_config.backend = locks::Backend::kRmaRw;
+      lockspace::LockSpace space(*world, space_config);
+      const auto result =
+          harness::run_dht_lockspace_bench(*world, table, space, config);
+      report.add("RMA-RW/space " + suffix, p, "total_time_ms",
+                 static_cast<double>(result.elapsed_ns) / 1e6);
+    }
   }
 }
 
@@ -99,6 +117,19 @@ int main(int argc, char** argv) {
     report.check("read-only: AMO-bound baselines comparable",
                  fompi_rw < 3.0 * fompi_a && fompi_a < 3.0 * fompi_rw,
                  "foMPI-RW vs foMPI-A at F_W = 0%, max P (within 3x)");
+  }
+  {
+    // LockSpace overhead: routing the same RMA-RW protocol through the
+    // named-lock directory must not change the virtual-time result beyond
+    // noise (the directory is local arithmetic; the slot lock runs the
+    // identical listing with identical parameters).
+    const double direct = report.value("RMA-RW 5%", pmax, "total_time_ms");
+    const double space = report.value("RMA-RW/space 5%", pmax,
+                                      "total_time_ms");
+    report.check("lockspace directory adds no virtual-time overhead",
+                 space <= 1.05 * direct && direct <= 1.05 * space,
+                 "RMA-RW direct vs through LockSpace at F_W = 5%, max P "
+                 "(within 5%)");
   }
   report.print();
   return 0;

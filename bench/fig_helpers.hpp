@@ -144,20 +144,33 @@ struct SweepTask {
   std::function<BenchResult()> measure;
 };
 
-/// Measures every task (in parallel at env.jobs > 1) and merges metrics
-/// into the report in task order — the report is byte-identical to running
-/// the same tasks through a sequential loop, whatever order the workers
-/// finish in.
-inline void run_sweep_tasks(const BenchEnv& env, FigureReport& report,
-                            const std::vector<SweepTask>& tasks) {
+/// Generic pool driver: each task produces a complete SeriesPoint (for
+/// benches whose metrics differ from the standard four). Points are
+/// measured in parallel at env.jobs > 1 and merged in task order — the
+/// report is byte-identical to a sequential loop, whatever order the
+/// workers finish in.
+inline void run_point_tasks(
+    const BenchEnv& env, FigureReport& report,
+    const std::vector<std::function<FigureReport::SeriesPoint()>>& tasks) {
   std::vector<FigureReport::SeriesPoint> slots(tasks.size());
   harness::TaskPool pool(env.jobs);
   pool.run(tasks.size(), [&](u64 i) {
-    const SweepTask& task = tasks[static_cast<usize>(i)];
-    slots[static_cast<usize>(i)] =
-        point_metrics(task.series, task.p, task.measure());
+    slots[static_cast<usize>(i)] = tasks[static_cast<usize>(i)]();
   });
   report.add_points(slots);
+}
+
+/// Measures every task (in parallel at env.jobs > 1) and merges metrics
+/// into the report in task order.
+inline void run_sweep_tasks(const BenchEnv& env, FigureReport& report,
+                            const std::vector<SweepTask>& tasks) {
+  std::vector<std::function<FigureReport::SeriesPoint()>> points;
+  points.reserve(tasks.size());
+  for (const SweepTask& task : tasks) {
+    points.push_back(
+        [&task] { return point_metrics(task.series, task.p, task.measure()); });
+  }
+  run_point_tasks(env, report, points);
 }
 
 /// Fig. 3 driver: the three exclusive schemes over the P sweep.

@@ -34,6 +34,7 @@
 
 #include "common/timer.hpp"
 #include "harness/bench_common.hpp"
+#include "lockspace/lockspace.hpp"
 #include "locks/rma_mcs.hpp"
 #include "locks/rma_rw.hpp"
 #include "mc/checker.hpp"
@@ -88,6 +89,23 @@ mc::ExclusiveLockFactory make_exclusive_factory(const std::string& id) {
     };
   }
   return nullptr;
+}
+
+// Keyed LockSpace workloads: a small grid (4 slots per shard, shards per
+// leaf) so P=2 machines still offer distinct slots for K=2 keys; the
+// campaigns pick keys via mc::pick_cross_slot_keys, so "different keys"
+// provably means "different physical locks".
+mc::LockSpaceFactory make_lockspace_factory(const std::string& id) {
+  if (id != "ls:rma-mcs" && id != "ls:rma-rw") return nullptr;
+  const locks::Backend backend = id == "ls:rma-mcs"
+                                     ? locks::Backend::kRmaMcs
+                                     : locks::Backend::kRmaRw;
+  return [backend](rma::World& world) {
+    lockspace::LockSpaceConfig config;
+    config.backend = backend;
+    config.slots_per_shard = 4;
+    return std::make_unique<lockspace::LockSpace>(world, config);
+  };
 }
 
 // ---------------------------------------------------------------------------
@@ -202,6 +220,39 @@ int run_randomized(bool quick, bool smoke, const std::string& trace_dir,
     }
   }
 
+  // Keyed LockSpace workloads: per-key mutual exclusion and deadlock
+  // freedom over a sharded lock service; cross_key_overlaps in the summary
+  // counts schedules where two distinct keys were held at once (the
+  // cross-key-independence witness).
+  std::printf("\n--- LockSpace keyed workloads (K=2 cross-slot keys) ---\n");
+  for (const char* id : {"ls:rma-mcs", "ls:rma-rw"}) {
+    const auto factory = make_lockspace_factory(id);
+    const topo::Topology topology = topo::Topology::uniform({2}, 2);  // P=4
+    const auto keys = mc::pick_cross_slot_keys(factory, topology, 2);
+    for (const auto policy :
+         {rma::SchedPolicy::kRandom, rma::SchedPolicy::kPct}) {
+      const char* policy_name =
+          policy == rma::SchedPolicy::kRandom ? "random" : "pct";
+      mc::CheckConfig config = base_config(
+          topology, policy, smoke ? 2 : (quick ? 8 : 60),
+          /*acquires=*/smoke ? 4 : 8, trace_dir, id, jobs);
+      config.writer_fraction = 0.5;
+      const Timer timer;
+      const auto report = mc::check_lockspace(config, factory, keys);
+      std::printf("%-8s P=4 K=2   %-7s %s\n",
+                  id == std::string("ls:rma-mcs") ? "LS-MCS" : "LS-RW",
+                  policy_name, report.summary().c_str());
+      all_ok = all_ok && report.ok();
+      // Overlap is near-certain over a full campaign but not a guarantee
+      // of two random schedules; only the exhaustive mode requires it.
+      if (!smoke && report.cross_key_overlap_schedules == 0) {
+        std::printf("  warning: no cross-key overlap witnessed\n");
+      }
+      record_campaign(json, std::string(id) + "/" + policy_name,
+                      topology.nprocs(), report, timer.elapsed_s());
+    }
+  }
+
   // Demonstration: the literal Listing 6/9 reader reset (which clears the
   // WRITE flag) vs. the flag-preserving fix, under aggressive schedules.
   // The faithful variant is a *planted* bug — expected to fail — so it
@@ -310,6 +361,35 @@ int run_exhaustive(bool quick, bool smoke, const std::string& trace_dir,
       record_campaign(json, "rw:rma-rw/exhaustive", c.topology.nprocs(),
                       report, timer.elapsed_s());
     }
+    {
+      // Keyed LockSpace over the same machine: K=2 keys pinned to distinct
+      // slots, alternating per process — per-key mutual exclusion plus a
+      // *required* cross-key-overlap witness (any iterative sweep with a
+      // preemption budget >= 1 enumerates a schedule where both keys are
+      // held at once; a space whose keys secretly share a lock would never
+      // produce one).
+      const auto factory = make_lockspace_factory("ls:rma-mcs");
+      const auto keys = mc::pick_cross_slot_keys(factory, c.topology, 2);
+      mc::CheckConfig config;
+      config.topology = c.topology;
+      config.acquires_per_proc = c.acquires;
+      config.max_steps = 400'000;
+      config.trace_dir = trace_dir;
+      config.workload_id = "ls:rma-mcs";
+      config.jobs = jobs;
+      const Timer timer;
+      const auto report = mc::check_lockspace_exhaustive(
+          config, explore, factory, keys, /*iterative=*/true);
+      std::printf("LS-MCS  %-6s acq=%d d<=%d %s\n", c.name, c.acquires,
+                  c.max_preemptions, report.summary().c_str());
+      all_ok = all_ok && report.ok() &&
+               report.cross_key_overlap_schedules > 0;
+      record_campaign(json, "ls:rma-mcs/exhaustive", c.topology.nprocs(),
+                      report, timer.elapsed_s());
+      json.add("ls:rma-mcs/exhaustive", c.topology.nprocs(),
+               "cross_key_overlaps",
+               static_cast<double>(report.cross_key_overlap_schedules));
+    }
   }
   std::printf("\nVERDICT: %s\n",
               all_ok ? "all enumerated interleavings are safe"
@@ -353,6 +433,13 @@ int run_replay(const std::string& path) {
   } else if (const auto ex = make_exclusive_factory(repro.workload)) {
     outcome = mc::run_exclusive_schedule(
         config, ex, mc::replay_options(config, repro.world_seed, repro.trace));
+  } else if (const auto ls = make_lockspace_factory(repro.workload)) {
+    // Keys are a pure function of (factory, topology) — the replay derives
+    // the same K=2 cross-slot keys the campaign used.
+    const auto keys = mc::pick_cross_slot_keys(ls, repro.topology, 2);
+    outcome = mc::run_lockspace_schedule(
+        config, ls, keys,
+        mc::replay_options(config, repro.world_seed, repro.trace));
   } else {
     std::fprintf(stderr, "mc_verification: unknown workload id '%s'\n",
                  repro.workload.c_str());

@@ -1,17 +1,26 @@
 // Key-value store scenario (§1, §5.3): a distributed hashtable serving a
-// Facebook-like workload — 99.8% reads (F_W = 0.2%) — under three
-// synchronization regimes, reporting the same comparison as Figure 6 on a
-// single concrete configuration.
+// Facebook-like workload — 99.8% reads (F_W = 0.2%), Zipfian key
+// popularity — under four synchronization regimes:
 //
-// Every process issues lookups/inserts against all volumes (keys are
-// hashed to owners), so this also demonstrates whole-table use of the DHT
-// rather than the single-hot-volume benchmark setup.
+//   * foMPI-A      lock-free atomics (no lock at all);
+//   * foMPI-RW     ONE centralized RW lock guarding the whole table;
+//   * RMA-RW       ONE topology-aware RW lock guarding the whole table;
+//   * LockSpace    one named RMA-RW lock PER VOLUME out of a sharded
+//                  lockspace::LockSpace (key = volume owner), so requests
+//                  to different volumes never contend — the lock-service
+//                  regime the LockSpace subsystem exists for.
+//
+// Every process issues lookups/inserts against all volumes (keys hash to
+// owners via the DHT's own placement), with the workload engine's Zipfian
+// generator supplying realistic key popularity.
 #include <cstdio>
 
 #include "dht/dht.hpp"
+#include "lockspace/lockspace.hpp"
 #include "locks/fompi_rw.hpp"
 #include "locks/rma_rw.hpp"
 #include "rma/sim_world.hpp"
+#include "workload/keygen.hpp"
 
 using namespace rmalock;
 
@@ -20,7 +29,9 @@ namespace {
 constexpr i32 kOpsPerProc = 60;
 constexpr double kWriteFraction = 0.002;  // 0.2% — TAO-like read dominance
 
-double run_store(const char* name, bool use_lock, bool rma_rw) {
+enum class Regime { kAtomics, kGlobalFompiRw, kGlobalRmaRw, kLockSpace };
+
+double run_store(const char* name, Regime regime) {
   rma::SimOptions options;
   options.topology = topo::Topology::parse("4x16");
   options.seed = 7;
@@ -31,37 +42,73 @@ double run_store(const char* name, bool use_lock, bool rma_rw) {
   volume.heap_entries = 1024;
   dht::DistributedHashTable store(*world, volume);
 
-  std::unique_ptr<locks::RwLock> lock;
-  if (use_lock) {
-    if (rma_rw) {
-      lock = std::make_unique<locks::RmaRw>(*world);
-    } else {
-      lock = std::make_unique<locks::FompiRw>(*world);
+  std::unique_ptr<locks::RwLock> global_lock;
+  std::unique_ptr<lockspace::LockSpace> space;
+  switch (regime) {
+    case Regime::kAtomics:
+      break;
+    case Regime::kGlobalFompiRw:
+      global_lock = std::make_unique<locks::FompiRw>(*world);
+      break;
+    case Regime::kGlobalRmaRw:
+      global_lock = std::make_unique<locks::RmaRw>(*world);
+      break;
+    case Regime::kLockSpace: {
+      lockspace::LockSpaceConfig config;
+      config.backend = locks::Backend::kRmaRw;  // one shard per node
+      space = std::make_unique<lockspace::LockSpace>(*world, config);
+      break;
     }
   }
+
+  // Zipfian key popularity over a 16k-key space: the hot keys concentrate
+  // on a few volumes, which is exactly where per-volume locks pay off.
+  workload::KeyGenConfig keygen_config;
+  keygen_config.num_keys = 1 << 14;
+  keygen_config.dist = workload::KeyDist::kZipfian;
+  keygen_config.zipf_s = 0.99;
+  const workload::KeyGenerator keygen(keygen_config);
 
   std::vector<Nanos> finish(static_cast<usize>(world->nprocs()));
   world->run([&](rma::RmaComm& comm) {
     comm.barrier();
     for (i32 i = 0; i < kOpsPerProc; ++i) {
-      const i64 key =
-          static_cast<i64>(comm.rng().below(1 << 14)) + 1;
+      const i64 key = static_cast<i64>(keygen.next(comm.rng())) + 1;
       const Rank owner = store.owner_of(key);
       const bool is_write = comm.rng().uniform() < kWriteFraction;
-      if (!use_lock) {
-        if (is_write) {
-          store.insert_atomic(comm, owner, key);
-        } else {
-          (void)store.contains_atomic(comm, owner, key);
+      switch (regime) {
+        case Regime::kAtomics:
+          if (is_write) {
+            store.insert_atomic(comm, owner, key);
+          } else {
+            (void)store.contains_atomic(comm, owner, key);
+          }
+          break;
+        case Regime::kGlobalFompiRw:
+        case Regime::kGlobalRmaRw:
+          if (is_write) {
+            global_lock->acquire_write(comm);
+            store.insert_locked(comm, owner, key);
+            global_lock->release_write(comm);
+          } else {
+            global_lock->acquire_read(comm);
+            (void)store.contains_locked(comm, owner, key);
+            global_lock->release_read(comm);
+          }
+          break;
+        case Regime::kLockSpace: {
+          const u64 lock_key = static_cast<u64>(owner);
+          if (is_write) {
+            space->acquire(comm, lock_key);
+            store.insert_locked(comm, owner, key);
+            space->release(comm, lock_key);
+          } else {
+            space->acquire_read(comm, lock_key);
+            (void)store.contains_locked(comm, owner, key);
+            space->release_read(comm, lock_key);
+          }
+          break;
         }
-      } else if (is_write) {
-        lock->acquire_write(comm);
-        store.insert_locked(comm, owner, key);
-        lock->release_write(comm);
-      } else {
-        lock->acquire_read(comm);
-        (void)store.contains_locked(comm, owner, key);
-        lock->release_read(comm);
       }
     }
     comm.barrier();
@@ -72,21 +119,33 @@ double run_store(const char* name, bool use_lock, bool rma_rw) {
   const double mops =
       static_cast<double>(world->nprocs()) * kOpsPerProc /
       static_cast<double>(finish[0]) * 1e3;
-  std::printf("%-34s %10.3f ms   %8.2f mln ops/s\n", name, ms, mops);
+  std::printf("%-38s %10.3f ms   %8.2f mln ops/s", name, ms, mops);
+  if (space != nullptr) {
+    std::printf("   (%llu named locks instantiated)",
+                static_cast<unsigned long long>(space->instantiated_slots()));
+  }
+  std::printf("\n");
   return ms;
 }
 
 }  // namespace
 
 int main() {
-  std::printf("KV store, 64 processes x %d ops, %.1f%% writes\n\n",
+  std::printf("KV store, 64 processes x %d ops, %.1f%% writes, "
+              "Zipfian(0.99) keys\n\n",
               kOpsPerProc, kWriteFraction * 100);
-  std::printf("%-34s %13s   %15s\n", "synchronization", "total time",
+  std::printf("%-38s %13s   %15s\n", "synchronization", "total time",
               "throughput");
-  run_store("foMPI-A (lock-free atomics)", false, false);
-  const double fompi = run_store("foMPI-RW (centralized RW lock)", true, false);
-  const double rma = run_store("RMA-RW (this paper)", true, true);
+  run_store("foMPI-A (lock-free atomics)", Regime::kAtomics);
+  const double fompi =
+      run_store("foMPI-RW (one centralized RW lock)", Regime::kGlobalFompiRw);
+  const double rma =
+      run_store("RMA-RW (one topology-aware lock)", Regime::kGlobalRmaRw);
+  const double space =
+      run_store("LockSpace (RMA-RW per volume)", Regime::kLockSpace);
   std::printf("\nRMA-RW vs foMPI-RW: %.2fx faster on this workload\n",
               fompi / rma);
+  std::printf("per-volume LockSpace vs one RMA-RW lock: %.2fx faster\n",
+              rma / space);
   return 0;
 }

@@ -70,6 +70,27 @@ DhtBenchResult run_dht_atomics_bench(rma::World& world,
       });
 }
 
+DhtBenchResult run_dht_lockspace_bench(rma::World& world,
+                                       const dht::DistributedHashTable& table,
+                                       lockspace::LockSpace& space,
+                                       const DhtBenchConfig& config) {
+  return run_dht_impl(
+      world, config,
+      [&table, &space, owner = config.volume_owner](rma::RmaComm& comm,
+                                                    bool insert, i64 value) {
+        const u64 key = static_cast<u64>(owner);  // one named lock per volume
+        if (insert) {
+          space.acquire(comm, key);
+          table.insert_locked(comm, owner, value);
+          space.release(comm, key);
+        } else {
+          space.acquire_read(comm, key);
+          (void)table.contains_locked(comm, owner, value);
+          space.release_read(comm, key);
+        }
+      });
+}
+
 DhtBenchResult run_dht_locked_bench(rma::World& world,
                                     const dht::DistributedHashTable& table,
                                     locks::RwLock& lock,

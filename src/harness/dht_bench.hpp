@@ -11,6 +11,7 @@
 #pragma once
 
 #include "dht/dht.hpp"
+#include "lockspace/lockspace.hpp"
 #include "locks/lock.hpp"
 #include "rma/world.hpp"
 
@@ -47,5 +48,16 @@ DhtBenchResult run_dht_locked_bench(rma::World& world,
                                     const dht::DistributedHashTable& table,
                                     locks::RwLock& lock,
                                     const DhtBenchConfig& config);
+
+/// Lock-service regime: every volume is guarded by its own named lock out
+/// of a LockSpace (key = volume owner rank) instead of one global RW lock
+/// — reads take the shared mode, inserts the exclusive mode. With the
+/// single-hot-volume workload this degenerates to one named lock (the
+/// directory must cost nothing); whole-table workloads (examples/kv_store)
+/// contend per volume.
+DhtBenchResult run_dht_lockspace_bench(rma::World& world,
+                                       const dht::DistributedHashTable& table,
+                                       lockspace::LockSpace& space,
+                                       const DhtBenchConfig& config);
 
 }  // namespace rmalock::harness

@@ -1,0 +1,285 @@
+#include "lockspace/lockspace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace rmalock::lockspace {
+
+namespace {
+
+/// A bump sub-allocator over a pre-reserved window range of a parent
+/// World. Lock constructors only ever allocate() and write initial words;
+/// both are legal against the parent even while run() is in flight (the
+/// backing windows were grown when LockSpace reserved the arena), which is
+/// what makes lazy slot construction possible. run() is forbidden.
+class SlotArena final : public rma::World {
+ public:
+  SlotArena(rma::World& parent, WinOffset base, usize words)
+      : World(parent.topology()),
+        parent_(parent),
+        limit_(static_cast<usize>(base) + words) {
+    allocated_words_ = static_cast<usize>(base);
+  }
+
+  rma::RunResult run(const std::function<void(rma::RmaComm&)>&) override {
+    RMALOCK_CHECK_MSG(false, "SlotArena cannot run SPMD bodies");
+    return {};
+  }
+
+  [[nodiscard]] i64 read_word(Rank rank, WinOffset offset) const override {
+    return parent_.read_word(rank, offset);
+  }
+  void write_word(Rank rank, WinOffset offset, i64 value) override {
+    // Lock constructors initialize their words through write_word; route
+    // them to the parent's init path, which stays legal mid-run for the
+    // never-yet-accessed cells of a freshly carved slot.
+    parent_.init_word(rank, offset, value);
+  }
+  [[nodiscard]] rma::OpStats aggregate_stats() const override {
+    return parent_.aggregate_stats();
+  }
+
+ protected:
+  void grow_windows(usize words) override {
+    RMALOCK_CHECK_MSG(words <= limit_,
+                      "slot arena overflow: backend needs " << words
+                          << " words but the slot reserves up to " << limit_
+                          << " — update LockSpace::slot_words");
+  }
+
+ private:
+  rma::World& parent_;
+  usize limit_;
+};
+
+}  // namespace
+
+usize LockSpace::slot_words(locks::Backend backend,
+                            const topo::Topology& topo) {
+  const usize n = static_cast<usize>(topo.num_levels());
+  switch (backend) {
+    case locks::Backend::kFompiSpin:
+    case locks::Backend::kFompiRw:
+      return 1;  // one lock word on the home rank
+    case locks::Backend::kDMcs:
+      return 3;  // NEXT + WAIT per process, TAIL on the home rank
+    case locks::Backend::kDTree:
+    case locks::Backend::kRmaMcs:
+      return 3 * n;  // DistributedTree: NEXT/STATUS/TAIL per level
+    case locks::Backend::kRmaRw:
+      return 3 * n + 2;  // tree + ARRIVE/DEPART counter words
+  }
+  return 0;
+}
+
+LockSpace::LockSpace(rma::World& world, LockSpaceConfig config)
+    : world_(world), config_(config) {
+  const topo::Topology& topo = world.topology();
+  num_shards_ = config_.shards > 0
+                    ? config_.shards
+                    : topo.num_elements(topo.num_levels());
+  RMALOCK_CHECK_MSG(num_shards_ >= 1, "LockSpace needs >= 1 shard");
+  RMALOCK_CHECK_MSG(config_.slots_per_shard >= 1,
+                    "LockSpace needs >= 1 slot per shard");
+  words_per_slot_ = slot_words(config_.backend, topo);
+  RMALOCK_CHECK(words_per_slot_ > 0);
+
+  // One contiguous reservation for the whole grid; slot i's range starts at
+  // base + i * words_per_slot_. This is the only allocation the space ever
+  // performs against the world, so lazy construction never grows windows.
+  const WinOffset base =
+      world.allocate(words_per_slot_ * static_cast<usize>(total_slots()));
+
+  // Leaf-major spread: consecutive shards land on distinct leaves first
+  // (balancing per-NIC lock-word traffic across nodes), then cycle through
+  // the ranks inside each leaf.
+  const i32 leaves = topo.num_elements(topo.num_levels());
+  const i32 ppl = topo.procs_per_leaf();
+  shards_.reserve(static_cast<usize>(num_shards_));
+  for (i32 s = 0; s < num_shards_; ++s) {
+    auto shard = std::make_unique<Shard>();
+    const i32 leaf = s % leaves;
+    const i32 index_in_leaf = (s / leaves) % ppl;
+    shard->home = leaf * ppl + index_in_leaf;
+    shards_.push_back(std::move(shard));
+  }
+
+  slots_ = std::vector<Slot>(static_cast<usize>(total_slots()));
+  for (u32 gs = 0; gs < total_slots(); ++gs) {
+    slots_[gs].arena_base =
+        base + static_cast<WinOffset>(static_cast<usize>(gs) *
+                                      words_per_slot_);
+  }
+
+  if (config_.eager) {
+    for (u32 gs = 0; gs < total_slots(); ++gs) {
+      instantiate_slot(static_cast<i32>(gs) / config_.slots_per_shard, gs);
+    }
+  }
+}
+
+LockRef LockSpace::resolve(u64 key) const {
+  // Two independent SplitMix64 draws decorrelate the shard choice from the
+  // slot choice (a single draw's low bits would make slot collide whenever
+  // shard does).
+  u64 state = key ^ config_.salt;
+  const u64 h_shard = splitmix64(state);
+  const u64 h_slot = splitmix64(state);
+  LockRef ref;
+  ref.shard = static_cast<i32>(h_shard % static_cast<u64>(num_shards_));
+  ref.slot =
+      static_cast<i32>(h_slot % static_cast<u64>(config_.slots_per_shard));
+  ref.home = shards_[static_cast<usize>(ref.shard)]->home;
+  ref.global_slot = static_cast<u32>(ref.shard) *
+                        static_cast<u32>(config_.slots_per_shard) +
+                    static_cast<u32>(ref.slot);
+  return ref;
+}
+
+Rank LockSpace::home_of_shard(i32 shard) const {
+  return shards_[static_cast<usize>(shard)]->home;
+}
+
+std::vector<u64> LockSpace::distinct_slot_keys(i32 count) const {
+  RMALOCK_CHECK_MSG(static_cast<u32>(count) <= total_slots(),
+                    "cannot pick " << count << " cross-slot keys from "
+                                   << total_slots() << " slots");
+  std::vector<u64> keys;
+  std::vector<u32> slots;
+  for (u64 key = 0; static_cast<i32>(keys.size()) < count; ++key) {
+    const u32 slot = resolve(key).global_slot;
+    if (std::find(slots.begin(), slots.end(), slot) != slots.end()) continue;
+    keys.push_back(key);
+    slots.push_back(slot);
+  }
+  return keys;
+}
+
+void LockSpace::instantiate_slot(i32 shard_index, u32 global_slot) {
+  Slot& slot = slots_[static_cast<usize>(global_slot)];
+  Shard& shard = *shards_[static_cast<usize>(shard_index)];
+  SlotArena arena(world_, slot.arena_base, words_per_slot_);
+  if (rw_capable()) {
+    slot.rw = locks::make_rw(config_.backend, arena, shard.home);
+  } else {
+    slot.ex = locks::make_exclusive(config_.backend, arena, shard.home);
+  }
+  // Exact-footprint check: a backend that allocates fewer words than the
+  // slot_words table claims would silently waste arena (and a larger one
+  // aborts in grow_windows above).
+  RMALOCK_CHECK_MSG(
+      arena.window_words() ==
+          static_cast<usize>(slot.arena_base) + words_per_slot_,
+      "slot_words mismatch for backend "
+          << locks::backend_name(config_.backend));
+  instantiated_.fetch_add(1, std::memory_order_relaxed);
+  slot.ready.store(true, std::memory_order_release);
+}
+
+LockSpace::Slot& LockSpace::ensure_slot(const LockRef& ref) {
+  Slot& slot = slots_[ref.global_slot];
+  if (slot.ready.load(std::memory_order_acquire)) return slot;
+  Shard& shard = *shards_[static_cast<usize>(ref.shard)];
+  const std::lock_guard<std::mutex> guard(shard.init_mutex);
+  if (!slot.ready.load(std::memory_order_relaxed)) {
+    instantiate_slot(ref.shard, ref.global_slot);
+  }
+  return slot;
+}
+
+template <typename Fn>
+void LockSpace::with_shard_stats(rma::RmaComm& comm, i32 shard_index,
+                                 Fn&& fn) {
+  if (!config_.track_op_stats) {
+    fn();
+    return;
+  }
+  rma::OpStats delta = comm.stats();  // snapshot "before" (subtracted below)
+  fn();
+  rma::OpStats after = comm.stats();
+  after -= delta;
+  Shard& shard = *shards_[static_cast<usize>(shard_index)];
+  const std::lock_guard<std::mutex> guard(shard.stats_mutex);
+  shard.op_stats += after;
+}
+
+void LockSpace::acquire(rma::RmaComm& comm, u64 key) {
+  const LockRef ref = resolve(key);
+  Slot& slot = ensure_slot(ref);
+  with_shard_stats(comm, ref.shard, [&] {
+    if (slot.rw != nullptr) {
+      slot.rw->acquire_write(comm);
+    } else {
+      slot.ex->acquire(comm);
+    }
+  });
+  shards_[static_cast<usize>(ref.shard)]->write_acquires.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void LockSpace::release(rma::RmaComm& comm, u64 key) {
+  const LockRef ref = resolve(key);
+  Slot& slot = ensure_slot(ref);
+  with_shard_stats(comm, ref.shard, [&] {
+    if (slot.rw != nullptr) {
+      slot.rw->release_write(comm);
+    } else {
+      slot.ex->release(comm);
+    }
+  });
+}
+
+void LockSpace::acquire_read(rma::RmaComm& comm, u64 key) {
+  const LockRef ref = resolve(key);
+  Slot& slot = ensure_slot(ref);
+  with_shard_stats(comm, ref.shard, [&] {
+    if (slot.rw != nullptr) {
+      slot.rw->acquire_read(comm);
+    } else {
+      slot.ex->acquire(comm);  // exclusive backend: readers serialize
+    }
+  });
+  shards_[static_cast<usize>(ref.shard)]->read_acquires.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void LockSpace::release_read(rma::RmaComm& comm, u64 key) {
+  const LockRef ref = resolve(key);
+  Slot& slot = ensure_slot(ref);
+  with_shard_stats(comm, ref.shard, [&] {
+    if (slot.rw != nullptr) {
+      slot.rw->release_read(comm);
+    } else {
+      slot.ex->release(comm);
+    }
+  });
+}
+
+u64 LockSpace::total_acquires() const {
+  u64 sum = 0;
+  for (const auto& shard : shards_) {
+    sum += shard->write_acquires.load(std::memory_order_relaxed);
+    sum += shard->read_acquires.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+rma::OpStats LockSpace::shard_op_stats(i32 shard) const {
+  const Shard& s = *shards_[static_cast<usize>(shard)];
+  const std::lock_guard<std::mutex> guard(s.stats_mutex);
+  return s.op_stats;
+}
+
+std::string LockSpace::describe() const {
+  std::ostringstream out;
+  out << "LockSpace<" << locks::backend_name(config_.backend) << "> "
+      << num_shards_ << " shards x " << config_.slots_per_shard
+      << " slots (" << total_slots() << " locks, " << words_per_slot_
+      << " words/slot, "
+      << (config_.eager ? "eager" : "lazy") << ")";
+  return out.str();
+}
+
+}  // namespace rmalock::lockspace

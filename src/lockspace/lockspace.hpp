@@ -1,0 +1,187 @@
+// LockSpace — a sharded, topology-aware manager for millions of named locks.
+//
+// Every bench and test below this layer exercises one global lock instance;
+// a lock *service* (the paper's DHT case study scaled out, the ROADMAP's
+// "millions of users") needs many named locks with skewed popularity. A
+// LockSpace multiplexes an arbitrary 64-bit key space onto a fixed grid of
+// physical lock instances:
+//
+//   key --hash--> shard s --hash--> slot within s --> one locks:: instance
+//
+// * Directory: owner-computes. resolve(key) is pure arithmetic over the
+//   configured shard/slot counts — every process computes home rank and
+//   slot in O(1) with zero extra round trips (no directory server, no
+//   lookup RPC). This is the placement style of the paper's DHT (§5.3) and
+//   of ALock's per-key handle tables.
+// * Topology-aware homing: shards are spread across the machine's leaf
+//   elements round-robin (leaf-major), and each shard's home rank hosts the
+//   hot word of centralized backends (foMPI-Spin/RW lock word, D-MCS tail).
+//   Hierarchical backends (RMA-MCS, DTree, RMA-RW) already distribute
+//   their state over representative ranks — their placement *is* the
+//   topology — so homing only determines the shard's accounting identity.
+// * Striping: two keys that collide on (shard, slot) share a physical lock.
+//   Mutual exclusion per key is preserved (the shared lock is simply
+//   coarser); cross-key concurrency is what slots_per_shard buys.
+// * Lazy instantiation: construction (collective, outside run()) reserves
+//   one window arena for the whole grid but builds no lock objects. A
+//   slot's backend instance is constructed on first touch — possibly mid
+//   run() — from its pre-reserved arena range. This is safe because window
+//   growth happened up front (SimWorld's waiter arena and ThreadWorld's
+//   atomic windows are already sized) and initialization writes target
+//   words no process has ever polled. In SimWorld the construction costs
+//   zero virtual time and adds no scheduling decisions, so replay and
+//   exhaustive enumeration are unaffected; in ThreadWorld first-touch is
+//   serialized per shard and published with release/acquire ordering.
+// * Per-shard accounting: read/write acquire counters always; full
+//   rma::OpStats deltas per shard when track_op_stats is set (snapshot
+//   diff of the caller's per-process stats around each hold).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "locks/factory.hpp"
+#include "rma/world.hpp"
+
+namespace rmalock::lockspace {
+
+struct LockSpaceConfig {
+  /// Number of shards; 0 = one per leaf element (compute node).
+  i32 shards = 0;
+  /// Physical lock instances per shard. Keys stripe over
+  /// shards * slots_per_shard independent locks.
+  i32 slots_per_shard = 16;
+  locks::Backend backend = locks::Backend::kRmaRw;
+  /// Construct every slot at build time instead of on first touch.
+  bool eager = false;
+  /// Aggregate rma::OpStats deltas per shard (adds two stats snapshots per
+  /// hold — measurement mode, off on hot paths).
+  bool track_op_stats = false;
+  /// Directory hash salt: lets tests steer keys onto chosen shards/slots.
+  u64 salt = 0;
+};
+
+/// Result of the O(1) directory computation for one key.
+struct LockRef {
+  i32 shard = 0;
+  i32 slot = 0;        // within the shard
+  Rank home = 0;       // shard's home rank
+  u32 global_slot = 0; // shard * slots_per_shard + slot
+};
+
+class LockSpace {
+ public:
+  /// Collective: reserves the window arena for every slot (and, when
+  /// config.eager, constructs every backend instance). Must run outside
+  /// World::run(), like any lock constructor. The world must outlive the
+  /// LockSpace.
+  LockSpace(rma::World& world, LockSpaceConfig config);
+
+  LockSpace(const LockSpace&) = delete;
+  LockSpace& operator=(const LockSpace&) = delete;
+
+  // --- directory (pure arithmetic, zero RTTs) ------------------------------
+
+  [[nodiscard]] LockRef resolve(u64 key) const;
+
+  /// Home rank of shard s: shards spread leaf-major across the machine.
+  [[nodiscard]] Rank home_of_shard(i32 shard) const;
+
+  /// First `count` keys (scanning upward from 0) that resolve to pairwise
+  /// distinct slots — the keys tests and MC campaigns use so "different
+  /// keys" provably means "different physical locks". Requires
+  /// count <= total_slots().
+  [[nodiscard]] std::vector<u64> distinct_slot_keys(i32 count) const;
+
+  // --- lock protocol -------------------------------------------------------
+  // Exclusive mode works with every backend (RW backends take the writer
+  // path). Shared mode degrades to exclusive on exclusive-only backends —
+  // readers serialize, which is exactly the regime the RW comparison
+  // benches quantify; rw_capable() tells callers which case they are in.
+
+  void acquire(rma::RmaComm& comm, u64 key);
+  void release(rma::RmaComm& comm, u64 key);
+  void acquire_read(rma::RmaComm& comm, u64 key);
+  void release_read(rma::RmaComm& comm, u64 key);
+
+  [[nodiscard]] bool rw_capable() const {
+    return locks::backend_is_rw(config_.backend);
+  }
+
+  // --- introspection -------------------------------------------------------
+
+  [[nodiscard]] const LockSpaceConfig& config() const { return config_; }
+  [[nodiscard]] i32 shards() const { return num_shards_; }
+  [[nodiscard]] i32 slots_per_shard() const { return config_.slots_per_shard; }
+  [[nodiscard]] u32 total_slots() const {
+    return static_cast<u32>(num_shards_) *
+           static_cast<u32>(config_.slots_per_shard);
+  }
+  /// Slots whose backend instance has been constructed so far.
+  [[nodiscard]] u64 instantiated_slots() const {
+    return instantiated_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::string describe() const;
+
+  /// Window words reserved per slot for this backend under this topology.
+  [[nodiscard]] static usize slot_words(locks::Backend backend,
+                                        const topo::Topology& topo);
+
+  // --- per-shard accounting ------------------------------------------------
+
+  [[nodiscard]] u64 shard_write_acquires(i32 shard) const {
+    return shards_[static_cast<usize>(shard)]->write_acquires.load(
+        std::memory_order_relaxed);
+  }
+  [[nodiscard]] u64 shard_read_acquires(i32 shard) const {
+    return shards_[static_cast<usize>(shard)]->read_acquires.load(
+        std::memory_order_relaxed);
+  }
+  [[nodiscard]] u64 total_acquires() const;
+  /// Summed OpStats of every hold routed through `shard` (zeroed unless
+  /// config.track_op_stats).
+  [[nodiscard]] rma::OpStats shard_op_stats(i32 shard) const;
+
+ private:
+  struct Shard {
+    Rank home = 0;
+    std::mutex init_mutex;  // serializes first-touch construction
+    std::atomic<u64> write_acquires{0};
+    std::atomic<u64> read_acquires{0};
+    mutable std::mutex stats_mutex;  // guards op_stats when tracking
+    rma::OpStats op_stats;
+  };
+
+  struct Slot {
+    std::atomic<bool> ready{false};
+    WinOffset arena_base = 0;
+    // Exactly one of the two is set, per backend kind.
+    std::unique_ptr<locks::RwLock> rw;
+    std::unique_ptr<locks::ExclusiveLock> ex;
+  };
+
+  /// Returns the slot's backend instance, constructing it on first touch.
+  Slot& ensure_slot(const LockRef& ref);
+
+  /// Builds slot `global_slot` from its pre-reserved arena range. Callers
+  /// hold the shard's init_mutex (or are the collective constructor).
+  void instantiate_slot(i32 shard_index, u32 global_slot);
+
+  /// Runs `hold` (acquire-CS-release is the caller's business; this wraps
+  /// one protocol call) and attributes its OpStats delta to the shard.
+  template <typename Fn>
+  void with_shard_stats(rma::RmaComm& comm, i32 shard, Fn&& fn);
+
+  rma::World& world_;
+  LockSpaceConfig config_;
+  i32 num_shards_ = 0;
+  usize words_per_slot_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Slot> slots_;
+  std::atomic<u64> instantiated_{0};
+};
+
+}  // namespace rmalock::lockspace

@@ -1,5 +1,6 @@
 #include "mc/checker.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -15,6 +16,9 @@ std::string CheckReport::summary() const {
       << " mutex_violations=" << mutex_violations
       << " deadlocks=" << deadlocks << " step_limit_hits=" << step_limit_hits;
   if (exhausted_spaces > 0) out << " exhausted_spaces=" << exhausted_spaces;
+  if (cross_key_overlap_schedules > 0) {
+    out << " cross_key_overlaps=" << cross_key_overlap_schedules;
+  }
   out << " => " << (ok() ? "OK" : "VIOLATION");
   if (has_first_failure) {
     const FirstFailure& f = first_failure;
@@ -38,6 +42,7 @@ CheckReport& CheckReport::operator+=(const CheckReport& other) {
   step_limit_hits += other.step_limit_hits;
   total_cs_entries += other.total_cs_entries;
   exhausted_spaces += other.exhausted_spaces;
+  cross_key_overlap_schedules += other.cross_key_overlap_schedules;
   if (!has_first_failure && other.has_first_failure) {
     has_first_failure = true;
     first_failure = other.first_failure;
@@ -124,6 +129,80 @@ ScheduleOutcome run_rw_schedule(const CheckConfig& config,
   return outcome;
 }
 
+ScheduleOutcome run_lockspace_schedule(const CheckConfig& config,
+                                       const LockSpaceFactory& factory,
+                                       const std::vector<u64>& keys,
+                                       const rma::SimOptions& opts) {
+  RMALOCK_CHECK_MSG(!keys.empty(), "lockspace workload needs >= 1 key");
+  auto world = rma::SimWorld::create(opts);
+  const auto space = factory(*world);
+  if (!config.writer_roles.empty()) {
+    RMALOCK_CHECK_MSG(
+        config.writer_roles.size() ==
+            static_cast<usize>(config.topology.nprocs()),
+        "writer_roles has " << config.writer_roles.size() << " entries for "
+                            << config.topology.nprocs() << " processes");
+  }
+  const auto is_writer = [&](Rank rank) {
+    if (!config.writer_roles.empty()) {
+      return bool{config.writer_roles[static_cast<usize>(rank)]};
+    }
+    Xoshiro256 rng(mix_seed(opts.seed, 0xAB0 + static_cast<u64>(rank)));
+    return rng.uniform() < config.writer_fraction;
+  };
+  // One monitor per key: mutual exclusion is a per-key property. The
+  // holders/distinct tally witnesses cross-key concurrency — SimWorld runs
+  // fibers serially between RMA calls, so plain counters are exact.
+  std::vector<CsMonitor> monitors(keys.size());
+  std::vector<i64> holders(keys.size(), 0);
+  i64 distinct_held = 0;
+  u64 max_distinct_held = 0;
+  const auto enter_key = [&](usize ki) {
+    if (holders[ki]++ == 0) {
+      ++distinct_held;
+      max_distinct_held =
+          std::max(max_distinct_held, static_cast<u64>(distinct_held));
+    }
+  };
+  const auto exit_key = [&](usize ki) {
+    if (--holders[ki] == 0) --distinct_held;
+  };
+  ScheduleOutcome outcome;
+  outcome.run = world->run([&](rma::RmaComm& comm) {
+    const bool writer = is_writer(comm.rank());
+    for (i32 i = 0; i < config.acquires_per_proc; ++i) {
+      const usize ki = (static_cast<usize>(comm.rank()) +
+                        static_cast<usize>(i)) %
+                       keys.size();
+      const u64 key = keys[ki];
+      if (writer || !space->rw_capable()) {
+        space->acquire(comm, key);
+        monitors[ki].enter_write();
+        enter_key(ki);
+        comm.compute(10);  // scheduling point: keeps the CS observable
+        exit_key(ki);
+        monitors[ki].exit_write();
+        space->release(comm, key);
+      } else {
+        space->acquire_read(comm, key);
+        monitors[ki].enter_read();
+        enter_key(ki);
+        comm.compute(10);
+        exit_key(ki);
+        monitors[ki].exit_read();
+        space->release_read(comm, key);
+      }
+    }
+  });
+  for (const CsMonitor& monitor : monitors) {
+    outcome.mutex_violations += monitor.violations();
+    outcome.cs_entries += monitor.entries();
+  }
+  outcome.max_distinct_keys_held = max_distinct_held;
+  outcome.lock_name = space->describe();
+  return outcome;
+}
+
 ScheduleOutcome run_exclusive_schedule(const CheckConfig& config,
                                        const ExclusiveLockFactory& factory,
                                        const rma::SimOptions& opts) {
@@ -152,6 +231,9 @@ void fold_outcome(CheckReport& report, const ScheduleOutcome& outcome) {
   report.total_cs_entries += outcome.cs_entries;
   if (outcome.run.deadlocked) ++report.deadlocks;
   if (outcome.run.step_limit_hit) ++report.step_limit_hits;
+  if (outcome.max_distinct_keys_held >= 2) {
+    ++report.cross_key_overlap_schedules;
+  }
 }
 
 namespace {
@@ -310,6 +392,25 @@ CheckReport check_exclusive(const CheckConfig& config,
   return check_campaign(config, [&](const rma::SimOptions& opts) {
     return run_exclusive_schedule(config, factory, opts);
   });
+}
+
+CheckReport check_lockspace(const CheckConfig& config,
+                            const LockSpaceFactory& factory,
+                            const std::vector<u64>& keys) {
+  return check_campaign(config, [&](const rma::SimOptions& opts) {
+    return run_lockspace_schedule(config, factory, keys, opts);
+  });
+}
+
+std::vector<u64> pick_cross_slot_keys(const LockSpaceFactory& factory,
+                                      const topo::Topology& topology,
+                                      i32 k) {
+  // Scratch world: the directory only needs the topology, never runs.
+  rma::SimOptions opts;
+  opts.topology = topology;
+  opts.latency = rma::LatencyModel::zero(topology.num_levels());
+  const auto world = rma::SimWorld::create(opts);
+  return factory(*world)->distinct_slot_keys(k);
 }
 
 }  // namespace rmalock::mc

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "lockspace/lockspace.hpp"
 #include "locks/lock.hpp"
 #include "rma/sim_world.hpp"
 
@@ -101,6 +102,11 @@ struct CheckReport {
   /// Exhaustive explorations that drained their full bounded schedule
   /// space (mc/explorer.hpp); 0 for randomized campaigns.
   u64 exhausted_spaces = 0;
+  /// LockSpace workloads only: schedules in which >= 2 distinct keys were
+  /// held simultaneously. A keyed campaign that never witnesses overlap
+  /// would mean the "independent" locks actually serialize — the
+  /// cross-key-independence property (summary prints it when nonzero).
+  u64 cross_key_overlap_schedules = 0;
   bool has_first_failure = false;
   FirstFailure first_failure;
 
@@ -119,6 +125,8 @@ using RwLockFactory =
     std::function<std::unique_ptr<locks::RwLock>(rma::World&)>;
 using ExclusiveLockFactory =
     std::function<std::unique_ptr<locks::ExclusiveLock>(rma::World&)>;
+using LockSpaceFactory =
+    std::function<std::unique_ptr<lockspace::LockSpace>(rma::World&)>;
 
 /// Explores `config.schedules` schedules of a reader/writer workload.
 CheckReport check_rw(const CheckConfig& config, const RwLockFactory& factory);
@@ -126,6 +134,24 @@ CheckReport check_rw(const CheckConfig& config, const RwLockFactory& factory);
 /// Explores `config.schedules` schedules of an all-writers workload.
 CheckReport check_exclusive(const CheckConfig& config,
                             const ExclusiveLockFactory& factory);
+
+/// Explores `config.schedules` schedules of a keyed LockSpace workload:
+/// process p's i-th acquisition targets keys[(p + i) % keys.size()]
+/// (writers per config roles; readers use shared mode on RW backends).
+/// Checked properties: per-key mutual exclusion (one CsMonitor per key),
+/// deadlock freedom, and cross-key independence — the report counts
+/// schedules where two distinct keys were held at once
+/// (cross_key_overlap_schedules), which the campaigns assert is nonzero.
+CheckReport check_lockspace(const CheckConfig& config,
+                            const LockSpaceFactory& factory,
+                            const std::vector<u64>& keys);
+
+/// First `k` keys (scanning upward from 0) that resolve to pairwise
+/// distinct slots of the space `factory` builds — the keys a small-config
+/// campaign uses so "different keys" provably means "different physical
+/// locks". Probes a scratch SimWorld over `topology`.
+std::vector<u64> pick_cross_slot_keys(const LockSpaceFactory& factory,
+                                      const topo::Topology& topology, i32 k);
 
 // --- single-schedule building blocks ---------------------------------------
 // Shared by the randomized loops above, the bounded-exhaustive explorer
@@ -136,6 +162,9 @@ struct ScheduleOutcome {
   rma::RunResult run;
   u64 mutex_violations = 0;
   u64 cs_entries = 0;
+  /// LockSpace workloads: peak number of distinct keys held at once during
+  /// the schedule (>= 2 witnesses cross-key concurrency); 0 elsewhere.
+  u64 max_distinct_keys_held = 0;
   std::string lock_name;
 
   [[nodiscard]] bool failed() const {
@@ -167,6 +196,11 @@ ScheduleOutcome run_rw_schedule(const CheckConfig& config,
                                 const rma::SimOptions& opts);
 ScheduleOutcome run_exclusive_schedule(const CheckConfig& config,
                                        const ExclusiveLockFactory& factory,
+                                       const rma::SimOptions& opts);
+/// Runs one keyed LockSpace schedule (see check_lockspace) under `opts`.
+ScheduleOutcome run_lockspace_schedule(const CheckConfig& config,
+                                       const LockSpaceFactory& factory,
+                                       const std::vector<u64>& keys,
                                        const rma::SimOptions& opts);
 
 /// Accumulates one schedule's outcome into the campaign counters.

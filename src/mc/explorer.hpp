@@ -95,5 +95,13 @@ CheckReport check_exclusive_exhaustive(const CheckConfig& config,
                                        const ExploreConfig& explore,
                                        const ExclusiveLockFactory& factory,
                                        bool iterative = false);
+/// Keyed LockSpace workload (see check_lockspace): per-key mutual
+/// exclusion and deadlock freedom over every bounded interleaving, plus
+/// the cross-key-overlap tally that witnesses key independence.
+CheckReport check_lockspace_exhaustive(const CheckConfig& config,
+                                       const ExploreConfig& explore,
+                                       const LockSpaceFactory& factory,
+                                       const std::vector<u64>& keys,
+                                       bool iterative = false);
 
 }  // namespace rmalock::mc

@@ -141,6 +141,14 @@ void SimWorld::write_word(Rank rank, WinOffset offset, i64 value) {
   windows_[static_cast<usize>(rank)][static_cast<usize>(offset)] = value;
 }
 
+void SimWorld::init_word(Rank rank, WinOffset offset, i64 value) {
+  // Legal during run() for cells no process has touched (see world.hpp):
+  // the windows are pre-sized (arena reservation happened before run), the
+  // fiber engine is single-threaded, and an untouched cell has no waiters
+  // to wake and no poll snapshots to invalidate.
+  windows_[static_cast<usize>(rank)][static_cast<usize>(offset)] = value;
+}
+
 OpStats SimWorld::aggregate_stats() const {
   OpStats agg(topology_.num_levels());
   for (const auto& proc : procs_) agg += proc->stats;

@@ -91,6 +91,16 @@ class World {
   [[nodiscard]] virtual i64 read_word(Rank rank, WinOffset offset) const = 0;
   virtual void write_word(Rank rank, WinOffset offset, i64 value) = 0;
 
+  /// Initialization write for *pre-reserved, never-yet-accessed* window
+  /// cells: identical to write_word outside run(), and additionally legal
+  /// while run() is in flight — which is what lets LockSpace construct a
+  /// slot's lock lazily mid-run from its reserved arena range. Such writes
+  /// carry no virtual-time cost and wake no parked waiters; both are
+  /// vacuous because no process has ever read or polled the cell.
+  virtual void init_word(Rank rank, WinOffset offset, i64 value) {
+    write_word(rank, offset, value);
+  }
+
   /// Sum of the op statistics of all processes from completed runs.
   [[nodiscard]] virtual OpStats aggregate_stats() const = 0;
 

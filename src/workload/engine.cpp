@@ -1,0 +1,143 @@
+#include "workload/engine.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace rmalock::workload {
+
+namespace {
+
+struct PerProc {
+  std::vector<double> read_latencies_us;
+  std::vector<double> write_latencies_us;
+  Nanos t0 = 0;
+  Nanos t1 = 0;
+};
+
+/// Exponential inter-arrival with the given mean (inverse-CDF over the
+/// process's deterministic stream).
+[[nodiscard]] Nanos exponential_gap(Xoshiro256& rng, Nanos mean) {
+  const double u = rng.uniform();
+  return static_cast<Nanos>(-static_cast<double>(mean) *
+                            std::log1p(-u));
+}
+
+}  // namespace
+
+WorkloadResult run_workload(rma::World& world, lockspace::LockSpace& space,
+                            const WorkloadConfig& config) {
+  RMALOCK_CHECK(config.ops_per_proc >= 1);
+  RMALOCK_CHECK(config.read_fraction >= 0.0 && config.read_fraction <= 1.0);
+  RMALOCK_CHECK(config.think_max_ns >= config.think_min_ns);
+  if (config.arrival == Arrival::kOpen) {
+    RMALOCK_CHECK(config.interarrival_ns >= 1);
+  }
+  const i32 nprocs = world.nprocs();
+  const KeyGenerator keygen(config.keys);
+  const u64 read_permille = static_cast<u64>(
+      std::lround(config.read_fraction * 1000.0));
+  const i32 warmup_ops = static_cast<i32>(
+      std::ceil(config.warmup_fraction * config.ops_per_proc));
+
+  // Payload word: one per rank; the holder touches the word of the key's
+  // shard home, so payload traffic follows lock placement.
+  const WinOffset payload = world.allocate(1);
+  for (Rank r = 0; r < nprocs; ++r) world.write_word(r, payload, 0);
+
+  std::vector<PerProc> per(static_cast<usize>(nprocs));
+
+  const rma::RunResult run = world.run([&](rma::RmaComm& comm) {
+    PerProc& me = per[static_cast<usize>(comm.rank())];
+
+    // One request, end to end; its latency is measured from `latency_from`
+    // (call time in the closed loop, scheduled arrival in the open loop).
+    const auto one_op = [&](Nanos latency_from, bool measured) {
+      const bool read = comm.rng().chance(read_permille, 1000);
+      const u64 key = keygen.next(comm.rng());
+      const lockspace::LockRef ref = space.resolve(key);
+      if (read) {
+        space.acquire_read(comm, key);
+        if (config.payload) {
+          comm.get(ref.home, payload);
+          comm.flush(ref.home);
+        }
+        space.release_read(comm, key);
+      } else {
+        space.acquire(comm, key);
+        if (config.payload) {
+          comm.put(static_cast<i64>(key), ref.home, payload);
+          comm.flush(ref.home);
+        }
+        space.release(comm, key);
+      }
+      if (measured) {
+        const double us =
+            static_cast<double>(comm.now_ns() - latency_from) / 1e3;
+        (read ? me.read_latencies_us : me.write_latencies_us).push_back(us);
+      }
+      if (config.arrival == Arrival::kClosed && config.think_max_ns > 0) {
+        comm.compute(comm.rng().range(config.think_min_ns,
+                                      config.think_max_ns));
+      }
+    };
+
+    comm.barrier();
+    for (i32 i = 0; i < warmup_ops; ++i) {
+      one_op(comm.now_ns(), /*measured=*/false);
+    }
+    comm.barrier();
+    me.t0 = comm.now_ns();
+    if (config.arrival == Arrival::kClosed) {
+      for (i32 i = 0; i < config.ops_per_proc; ++i) {
+        one_op(comm.now_ns(), /*measured=*/true);
+      }
+    } else {
+      // Open loop: requests arrive on a completion-independent schedule; a
+      // late process drains its backlog and each request's latency starts
+      // at its *scheduled* arrival, so queueing delay is charged (no
+      // coordinated omission).
+      Nanos scheduled = me.t0;
+      for (i32 i = 0; i < config.ops_per_proc; ++i) {
+        scheduled += config.poisson_arrivals
+                         ? exponential_gap(comm.rng(), config.interarrival_ns)
+                         : config.interarrival_ns;
+        const Nanos now = comm.now_ns();
+        if (now < scheduled) comm.compute(scheduled - now);
+        one_op(scheduled, /*measured=*/true);
+      }
+    }
+    comm.barrier();  // synchronizes clocks: t1 is the phase makespan
+    me.t1 = comm.now_ns();
+  });
+  RMALOCK_CHECK_MSG(run.ok(), "workload run failed (deadlock/step limit)");
+
+  WorkloadResult result;
+  std::vector<double> all;
+  std::vector<double> reads;
+  std::vector<double> writes;
+  for (Rank r = 0; r < nprocs; ++r) {
+    PerProc& proc = per[static_cast<usize>(r)];
+    reads.insert(reads.end(), proc.read_latencies_us.begin(),
+                 proc.read_latencies_us.end());
+    writes.insert(writes.end(), proc.write_latencies_us.begin(),
+                  proc.write_latencies_us.end());
+  }
+  all.reserve(reads.size() + writes.size());
+  all.insert(all.end(), reads.begin(), reads.end());
+  all.insert(all.end(), writes.begin(), writes.end());
+
+  result.read_ops = reads.size();
+  result.write_ops = writes.size();
+  result.total_ops = all.size();
+  result.elapsed_ns = per[0].t1 - per[0].t0;
+  result.throughput_mops_s = static_cast<double>(result.total_ops) /
+                             static_cast<double>(result.elapsed_ns) * 1e3;
+  result.latency_us = harness::summarize(std::move(all));
+  result.read_latency_us = harness::summarize(std::move(reads));
+  result.write_latency_us = harness::summarize(std::move(writes));
+  result.instantiated_slots = space.instantiated_slots();
+  return result;
+}
+
+}  // namespace rmalock::workload

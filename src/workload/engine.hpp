@@ -1,0 +1,74 @@
+// Synthetic lock-service workload engine.
+//
+// Drives a lockspace::LockSpace from every process of a World with a
+// configurable request mix: key popularity (see keygen.hpp), read/write
+// ratio, think time, and arrival discipline:
+//
+//   * closed loop — each process issues the next request only after the
+//     previous one completed, with an optional uniform think time between
+//     completions (the classic interactive-client model; offered load
+//     adapts to service time);
+//   * open loop — requests arrive on a schedule independent of completion
+//     (fixed-rate or Poisson); a process that falls behind works through
+//     its backlog without thinking, and each op's latency is measured from
+//     its *scheduled arrival*, so queueing delay is visible (the
+//     coordinated-omission-free convention).
+//
+// All randomness flows through the per-process comm.rng() stream, so runs
+// are deterministic per (world seed, config) in both worlds and SimWorld
+// virtual-time metrics are bit-identical however the surrounding campaign
+// is parallelized.
+#pragma once
+
+#include "harness/stats.hpp"
+#include "lockspace/lockspace.hpp"
+#include "workload/keygen.hpp"
+
+namespace rmalock::workload {
+
+enum class Arrival : u8 { kClosed, kOpen };
+
+struct WorkloadConfig {
+  KeyGenConfig keys;
+  /// Probability that a request is a read (shared mode); the rest are
+  /// writes (exclusive mode).
+  double read_fraction = 0.95;
+  /// Closed loop: uniform think time in [min, max] ns between completions
+  /// (0/0 = none).
+  Nanos think_min_ns = 0;
+  Nanos think_max_ns = 0;
+  Arrival arrival = Arrival::kClosed;
+  /// Open loop: inter-arrival gap per process (mean, when poisson).
+  Nanos interarrival_ns = 2000;
+  bool poisson_arrivals = false;
+  /// Measured requests per process; an extra warmup_fraction share runs
+  /// (and is discarded) before measurement, as in §5.
+  i32 ops_per_proc = 100;
+  double warmup_fraction = 0.1;
+  /// Touch one remote word on the key's shard home inside the CS (readers
+  /// get, writers put) — the SOB-style payload that makes a lock service
+  /// out of a lock microbench. Off = empty CS.
+  bool payload = true;
+};
+
+struct WorkloadResult {
+  u64 total_ops = 0;
+  u64 read_ops = 0;
+  u64 write_ops = 0;
+  /// Makespan of the measured phase (virtual time in SimWorld).
+  Nanos elapsed_ns = 0;
+  double throughput_mops_s = 0;
+  harness::Summary latency_us;        // all requests
+  harness::Summary read_latency_us;   // shared-mode requests
+  harness::Summary write_latency_us;  // exclusive-mode requests
+  /// LockSpace slots instantiated by the end of the run (lazy-instantiation
+  /// observability: how much of the grid the key mix actually touched).
+  u64 instantiated_slots = 0;
+};
+
+/// Runs the configured workload against `space` on every process of
+/// `world`. Collective; the space must have been built over `world`.
+WorkloadResult run_workload(rma::World& world, lockspace::LockSpace& space,
+                            const WorkloadConfig& config);
+
+}  // namespace rmalock::workload

@@ -1,0 +1,106 @@
+// Schema guard for the "rmalock-bench-v1" perf records.
+//
+// The perf-tracking workflow (docs/PERF.md) diffs BENCH_*.json files across
+// revisions; a silently dropped or renamed key would break every consumer
+// without failing any build. This test writes a real FigureReport through
+// write_json() and asserts the contract: schema tag, required top-level
+// keys (including the PR-4 additions `jobs` and `wall_time_s` and the
+// configure-time git rev), record triples, and check objects.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/bench_common.hpp"
+
+namespace rmalock {
+namespace {
+
+class BenchJson : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "bench_json_schema_test.json";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string write_and_read(const harness::FigureReport& report) {
+    EXPECT_TRUE(report.write_json(path_));
+    std::ifstream in(path_);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  std::string path_;
+};
+
+harness::FigureReport sample_report() {
+  harness::FigureReport report("figX", "schema test figure",
+                               "expectation text");
+  report.add("series-a", 16, "throughput_mlocks_s", 1.25);
+  report.add("series-a", 32, "throughput_mlocks_s", 2.5);
+  report.add("series-b \"quoted\"", 16, "latency_us_mean", 0.75);
+  report.check("a beats b", true, "detail line");
+  report.check("b collapses", false, "other detail");
+  return report;
+}
+
+TEST_F(BenchJson, RequiredTopLevelKeysArePresent) {
+  const std::string json = write_and_read(sample_report());
+  // The v1 contract: consumers key on exactly these fields.
+  for (const char* key :
+       {"\"schema\": \"rmalock-bench-v1\"", "\"bench\": \"figX\"",
+        "\"title\":", "\"git_rev\":", "\"seed\":", "\"quick\":",
+        "\"smoke\":", "\"procs_per_node\":", "\"jobs\":",
+        "\"wall_time_s\":", "\"records\":", "\"checks\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST_F(BenchJson, RecordsCarrySeriesPMetricValue) {
+  const std::string json = write_and_read(sample_report());
+  EXPECT_NE(json.find("{\"series\": \"series-a\", \"p\": 16, "
+                      "\"metric\": \"throughput_mlocks_s\", "
+                      "\"value\": 1.25}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p\": 32"), std::string::npos);
+}
+
+TEST_F(BenchJson, ChecksCarryNamePassDetail) {
+  const std::string json = write_and_read(sample_report());
+  EXPECT_NE(json.find("{\"name\": \"a beats b\", \"pass\": true, "
+                      "\"detail\": \"detail line\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"pass\": false"), std::string::npos);
+}
+
+TEST_F(BenchJson, StringsAreEscaped) {
+  const std::string json = write_and_read(sample_report());
+  // The raw quote inside the series name must arrive backslash-escaped.
+  EXPECT_NE(json.find("series-b \\\"quoted\\\""), std::string::npos);
+}
+
+TEST_F(BenchJson, JobsReflectsTheResolvedWorkerCount) {
+  // write_json records the RESOLVED jobs value (>= 1), never the raw 0 =
+  // "all cores" request — consumers compare records across machines.
+  const std::string json = write_and_read(sample_report());
+  const usize pos = json.find("\"jobs\": ");
+  ASSERT_NE(pos, std::string::npos);
+  const int jobs = std::stoi(json.substr(pos + 8));
+  EXPECT_GE(jobs, 1);
+}
+
+TEST_F(BenchJson, GitRevIsNonEmpty) {
+  const std::string json = write_and_read(sample_report());
+  EXPECT_EQ(json.find("\"git_rev\": \"\""), std::string::npos)
+      << "git_rev must be a stamp or the literal \"unknown\", never empty";
+}
+
+TEST_F(BenchJson, UnwritablePathReturnsFalse) {
+  const harness::FigureReport report = sample_report();
+  EXPECT_FALSE(report.write_json("/nonexistent-dir/nope/record.json"));
+}
+
+}  // namespace
+}  // namespace rmalock

@@ -1,0 +1,202 @@
+// Workload engine tests: key-generator distribution shapes, engine
+// bookkeeping (ops, latencies, mode split), determinism across repeated
+// runs (the property the parallel campaign runtime builds on), and the
+// open-loop arrival discipline.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "lockspace/lockspace.hpp"
+#include "rma/sim_world.hpp"
+#include "workload/engine.hpp"
+#include "workload/keygen.hpp"
+
+namespace rmalock {
+namespace {
+
+using workload::KeyDist;
+using workload::KeyGenConfig;
+using workload::KeyGenerator;
+
+TEST(KeyGenerator, UniformStaysInRangeAndCoversKeys) {
+  KeyGenConfig config;
+  config.num_keys = 64;
+  config.dist = KeyDist::kUniform;
+  const KeyGenerator gen(config);
+  Xoshiro256 rng(1);
+  std::map<u64, u64> counts;
+  for (i32 i = 0; i < 64 * 100; ++i) {
+    const u64 key = gen.next(rng);
+    ASSERT_LT(key, config.num_keys);
+    ++counts[key];
+  }
+  EXPECT_EQ(counts.size(), 64u);  // every key seen in 100x draws
+}
+
+TEST(KeyGenerator, ZipfianFavorsLowRanks) {
+  KeyGenConfig config;
+  config.num_keys = 1000;
+  config.dist = KeyDist::kZipfian;
+  config.zipf_s = 0.99;
+  const KeyGenerator gen(config);
+  Xoshiro256 rng(7);
+  u64 key0 = 0;
+  u64 tail = 0;
+  const i32 draws = 20000;
+  for (i32 i = 0; i < draws; ++i) {
+    const u64 key = gen.next(rng);
+    ASSERT_LT(key, config.num_keys);
+    if (key == 0) ++key0;
+    if (key >= 500) ++tail;
+  }
+  // Zipf(0.99) over 1000 keys: rank 0 draws ~13% of traffic; the entire
+  // upper half draws ~9%. Wide margins keep this statistical test stable.
+  EXPECT_GT(key0, static_cast<u64>(draws) / 20);   // > 5%
+  EXPECT_LT(tail, static_cast<u64>(draws) / 5);    // < 20%
+}
+
+TEST(KeyGenerator, ZipfianHandlesExponentOne) {
+  KeyGenConfig config;
+  config.num_keys = 100;
+  config.dist = KeyDist::kZipfian;
+  config.zipf_s = 1.0;  // removable singularity of the sampler
+  const KeyGenerator gen(config);
+  Xoshiro256 rng(3);
+  for (i32 i = 0; i < 1000; ++i) {
+    ASSERT_LT(gen.next(rng), config.num_keys);
+  }
+}
+
+TEST(KeyGenerator, HotspotRoutesTheConfiguredWeight) {
+  KeyGenConfig config;
+  config.num_keys = 1000;
+  config.dist = KeyDist::kHotspot;
+  config.hotspot_fraction = 0.1;  // hot set = keys 0..99
+  config.hotspot_weight = 0.9;
+  const KeyGenerator gen(config);
+  Xoshiro256 rng(11);
+  u64 hot = 0;
+  const i32 draws = 20000;
+  for (i32 i = 0; i < draws; ++i) {
+    if (gen.next(rng) < 100) ++hot;
+  }
+  const double share = static_cast<double>(hot) / draws;
+  EXPECT_GT(share, 0.85);
+  EXPECT_LT(share, 0.95);
+}
+
+TEST(KeyGenerator, SingleKeySpaceAlwaysReturnsZero) {
+  for (const KeyDist dist :
+       {KeyDist::kUniform, KeyDist::kZipfian, KeyDist::kHotspot}) {
+    KeyGenConfig config;
+    config.num_keys = 1;
+    config.dist = dist;
+    const KeyGenerator gen(config);
+    Xoshiro256 rng(5);
+    for (i32 i = 0; i < 100; ++i) EXPECT_EQ(gen.next(rng), 0u);
+  }
+}
+
+TEST(KeyGenerator, DeterministicPerStream) {
+  KeyGenConfig config;
+  config.num_keys = 4096;
+  config.dist = KeyDist::kZipfian;
+  const KeyGenerator gen(config);
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (i32 i = 0; i < 1000; ++i) EXPECT_EQ(gen.next(a), gen.next(b));
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+workload::WorkloadResult run_once(const workload::WorkloadConfig& wc,
+                                  u64 seed = 1) {
+  rma::SimOptions opts;
+  opts.topology = topo::Topology::uniform({2}, 4);  // P = 8
+  opts.seed = seed;
+  auto world = rma::SimWorld::create(opts);
+  lockspace::LockSpaceConfig sc;
+  sc.slots_per_shard = 8;
+  lockspace::LockSpace space(*world, sc);
+  return workload::run_workload(*world, space, wc);
+}
+
+workload::WorkloadConfig small_config() {
+  workload::WorkloadConfig wc;
+  wc.keys.num_keys = 1 << 12;
+  wc.ops_per_proc = 40;
+  wc.read_fraction = 0.75;
+  return wc;
+}
+
+TEST(WorkloadEngine, CountsAddUpAndLatenciesAreMeasured) {
+  const auto result = run_once(small_config());
+  EXPECT_EQ(result.total_ops, 8u * 40u);
+  EXPECT_EQ(result.total_ops, result.read_ops + result.write_ops);
+  EXPECT_GT(result.read_ops, result.write_ops);  // 75% reads
+  EXPECT_EQ(result.latency_us.n, result.total_ops);
+  EXPECT_GT(result.throughput_mops_s, 0.0);
+  EXPECT_GT(result.elapsed_ns, 0);
+  EXPECT_GT(result.instantiated_slots, 0u);
+}
+
+TEST(WorkloadEngine, VirtualTimeMetricsAreBitIdenticalAcrossRuns) {
+  const auto a = run_once(small_config());
+  const auto b = run_once(small_config());
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.read_ops, b.read_ops);
+  EXPECT_EQ(a.elapsed_ns, b.elapsed_ns);
+  EXPECT_EQ(a.latency_us.mean, b.latency_us.mean);
+  EXPECT_EQ(a.latency_us.p95, b.latency_us.p95);
+  EXPECT_EQ(a.throughput_mops_s, b.throughput_mops_s);
+}
+
+TEST(WorkloadEngine, SeedChangesTheRun) {
+  const auto a = run_once(small_config(), /*seed=*/1);
+  const auto b = run_once(small_config(), /*seed=*/2);
+  EXPECT_NE(a.elapsed_ns, b.elapsed_ns);
+}
+
+TEST(WorkloadEngine, ThinkTimeStretchesTheRun) {
+  const auto fast = run_once(small_config());
+  workload::WorkloadConfig thinking = small_config();
+  thinking.think_min_ns = 5000;
+  thinking.think_max_ns = 10000;
+  const auto slow = run_once(thinking);
+  EXPECT_GT(slow.elapsed_ns, fast.elapsed_ns);
+}
+
+TEST(WorkloadEngine, OpenLoopChargesQueueingDelay) {
+  workload::WorkloadConfig closed = small_config();
+  workload::WorkloadConfig open = small_config();
+  open.arrival = workload::Arrival::kOpen;
+  open.interarrival_ns = 1;  // far above service rate: backlog builds
+  const auto closed_result = run_once(closed);
+  const auto open_result = run_once(open);
+  EXPECT_EQ(open_result.total_ops, closed_result.total_ops);
+  // Overloaded open loop measures from scheduled arrival, so its mean
+  // latency must exceed the closed loop's completion-to-completion view.
+  EXPECT_GT(open_result.latency_us.mean, closed_result.latency_us.mean);
+}
+
+TEST(WorkloadEngine, PoissonOpenLoopRuns) {
+  workload::WorkloadConfig wc = small_config();
+  wc.arrival = workload::Arrival::kOpen;
+  wc.poisson_arrivals = true;
+  wc.interarrival_ns = 5000;
+  const auto result = run_once(wc);
+  EXPECT_EQ(result.total_ops, 8u * 40u);
+}
+
+TEST(WorkloadEngine, AllReadsOnRwBackendKeepsWritesAtZero) {
+  workload::WorkloadConfig wc = small_config();
+  wc.read_fraction = 1.0;
+  const auto result = run_once(wc);
+  EXPECT_EQ(result.write_ops, 0u);
+  EXPECT_EQ(result.read_ops, result.total_ops);
+}
+
+}  // namespace
+}  // namespace rmalock
