@@ -13,7 +13,8 @@
 //   --exhaustive  bounded-exhaustive DFS (iterative preemption deepening)
 //                 over small topologies — the SPIN-shaped systematic sweep;
 //   --replay <f>  deterministic re-execution of a recorded counterexample
-//                 trace file ("rmalock-trace v1", see docs/TESTING.md).
+//                 trace file ("rmalock-trace v2", or v1 for pre-crash-model
+//                 traces; see docs/TESTING.md).
 //
 // --jobs N (RMALOCK_JOBS; 0 = all cores) runs the randomized and
 // exhaustive campaigns on the work-stealing parallel campaign runtime.
@@ -89,6 +90,34 @@ mc::ExclusiveLockFactory make_exclusive_factory(const std::string& id) {
     };
   }
   return nullptr;
+}
+
+// Crash/recovery lease workloads. "lease:mcs-nofence" is a *planted* bug —
+// the recovery reclaims a suspected-dead owner's lease without bumping the
+// epoch, so a mid-CS-crashed owner shares its epoch with the thief. Unlike
+// the reader-reset demonstration it keeps counterexample artifacts ON: the
+// campaign must print a deterministic --replay repro line for the catch.
+mc::LeaseLockFactory make_lease_factory(const std::string& id) {
+  locks::Backend inner;
+  bool fence = true;
+  if (id == "lease:mcs") {
+    inner = locks::Backend::kRmaMcs;
+  } else if (id == "lease:rw") {
+    inner = locks::Backend::kRmaRw;
+  } else if (id == "lease:mcs-nofence") {
+    inner = locks::Backend::kRmaMcs;
+    fence = false;
+  } else {
+    return nullptr;
+  }
+  return [inner, fence](rma::World& world) {
+    auto in = locks::make_exclusive(inner, world, /*home=*/0);
+    locks::LeaseParams params;
+    params.home = 0;
+    params.fence_on_steal = fence;
+    return std::make_unique<locks::LeaseExclusive>(world, std::move(in),
+                                                   params);
+  };
 }
 
 // Keyed LockSpace workloads: a small grid (4 slots per shard, shards per
@@ -253,6 +282,76 @@ int run_randomized(bool quick, bool smoke, const std::string& trace_dir,
     }
   }
 
+  // Crash/recovery lease workloads: every schedule may kill one process at
+  // a crash point (before an acquire or mid-CS); survivors must reclaim the
+  // orphaned lease with a fenced (epoch-bumped) steal. A low crash chance
+  // spreads the single crash across the schedule so mid-CS deaths — the
+  // ones that orphan the lease — are well represented.
+  std::printf("\n--- crash/recovery lease workloads (<=1 crash/schedule) "
+              "---\n");
+  const topo::Topology crash_topology = topo::Topology::uniform({2}, 2);
+  for (const char* id : {"lease:mcs", "lease:rw"}) {
+    for (const auto policy :
+         {rma::SchedPolicy::kRandom, rma::SchedPolicy::kPct}) {
+      const char* policy_name =
+          policy == rma::SchedPolicy::kRandom ? "random" : "pct";
+      mc::CheckConfig config = base_config(
+          crash_topology, policy, smoke ? 4 : (quick ? 30 : 200),
+          /*acquires=*/smoke ? 3 : 5, trace_dir, id, jobs);
+      config.max_crashes = 1;
+      config.crash_chance_permille = 100;
+      const Timer timer;
+      const auto report = mc::check_lease(config, make_lease_factory(id));
+      std::printf("%-10s P=4      %-7s %s\n",
+                  id == std::string("lease:mcs") ? "LEASE-MCS" : "LEASE-RW",
+                  policy_name, report.summary().c_str());
+      all_ok = all_ok && report.ok();
+      record_campaign(json, std::string(id) + "/" + policy_name,
+                      crash_topology.nprocs(), report, timer.elapsed_s());
+    }
+  }
+  {
+    // Restart regime: crashed processes reboot and re-run the workload from
+    // the top, so recovery must also tolerate the old owner coming back —
+    // its stale-epoch release has to fail quietly against the fenced lease.
+    mc::CheckConfig config = base_config(
+        crash_topology, rma::SchedPolicy::kRandom,
+        smoke ? 4 : (quick ? 30 : 200), /*acquires=*/smoke ? 3 : 5, trace_dir,
+        "lease:mcs", jobs);
+    config.max_crashes = 1;
+    config.crash_chance_permille = 100;
+    config.restart_crashed = true;
+    const Timer timer;
+    const auto report = mc::check_lease(config, make_lease_factory("lease:mcs"));
+    std::printf("LEASE-MCS  P=4+rest random  %s\n", report.summary().c_str());
+    all_ok = all_ok && report.ok();
+    record_campaign(json, "lease:mcs/restart", crash_topology.nprocs(),
+                    report, timer.elapsed_s());
+  }
+
+  // Planted recovery bug: the no-fence reclaim must be CAUGHT (two owners
+  // in one epoch) by both randomized policies, and the summary must print a
+  // replayable repro line — trace_dir stays enabled on purpose.
+  std::printf("\n--- planted no-fence lease recovery bug (must be caught) "
+              "---\n");
+  for (const auto policy :
+       {rma::SchedPolicy::kRandom, rma::SchedPolicy::kPct}) {
+    const char* policy_name =
+        policy == rma::SchedPolicy::kRandom ? "random" : "pct";
+    mc::CheckConfig config = base_config(
+        crash_topology, policy, smoke ? 60 : (quick ? 150 : 400),
+        /*acquires=*/smoke ? 3 : 5, trace_dir, "lease:mcs-nofence", jobs);
+    config.max_crashes = 1;
+    config.crash_chance_permille = 100;
+    const auto report =
+        mc::check_lease(config, make_lease_factory("lease:mcs-nofence"));
+    std::printf("no-fence lease (%-7s): %s\n", policy_name,
+                report.summary().c_str());
+    const bool caught = report.mutex_violations > 0;
+    if (!caught) std::printf("  ERROR: planted bug was NOT caught\n");
+    all_ok = all_ok && caught;
+  }
+
   // Demonstration: the literal Listing 6/9 reader reset (which clears the
   // WRITE flag) vs. the flag-preserving fix, under aggressive schedules.
   // The faithful variant is a *planted* bug — expected to fail — so it
@@ -391,6 +490,59 @@ int run_exhaustive(bool quick, bool smoke, const std::string& trace_dir,
                static_cast<double>(report.cross_key_overlap_schedules));
     }
   }
+  // Crash-point schedules: with max_crashes=1 every armed crash point is a
+  // scheduler decision, so the DFS enumerates all crash-free interleavings
+  // AND every placement of the single crash. The fenced leases must drain
+  // their space with zero violations; the planted no-fence recovery must be
+  // caught with a replayable counterexample.
+  std::printf("\n--- crash-point schedules (lease recovery, <=1 crash) "
+              "---\n");
+  {
+    mc::ExploreConfig explore;
+    explore.max_schedules = smoke ? 50'000 : 500'000;
+    explore.max_preemptions = smoke ? 2 : 3;
+    const topo::Topology topology = topo::Topology::uniform({}, 2);
+    const i32 acquires = smoke ? 1 : 2;
+    for (const char* id : {"lease:mcs", "lease:rw"}) {
+      mc::CheckConfig config;
+      config.topology = topology;
+      config.acquires_per_proc = acquires;
+      config.max_steps = 400'000;
+      config.trace_dir = trace_dir;
+      config.workload_id = id;
+      config.jobs = jobs;
+      config.max_crashes = 1;
+      const Timer timer;
+      const auto report = mc::check_lease_exhaustive(
+          config, explore, make_lease_factory(id), /*iterative=*/true);
+      std::printf("%-10s P=2 acq=%d d<=%d %s\n",
+                  id == std::string("lease:mcs") ? "LEASE-MCS" : "LEASE-RW",
+                  acquires, explore.max_preemptions,
+                  report.summary().c_str());
+      all_ok = all_ok && report.ok();
+      record_campaign(json, std::string(id) + "/exhaustive",
+                      topology.nprocs(), report, timer.elapsed_s());
+    }
+    {
+      mc::CheckConfig config;
+      config.topology = topology;
+      config.acquires_per_proc = acquires;
+      config.max_steps = 400'000;
+      config.trace_dir = trace_dir;
+      config.workload_id = "lease:mcs-nofence";
+      config.jobs = jobs;
+      config.max_crashes = 1;
+      const auto report = mc::check_lease_exhaustive(
+          config, explore, make_lease_factory("lease:mcs-nofence"),
+          /*iterative=*/true);
+      std::printf("no-fence   P=2 acq=%d d<=%d %s\n", acquires,
+                  explore.max_preemptions, report.summary().c_str());
+      const bool caught = report.mutex_violations > 0;
+      if (!caught) std::printf("  ERROR: planted bug was NOT caught\n");
+      all_ok = all_ok && caught;
+    }
+  }
+
   std::printf("\nVERDICT: %s\n",
               all_ok ? "all enumerated interleavings are safe"
                      : "VIOLATIONS FOUND");
@@ -425,6 +577,10 @@ int run_replay(const std::string& path) {
   config.writer_fraction = repro.writer_fraction;
   config.writer_roles = repro.writer_roles;
   config.max_steps = repro.max_steps;
+  config.max_crashes = repro.max_crashes;
+  config.crash_chance_permille = repro.crash_chance_permille;
+  config.restart_crashed = repro.restart_crashed;
+  config.adversarial_suspicion = repro.adversarial_suspicion;
 
   mc::ScheduleOutcome outcome;
   if (const auto rw = make_rw_factory(repro.workload)) {
@@ -433,6 +589,10 @@ int run_replay(const std::string& path) {
   } else if (const auto ex = make_exclusive_factory(repro.workload)) {
     outcome = mc::run_exclusive_schedule(
         config, ex, mc::replay_options(config, repro.world_seed, repro.trace));
+  } else if (const auto lease = make_lease_factory(repro.workload)) {
+    outcome = mc::run_lease_schedule(
+        config, lease,
+        mc::replay_options(config, repro.world_seed, repro.trace));
   } else if (const auto ls = make_lockspace_factory(repro.workload)) {
     // Keys are a pure function of (factory, topology) — the replay derives
     // the same K=2 cross-slot keys the campaign used.

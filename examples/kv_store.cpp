@@ -70,7 +70,12 @@ double run_store(const char* name, Regime regime) {
   const workload::KeyGenerator keygen(keygen_config);
 
   std::vector<Nanos> finish(static_cast<usize>(world->nprocs()));
+  std::vector<u64> dropped(static_cast<usize>(world->nprocs()), 0);
   world->run([&](rma::RmaComm& comm) {
+    u64& drops = dropped[static_cast<usize>(comm.rank())];
+    const auto count_drop = [&drops](dht::InsertStatus status) {
+      if (status == dht::InsertStatus::kHeapFull) ++drops;
+    };
     comm.barrier();
     for (i32 i = 0; i < kOpsPerProc; ++i) {
       const i64 key = static_cast<i64>(keygen.next(comm.rng())) + 1;
@@ -79,7 +84,7 @@ double run_store(const char* name, Regime regime) {
       switch (regime) {
         case Regime::kAtomics:
           if (is_write) {
-            store.insert_atomic(comm, owner, key);
+            count_drop(store.insert_atomic(comm, owner, key));
           } else {
             (void)store.contains_atomic(comm, owner, key);
           }
@@ -88,7 +93,7 @@ double run_store(const char* name, Regime regime) {
         case Regime::kGlobalRmaRw:
           if (is_write) {
             global_lock->acquire_write(comm);
-            store.insert_locked(comm, owner, key);
+            count_drop(store.insert_locked(comm, owner, key));
             global_lock->release_write(comm);
           } else {
             global_lock->acquire_read(comm);
@@ -100,7 +105,7 @@ double run_store(const char* name, Regime regime) {
           const u64 lock_key = static_cast<u64>(owner);
           if (is_write) {
             space->acquire(comm, lock_key);
-            store.insert_locked(comm, owner, key);
+            count_drop(store.insert_locked(comm, owner, key));
             space->release(comm, lock_key);
           } else {
             space->acquire_read(comm, lock_key);
@@ -123,6 +128,12 @@ double run_store(const char* name, Regime regime) {
   if (space != nullptr) {
     std::printf("   (%llu named locks instantiated)",
                 static_cast<unsigned long long>(space->instantiated_slots()));
+  }
+  u64 drops = 0;
+  for (const u64 d : dropped) drops += d;
+  if (drops > 0) {
+    std::printf("   (%llu inserts dropped, overflow heaps full)",
+                static_cast<unsigned long long>(drops));
   }
   std::printf("\n");
   return ms;

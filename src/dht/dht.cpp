@@ -29,16 +29,19 @@ DistributedHashTable::DistributedHashTable(rma::World& world, DhtConfig config)
 // Atomics-only protocol (foMPI-A)
 // ---------------------------------------------------------------------------
 
-void DistributedHashTable::append_overflow_atomic(rma::RmaComm& comm,
+bool DistributedHashTable::append_overflow_atomic(rma::RmaComm& comm,
                                                   Rank owner, i64 bucket,
                                                   i64 value) const {
   // Claim an overflow slot by atomically incrementing the next-free pointer.
   const i64 slot = comm.fao(1, owner, next_free_, rma::AccumOp::kSum);
   comm.flush(owner);
-  RMALOCK_CHECK_MSG(slot < config_.heap_entries,
-                    "DHT overflow heap exhausted at rank "
-                        << owner << " (" << config_.heap_entries
-                        << " entries)");
+  if (slot >= config_.heap_entries) {
+    // Heap exhausted: the value is dropped and reported upward. The FAO
+    // already moved the cursor past capacity; that over-increment is benign
+    // (the cursor only grows, so no claimed slot is ever handed out twice)
+    // and keeps the failure path to the single atomic the claim always pays.
+    return false;
+  }
   // Initialize the element before publishing it.
   comm.put(value, owner, heap_value(slot));
   comm.put(kNilRank, owner, heap_next(slot));
@@ -54,20 +57,22 @@ void DistributedHashTable::append_overflow_atomic(rma::RmaComm& comm,
     comm.put(slot, owner, heap_next(prev_last));
   }
   comm.flush(owner);
+  return true;
 }
 
-bool DistributedHashTable::insert_atomic(rma::RmaComm& comm, Rank owner,
-                                         i64 value) const {
+InsertStatus DistributedHashTable::insert_atomic(rma::RmaComm& comm,
+                                                 Rank owner, i64 value) const {
   RMALOCK_CHECK_MSG(value != kEmpty, "kEmpty sentinel cannot be stored");
   const i64 bucket = bucket_of(value);
   // Fast path: claim the bucket slot.
   const i64 previous = comm.cas(value, kEmpty, owner, bucket_value(bucket));
   comm.flush(owner);
-  if (previous == kEmpty) return true;   // inserted into the bucket
-  if (previous == value) return false;   // already present
+  if (previous == kEmpty) return InsertStatus::kInserted;
+  if (previous == value) return InsertStatus::kDuplicate;
   // Collision: the losing process goes to the overflow heap.
-  append_overflow_atomic(comm, owner, bucket, value);
-  return true;
+  return append_overflow_atomic(comm, owner, bucket, value)
+             ? InsertStatus::kInserted
+             : InsertStatus::kHeapFull;
 }
 
 bool DistributedHashTable::contains_atomic(rma::RmaComm& comm, Rank owner,
@@ -100,8 +105,8 @@ bool DistributedHashTable::contains_atomic(rma::RmaComm& comm, Rank owner,
 // caller's reader-writer lock.
 // ---------------------------------------------------------------------------
 
-bool DistributedHashTable::insert_locked(rma::RmaComm& comm, Rank owner,
-                                         i64 value) const {
+InsertStatus DistributedHashTable::insert_locked(rma::RmaComm& comm,
+                                                 Rank owner, i64 value) const {
   RMALOCK_CHECK_MSG(value != kEmpty, "kEmpty sentinel cannot be stored");
   const i64 bucket = bucket_of(value);
   const i64 slot_value = comm.get(owner, bucket_value(bucket));
@@ -109,9 +114,9 @@ bool DistributedHashTable::insert_locked(rma::RmaComm& comm, Rank owner,
   if (slot_value == kEmpty) {
     comm.put(value, owner, bucket_value(bucket));
     comm.flush(owner);
-    return true;
+    return InsertStatus::kInserted;
   }
-  if (slot_value == value) return false;
+  if (slot_value == value) return InsertStatus::kDuplicate;
   // Walk the chain to keep exact set semantics (affordable under the lock).
   i64 cursor = comm.get(owner, bucket_head(bucket));
   comm.flush(owner);
@@ -119,16 +124,17 @@ bool DistributedHashTable::insert_locked(rma::RmaComm& comm, Rank owner,
     const i64 element = comm.get(owner, heap_value(cursor));
     const i64 next = comm.get(owner, heap_next(cursor));
     comm.flush(owner);
-    if (element == value) return false;
+    if (element == value) return InsertStatus::kDuplicate;
     cursor = next;
   }
   // Append a new overflow element.
   const i64 slot = comm.get(owner, next_free_);
   comm.flush(owner);
-  RMALOCK_CHECK_MSG(slot < config_.heap_entries,
-                    "DHT overflow heap exhausted at rank "
-                        << owner << " (" << config_.heap_entries
-                        << " entries)");
+  if (slot >= config_.heap_entries) {
+    // Heap exhausted: drop and report. Under the lock nothing was written,
+    // so the cursor stays exactly at capacity here.
+    return InsertStatus::kHeapFull;
+  }
   comm.put(slot + 1, owner, next_free_);
   comm.put(value, owner, heap_value(slot));
   comm.put(kNilRank, owner, heap_next(slot));
@@ -141,7 +147,7 @@ bool DistributedHashTable::insert_locked(rma::RmaComm& comm, Rank owner,
     comm.put(slot, owner, heap_next(prev_last));
   }
   comm.flush(owner);
-  return true;
+  return InsertStatus::kInserted;
 }
 
 bool DistributedHashTable::contains_locked(rma::RmaComm& comm, Rank owner,

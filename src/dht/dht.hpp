@@ -40,6 +40,15 @@ struct DhtConfig {
   i32 heap_entries = 1024;
 };
 
+/// Outcome of one insert. The overflow heap is fixed-size, so exhaustion
+/// is an expected, reportable condition under skewed workloads — benches
+/// surface it as a drop rate instead of aborting the run.
+enum class InsertStatus : u8 {
+  kInserted,   // value stored (bucket slot or a fresh overflow element)
+  kDuplicate,  // value already present; nothing written
+  kHeapFull,   // owner's overflow heap is exhausted; value dropped
+};
+
 class DistributedHashTable {
  public:
   /// Collective: allocates and initializes every volume.
@@ -52,17 +61,17 @@ class DistributedHashTable {
 
   // --- atomics-only protocol (foMPI-A) -------------------------------------
 
-  /// Inserts into `owner`'s volume. Returns false iff the value already sat
-  /// in its bucket slot (set fast path); chained duplicates are possible
-  /// under races, as in the paper's design. Aborts if the overflow heap is
-  /// exhausted (size the volume for the workload).
-  bool insert_atomic(rma::RmaComm& comm, Rank owner, i64 value) const;
+  /// Inserts into `owner`'s volume. kDuplicate iff the value already sat in
+  /// its bucket slot (set fast path); chained duplicates are possible under
+  /// races, as in the paper's design. kHeapFull drops the value when the
+  /// overflow heap is exhausted.
+  InsertStatus insert_atomic(rma::RmaComm& comm, Rank owner, i64 value) const;
   [[nodiscard]] bool contains_atomic(rma::RmaComm& comm, Rank owner,
                                      i64 value) const;
 
   // --- lock-protected protocol (caller holds foMPI-RW / RMA-RW) ------------
 
-  bool insert_locked(rma::RmaComm& comm, Rank owner, i64 value) const;
+  InsertStatus insert_locked(rma::RmaComm& comm, Rank owner, i64 value) const;
   [[nodiscard]] bool contains_locked(rma::RmaComm& comm, Rank owner,
                                      i64 value) const;
 
@@ -71,7 +80,10 @@ class DistributedHashTable {
   /// All values stored in `owner`'s volume.
   [[nodiscard]] std::vector<i64> snapshot(const rma::World& world,
                                           Rank owner) const;
-  /// Number of overflow-heap entries in use at `owner`.
+  /// Overflow allocation cursor at `owner`. Can exceed heap_entries after
+  /// kHeapFull inserts: the atomic protocol's FAO claims slots optimistically
+  /// and a failed claim is not handed back (the over-increment is benign —
+  /// the cursor only ever grows, so no live slot is ever reused).
   [[nodiscard]] i64 overflow_used(const rma::World& world, Rank owner) const;
 
   [[nodiscard]] const DhtConfig& config() const { return config_; }
@@ -102,7 +114,8 @@ class DistributedHashTable {
   [[nodiscard]] WinOffset heap_next(i64 h) const { return heap_ + 2 * h + 1; }
 
   /// Claims an overflow slot and links it behind the bucket's chain.
-  void append_overflow_atomic(rma::RmaComm& comm, Rank owner, i64 bucket,
+  /// False iff the heap is exhausted (nothing linked).
+  bool append_overflow_atomic(rma::RmaComm& comm, Rank owner, i64 bucket,
                               i64 value) const;
 
   DhtConfig config_;

@@ -9,7 +9,8 @@ namespace rmalock::harness {
 
 namespace {
 
-using DhtOp = std::function<void(rma::RmaComm&, bool insert, i64 value)>;
+/// Returns true iff the op was an insert that was dropped (heap full).
+using DhtOp = std::function<bool(rma::RmaComm&, bool insert, i64 value)>;
 
 DhtBenchResult run_dht_impl(rma::World& world, const DhtBenchConfig& config,
                             const DhtOp& op) {
@@ -20,6 +21,7 @@ DhtBenchResult run_dht_impl(rma::World& world, const DhtBenchConfig& config,
       std::ceil(config.warmup_fraction * config.ops_per_proc));
   std::vector<Nanos> t0(static_cast<usize>(nprocs));
   std::vector<Nanos> t1(static_cast<usize>(nprocs));
+  std::vector<u64> drops(static_cast<usize>(nprocs), 0);  // measured phase
   const u64 insert_permille =
       static_cast<u64>(std::lround(config.fw * 1000.0));
 
@@ -30,16 +32,18 @@ DhtBenchResult run_dht_impl(rma::World& world, const DhtBenchConfig& config,
       // Values are per-op random; +1 keeps the kEmpty sentinel unused.
       const i64 value =
           static_cast<i64>(comm.rng().below(static_cast<u64>(config.key_range))) + 1;
-      op(comm, insert, value);
+      return op(comm, insert, value);
     };
     comm.barrier();
     if (participant) {
-      for (i32 i = 0; i < warmup_ops; ++i) one_op();
+      for (i32 i = 0; i < warmup_ops; ++i) (void)one_op();
     }
     comm.barrier();
     t0[static_cast<usize>(comm.rank())] = comm.now_ns();
     if (participant) {
-      for (i32 i = 0; i < config.ops_per_proc; ++i) one_op();
+      for (i32 i = 0; i < config.ops_per_proc; ++i) {
+        if (one_op()) ++drops[static_cast<usize>(comm.rank())];
+      }
     }
     comm.barrier();
     t1[static_cast<usize>(comm.rank())] = comm.now_ns();
@@ -50,6 +54,7 @@ DhtBenchResult run_dht_impl(rma::World& world, const DhtBenchConfig& config,
   result.total_ops = static_cast<u64>(nprocs - 1) *
                      static_cast<u64>(config.ops_per_proc);
   result.elapsed_ns = t1[0] - t0[0];
+  for (const u64 d : drops) result.dropped_inserts += d;
   return result;
 }
 
@@ -63,10 +68,11 @@ DhtBenchResult run_dht_atomics_bench(rma::World& world,
       [&table, owner = config.volume_owner](rma::RmaComm& comm, bool insert,
                                             i64 value) {
         if (insert) {
-          table.insert_atomic(comm, owner, value);
-        } else {
-          (void)table.contains_atomic(comm, owner, value);
+          return table.insert_atomic(comm, owner, value) ==
+                 dht::InsertStatus::kHeapFull;
         }
+        (void)table.contains_atomic(comm, owner, value);
+        return false;
       });
 }
 
@@ -81,13 +87,14 @@ DhtBenchResult run_dht_lockspace_bench(rma::World& world,
         const u64 key = static_cast<u64>(owner);  // one named lock per volume
         if (insert) {
           space.acquire(comm, key);
-          table.insert_locked(comm, owner, value);
+          const auto status = table.insert_locked(comm, owner, value);
           space.release(comm, key);
-        } else {
-          space.acquire_read(comm, key);
-          (void)table.contains_locked(comm, owner, value);
-          space.release_read(comm, key);
+          return status == dht::InsertStatus::kHeapFull;
         }
+        space.acquire_read(comm, key);
+        (void)table.contains_locked(comm, owner, value);
+        space.release_read(comm, key);
+        return false;
       });
 }
 
@@ -101,13 +108,14 @@ DhtBenchResult run_dht_locked_bench(rma::World& world,
                                                    bool insert, i64 value) {
         if (insert) {
           lock.acquire_write(comm);
-          table.insert_locked(comm, owner, value);
+          const auto status = table.insert_locked(comm, owner, value);
           lock.release_write(comm);
-        } else {
-          lock.acquire_read(comm);
-          (void)table.contains_locked(comm, owner, value);
-          lock.release_read(comm);
+          return status == dht::InsertStatus::kHeapFull;
         }
+        lock.acquire_read(comm);
+        (void)table.contains_locked(comm, owner, value);
+        lock.release_read(comm);
+        return false;
       });
 }
 

@@ -32,8 +32,19 @@ struct DhtBenchConfig {
 struct DhtBenchResult {
   u64 total_ops = 0;
   Nanos elapsed_ns = 0;
+  /// Measured-phase inserts dropped with dht::InsertStatus::kHeapFull
+  /// (overflow heap exhausted). The bench reports this as a rate instead of
+  /// aborting the run, so undersized volumes degrade observably.
+  u64 dropped_inserts = 0;
   [[nodiscard]] double total_time_s() const {
     return static_cast<double>(elapsed_ns) / 1e9;
+  }
+  /// Dropped inserts per executed operation (inserts and reads).
+  [[nodiscard]] double drop_rate() const {
+    return total_ops == 0
+               ? 0.0
+               : static_cast<double>(dropped_inserts) /
+                     static_cast<double>(total_ops);
   }
 };
 

@@ -4,6 +4,7 @@
 #include "locks/dtree.hpp"
 #include "locks/fompi_rw.hpp"
 #include "locks/fompi_spin.hpp"
+#include "locks/lease.hpp"
 #include "locks/rma_mcs.hpp"
 #include "locks/rma_rw.hpp"
 
@@ -68,6 +69,8 @@ const char* backend_name(Backend b) {
     case Backend::kDTree: return "dtree";
     case Backend::kFompiRw: return "fompi-rw";
     case Backend::kRmaRw: return "rma-rw";
+    case Backend::kLeaseMcs: return "lease-mcs";
+    case Backend::kLeaseRw: return "lease-rw";
   }
   return "?";
 }
@@ -81,8 +84,9 @@ std::optional<Backend> backend_from_name(const std::string& name) {
 
 const std::vector<Backend>& all_backends() {
   static const std::vector<Backend> kAll = {
-      Backend::kFompiSpin, Backend::kDMcs,    Backend::kRmaMcs,
-      Backend::kDTree,     Backend::kFompiRw, Backend::kRmaRw};
+      Backend::kFompiSpin, Backend::kDMcs,  Backend::kRmaMcs,
+      Backend::kDTree,     Backend::kFompiRw, Backend::kRmaRw,
+      Backend::kLeaseMcs,  Backend::kLeaseRw};
   return kAll;
 }
 
@@ -100,6 +104,17 @@ std::unique_ptr<ExclusiveLock> make_exclusive(Backend b, rma::World& world,
     case Backend::kFompiRw:
     case Backend::kRmaRw:
       return std::make_unique<RwAsExclusive>(make_rw(b, world, home));
+    case Backend::kLeaseMcs:
+    case Backend::kLeaseRw: {
+      // Inner lock first: its words precede the lease word, which is what
+      // LockSpace::slot_words assumes (inner footprint + 1).
+      auto inner = make_exclusive(
+          b == Backend::kLeaseMcs ? Backend::kRmaMcs : Backend::kRmaRw, world,
+          home);
+      LeaseParams params;
+      params.home = resolve_home(home);
+      return std::make_unique<LeaseExclusive>(world, std::move(inner), params);
+    }
   }
   return nullptr;
 }

@@ -31,6 +31,8 @@ enum class Backend : u8 {
   kDTree,      // DistributedTree driven as an exclusive lock (T_L = 1)
   kFompiRw,    // centralized reader-writer (rw)
   kRmaRw,      // topology-aware reader-writer (rw)
+  kLeaseMcs,   // LeaseExclusive over RMA-MCS (crash recovery; exclusive)
+  kLeaseRw,    // LeaseExclusive over RMA-RW writer mode (crash recovery)
 };
 
 /// True iff the backend implements the RwLock interface (reader

@@ -1,0 +1,97 @@
+#include "locks/lease.hpp"
+
+#include "common/check.hpp"
+
+namespace rmalock::locks {
+
+LeaseExclusive::LeaseExclusive(rma::World& world,
+                               std::unique_ptr<ExclusiveLock> inner,
+                               LeaseParams params)
+    : inner_(std::move(inner)), params_(params) {
+  RMALOCK_CHECK(inner_ != nullptr);
+  RMALOCK_CHECK(params_.home >= 0 && params_.home < world.nprocs());
+  RMALOCK_CHECK_MSG(world.nprocs() < (1 << kOwnerBits) - 1,
+                    "lease owner field holds ranks up to "
+                        << ((1 << kOwnerBits) - 2) << ", world has "
+                        << world.nprocs());
+  lease_ = world.allocate(1);
+  for (Rank r = 0; r < world.nprocs(); ++r) {
+    world.write_word(r, lease_, pack(0, kNilRank));
+  }
+}
+
+i64 LeaseExclusive::acquire_epoch(rma::RmaComm& comm) {
+  const Rank me = comm.rank();
+  // Self-recovery, before queueing on the inner lock: if a previous
+  // incarnation of this process crashed holding the lease and has since
+  // restarted, every other claimant sees a live-again owner and waits for
+  // a release that will never come — while this process would queue
+  // *behind* the current inner-lock holder, deadlocking the lock. Fence
+  // the orphan first (a legitimately held lease can never be observed
+  // here: acquire-while-holding is a caller bug), which also wakes any
+  // claimant parked on the lease word. A CAS failure means a racing
+  // recovery sweep already fenced it — equally done.
+  const i64 pre = comm.get(params_.home, lease_);
+  comm.flush(params_.home);
+  if (owner_of(pre) == me) {
+    comm.cas(pack(epoch_of(pre) + 1, kNilRank), pre, params_.home, lease_);
+  }
+  inner_->acquire(comm);
+  for (;;) {
+    const i64 word = comm.get(params_.home, lease_);
+    comm.flush(params_.home);
+    const i64 epoch = epoch_of(word);
+    const Rank owner = owner_of(word);
+    if (owner != kNilRank && owner != me && !comm.suspected(owner)) {
+      // Live owner: keep polling the lease word. The runtime parks us and
+      // wakes on the owner's release write — or on a crash event, which
+      // returns the get so this loop re-evaluates suspicion.
+      continue;
+    }
+    // Free, our own previous incarnation's orphan, or a suspected-dead
+    // owner's lease. A free take always starts a fresh epoch; a reclaim
+    // fences the old owner by bumping it (unless the planted bug is on).
+    const i64 next_epoch =
+        (owner == kNilRank || params_.fence_on_steal) ? epoch + 1 : epoch;
+    if (comm.cas(pack(next_epoch, me), word, params_.home, lease_) == word) {
+      inner_->release(comm);
+      return next_epoch;
+    }
+    // Lost a race with a release or a recovery sweep: re-probe.
+  }
+}
+
+void LeaseExclusive::release(rma::RmaComm& comm) {
+  const Rank me = comm.rank();
+  const i64 word = comm.get(params_.home, lease_);
+  comm.flush(params_.home);
+  if (owner_of(word) != me) {
+    // Fenced: a recovery reclaimed our lease (we were suspected dead).
+    // Nothing to undo — the bumped epoch already invalidated this hold.
+    return;
+  }
+  // Keep the epoch on release; the next grant bumps it. A CAS failure here
+  // means we were fenced between the read and the swap — equally quiet.
+  comm.cas(pack(epoch_of(word), kNilRank), word, params_.home, lease_);
+}
+
+bool LeaseExclusive::recover_orphan(rma::RmaComm& comm) {
+  const i64 word = comm.get(params_.home, lease_);
+  comm.flush(params_.home);
+  const Rank owner = owner_of(word);
+  if (owner == kNilRank || !comm.suspected(owner)) return false;
+  return comm.cas(pack(epoch_of(word) + 1, kNilRank), word, params_.home,
+                  lease_) == word;
+}
+
+i64 LeaseExclusive::lease_word(const rma::World& world) const {
+  return world.read_word(params_.home, lease_);
+}
+
+std::string LeaseExclusive::name() const {
+  std::string name = "Lease<" + inner_->name() + ">";
+  if (!params_.fence_on_steal) name += " (no fence)";
+  return name;
+}
+
+}  // namespace rmalock::locks

@@ -1,0 +1,95 @@
+// LeaseExclusive — epoch-fenced crash recovery over any exclusive backend.
+//
+// The paper's protocols (and the whole repo before the crash model) assume
+// no process ever dies: an owner that crashes inside its critical section
+// leaves every queue-based lock wedged forever. LeaseExclusive layers the
+// classic lease/epoch recovery scheme (in the spirit of the RDMA DLM
+// designs of "Using RDMA for Lock Management") on top of an inner
+// ExclusiveLock:
+//
+//   * Ownership lives in one extra lease word at `home`, packing
+//     (epoch, owner). Every grant gets a *fresh* epoch — the safety
+//     property is "never two owners in one epoch", checkable by
+//     mc::EpochMonitor.
+//   * The inner lock only serializes live claimants around the short
+//     probe/claim of the lease word; it is never held across application
+//     code, so a crash can orphan only the lease word, never the inner
+//     queue.
+//   * A claimant that finds the owner suspected dead (RmaComm::suspected)
+//     reclaims the lease by CAS, *fencing* the old owner: the epoch is
+//     bumped, so the old owner's release — or any other stale-epoch CAS —
+//     fails harmlessly and observably.
+//   * A restarted process fences its *own* orphaned lease before queueing
+//     on the inner lock. This closes the restart wedge: once the old owner
+//     reboots it is no longer suspected, so other claimants wait for a
+//     release that will never come — while the rebooted owner would queue
+//     behind them. (A restarted process that never rejoins the protocol
+//     still needs an administrative LockSpace::recover_orphans sweep run
+//     while it is down; a crash-only detector cannot tell a rebooted owner
+//     from a live slow one.)
+//
+// The fence_on_steal knob exists to plant the classic recovery bug (reclaim
+// without bumping the epoch, so a falsely-suspected or mid-CS-crashed owner
+// shares its epoch with the thief) as a model-checking true positive; see
+// bench/mc_verification.cpp.
+#pragma once
+
+#include <memory>
+
+#include "locks/lock.hpp"
+#include "rma/world.hpp"
+
+namespace rmalock::locks {
+
+struct LeaseParams {
+  /// Rank hosting the lease word.
+  Rank home = 0;
+  /// Bump the epoch when reclaiming a suspected-dead owner's lease. Always
+  /// true in correct configurations; false plants the no-fence recovery
+  /// bug for model-checking true positives.
+  bool fence_on_steal = true;
+};
+
+class LeaseExclusive final : public ExclusiveLock {
+ public:
+  /// Collective. `inner` must already be constructed against `world` (its
+  /// window words precede the lease word in a LockSpace slot).
+  LeaseExclusive(rma::World& world, std::unique_ptr<ExclusiveLock> inner,
+                 LeaseParams params);
+
+  void acquire(rma::RmaComm& comm) override { (void)acquire_epoch(comm); }
+  void release(rma::RmaComm& comm) override;
+  [[nodiscard]] std::string name() const override;
+
+  /// acquire() returning the grant's epoch, for safety monitors
+  /// (mc::EpochMonitor) and tests.
+  [[nodiscard]] i64 acquire_epoch(rma::RmaComm& comm);
+
+  /// Administrative recovery sweep (LockSpace::recover_orphans): if the
+  /// lease is held by a suspected-crashed owner, fence it and leave the
+  /// lease free at the bumped epoch. Returns true iff an orphaned lease
+  /// was reclaimed; racing regular claimants is benign (one CAS wins).
+  bool recover_orphan(rma::RmaComm& comm);
+
+  // Post-run introspection for tests (read through World, not RmaComm).
+  [[nodiscard]] i64 lease_word(const rma::World& world) const;
+  [[nodiscard]] static i64 epoch_of(i64 word) { return word >> kOwnerBits; }
+  [[nodiscard]] static Rank owner_of(i64 word) {
+    return static_cast<Rank>(word & ((1 << kOwnerBits) - 1)) - 1;
+  }
+
+ private:
+  // (epoch << 12) | (owner + 1); owner slot 0 = free. Caps P at 4094,
+  // far above anything the simulator runs.
+  static constexpr i32 kOwnerBits = 12;
+
+  [[nodiscard]] static i64 pack(i64 epoch, Rank owner) {
+    return (epoch << kOwnerBits) | (owner + 1);
+  }
+
+  std::unique_ptr<ExclusiveLock> inner_;
+  LeaseParams params_;
+  WinOffset lease_ = -1;
+};
+
+}  // namespace rmalock::locks

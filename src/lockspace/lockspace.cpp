@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "locks/lease.hpp"
 
 namespace rmalock::lockspace {
 
@@ -54,6 +55,26 @@ class SlotArena final : public rma::World {
   usize limit_;
 };
 
+/// A window-less World that only counts allocations: constructing a backend
+/// against it measures the true per-instance footprint without touching the
+/// real world. Lock constructors only allocate() and write initial words,
+/// both of which this absorbs locally.
+class MeasureWorld final : public rma::World {
+ public:
+  explicit MeasureWorld(const topo::Topology& topo) : World(topo) {}
+
+  rma::RunResult run(const std::function<void(rma::RmaComm&)>&) override {
+    RMALOCK_CHECK_MSG(false, "MeasureWorld cannot run SPMD bodies");
+    return {};
+  }
+  [[nodiscard]] i64 read_word(Rank, WinOffset) const override { return 0; }
+  void write_word(Rank, WinOffset, i64) override {}
+  [[nodiscard]] rma::OpStats aggregate_stats() const override { return {}; }
+
+ protected:
+  void grow_windows(usize) override {}
+};
+
 }  // namespace
 
 usize LockSpace::slot_words(locks::Backend backend,
@@ -70,6 +91,10 @@ usize LockSpace::slot_words(locks::Backend backend,
       return 3 * n;  // DistributedTree: NEXT/STATUS/TAIL per level
     case locks::Backend::kRmaRw:
       return 3 * n + 2;  // tree + ARRIVE/DEPART counter words
+    case locks::Backend::kLeaseMcs:
+      return 3 * n + 1;  // inner RMA-MCS + the lease word
+    case locks::Backend::kLeaseRw:
+      return 3 * n + 3;  // inner RMA-RW + the lease word
   }
   return 0;
 }
@@ -83,8 +108,47 @@ LockSpace::LockSpace(rma::World& world, LockSpaceConfig config)
   RMALOCK_CHECK_MSG(num_shards_ >= 1, "LockSpace needs >= 1 shard");
   RMALOCK_CHECK_MSG(config_.slots_per_shard >= 1,
                     "LockSpace needs >= 1 slot per shard");
-  words_per_slot_ = slot_words(config_.backend, topo);
+  words_per_slot_ = config_.words_per_slot_override > 0
+                        ? config_.words_per_slot_override
+                        : slot_words(config_.backend, topo);
   RMALOCK_CHECK(words_per_slot_ > 0);
+
+  // Probe the backend's true footprint now, against a measuring world, so
+  // an under-provisioned reservation fails here — with the full budget in
+  // the message — instead of mid-run when a lazy first touch overruns its
+  // arena range.
+  {
+    MeasureWorld probe(topo);
+    if (rw_capable()) {
+      (void)locks::make_rw(config_.backend, probe, /*home=*/0);
+    } else {
+      (void)locks::make_exclusive(config_.backend, probe, /*home=*/0);
+    }
+    backend_words_ = probe.window_words();
+  }
+  RMALOCK_CHECK_MSG(
+      backend_words_ <= words_per_slot_,
+      "LockSpace arena under-provisioned: backend "
+          << locks::backend_name(config_.backend) << " needs "
+          << backend_words_ << " words per slot under this topology, but "
+          << "the space reserves only " << words_per_slot_
+          << " words for each of " << num_shards_ << " shards x "
+          << config_.slots_per_shard << " slots ("
+          << words_per_slot_ * static_cast<usize>(total_slots())
+          << " words total) — "
+          << (config_.words_per_slot_override > 0
+                  ? "raise words_per_slot_override"
+                  : "update LockSpace::slot_words"));
+  RMALOCK_CHECK_MSG(
+      config_.words_per_slot_override > 0 ||
+          backend_words_ == words_per_slot_,
+      "slot_words over-reports backend "
+          << locks::backend_name(config_.backend) << ": table says "
+          << words_per_slot_ << " words but an instance allocates "
+          << backend_words_ << " — the grid would waste "
+          << (words_per_slot_ - backend_words_) *
+                 static_cast<usize>(total_slots())
+          << " words across " << total_slots() << " slots");
 
   // One contiguous reservation for the whole grid; slot i's range starts at
   // base + i * words_per_slot_. This is the only allocation the space ever
@@ -165,15 +229,17 @@ void LockSpace::instantiate_slot(i32 shard_index, u32 global_slot) {
     slot.rw = locks::make_rw(config_.backend, arena, shard.home);
   } else {
     slot.ex = locks::make_exclusive(config_.backend, arena, shard.home);
+    slot.lease = dynamic_cast<locks::LeaseExclusive*>(slot.ex.get());
   }
-  // Exact-footprint check: a backend that allocates fewer words than the
-  // slot_words table claims would silently waste arena (and a larger one
-  // aborts in grow_windows above).
+  // Consistency check against the construction-time probe: every instance
+  // of one backend must allocate identically (footprint depends only on
+  // the topology), or the arena ranges would drift.
   RMALOCK_CHECK_MSG(
       arena.window_words() ==
-          static_cast<usize>(slot.arena_base) + words_per_slot_,
-      "slot_words mismatch for backend "
-          << locks::backend_name(config_.backend));
+          static_cast<usize>(slot.arena_base) + backend_words_,
+      "backend " << locks::backend_name(config_.backend)
+                 << " allocated a different footprint than the probe "
+                    "instance measured at construction");
   instantiated_.fetch_add(1, std::memory_order_relaxed);
   slot.ready.store(true, std::memory_order_release);
 }
@@ -255,6 +321,20 @@ void LockSpace::release_read(rma::RmaComm& comm, u64 key) {
       slot.ex->release(comm);
     }
   });
+}
+
+u64 LockSpace::recover_orphans(rma::RmaComm& comm) {
+  u64 reclaimed = 0;
+  // Lock-free sweep: `ready` is published with release ordering after the
+  // lease pointer is set, and reclaiming races regular claimants through a
+  // single CAS — so no shard mutex is needed (holding one across comm ops
+  // would wedge SimWorld's cooperative fibers anyway).
+  for (Slot& slot : slots_) {
+    if (!slot.ready.load(std::memory_order_acquire)) continue;
+    if (slot.lease == nullptr) continue;
+    if (slot.lease->recover_orphan(comm)) ++reclaimed;
+  }
+  return reclaimed;
 }
 
 u64 LockSpace::total_acquires() const {

@@ -46,6 +46,10 @@
 #include "locks/factory.hpp"
 #include "rma/world.hpp"
 
+namespace rmalock::locks {
+class LeaseExclusive;
+}
+
 namespace rmalock::lockspace {
 
 struct LockSpaceConfig {
@@ -62,6 +66,11 @@ struct LockSpaceConfig {
   bool track_op_stats = false;
   /// Directory hash salt: lets tests steer keys onto chosen shards/slots.
   u64 salt = 0;
+  /// Testing knob: reserve this many words per slot instead of the
+  /// slot_words() table value. The constructor still probes the backend's
+  /// true footprint and aborts if the reservation is too small — which is
+  /// exactly what the under-provisioning regression test provokes.
+  usize words_per_slot_override = 0;
 };
 
 /// Result of the O(1) directory computation for one key.
@@ -106,6 +115,14 @@ class LockSpace {
   void release(rma::RmaComm& comm, u64 key);
   void acquire_read(rma::RmaComm& comm, u64 key);
   void release_read(rma::RmaComm& comm, u64 key);
+
+  /// Administrative recovery sweep: walks every instantiated slot whose
+  /// backend is a LeaseExclusive and reclaims leases held by
+  /// suspected-crashed owners, fencing each with a bumped epoch. Returns
+  /// the number of orphaned leases reclaimed. Any rank may run the sweep
+  /// (including concurrently with regular claimants — the reclaim CAS makes
+  /// the race benign); non-lease backends always recover 0.
+  u64 recover_orphans(rma::RmaComm& comm);
 
   [[nodiscard]] bool rw_capable() const {
     return locks::backend_is_rw(config_.backend);
@@ -161,6 +178,9 @@ class LockSpace {
     // Exactly one of the two is set, per backend kind.
     std::unique_ptr<locks::RwLock> rw;
     std::unique_ptr<locks::ExclusiveLock> ex;
+    // Non-owning view of `ex` when the backend is lease-capable (set before
+    // `ready` is published), so recover_orphans can sweep without casts.
+    locks::LeaseExclusive* lease = nullptr;
   };
 
   /// Returns the slot's backend instance, constructing it on first touch.
@@ -178,7 +198,8 @@ class LockSpace {
   rma::World& world_;
   LockSpaceConfig config_;
   i32 num_shards_ = 0;
-  usize words_per_slot_ = 0;
+  usize words_per_slot_ = 0;   // reserved per slot (table or override)
+  usize backend_words_ = 0;    // probed true footprint of one instance
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<Slot> slots_;
   std::atomic<u64> instantiated_{0};

@@ -62,6 +62,10 @@ rma::SimOptions schedule_options(const CheckConfig& config, u64 schedule) {
   opts.pct_horizon = static_cast<u64>(config.topology.nprocs()) *
                      static_cast<u64>(config.acquires_per_proc) * 50;
   opts.max_steps = config.max_steps;
+  opts.max_crashes = config.max_crashes;
+  opts.crash_chance_permille = config.crash_chance_permille;
+  opts.restart_crashed = config.restart_crashed;
+  opts.adversarial_suspicion = config.adversarial_suspicion;
   opts.abort_on_deadlock = false;  // report, don't abort: we are the checker
   // Randomized campaigns do not record up front: the engine is
   // deterministic, so capture_first_failure re-records only the (rare)
@@ -225,6 +229,32 @@ ScheduleOutcome run_exclusive_schedule(const CheckConfig& config,
   return outcome;
 }
 
+ScheduleOutcome run_lease_schedule(const CheckConfig& config,
+                                   const LeaseLockFactory& factory,
+                                   const rma::SimOptions& opts) {
+  auto world = rma::SimWorld::create(opts);
+  const auto lock = factory(*world);
+  EpochMonitor monitor;
+  ScheduleOutcome outcome;
+  outcome.run = world->run([&](rma::RmaComm& comm) {
+    for (i32 i = 0; i < config.acquires_per_proc; ++i) {
+      comm.crash_point();  // may die right before competing for the lease
+      const i64 epoch = lock->acquire_epoch(comm);
+      monitor.enter(epoch);
+      comm.compute(10);  // scheduling point: keeps the CS observable
+      comm.crash_point();  // may die mid-CS — the unwind skips exit() and
+                           // release(), so the epoch stays active and the
+                           // lease is orphaned until a survivor fences it
+      monitor.exit(epoch);
+      lock->release(comm);
+    }
+  });
+  outcome.mutex_violations = monitor.violations();
+  outcome.cs_entries = monitor.entries();
+  outcome.lock_name = lock->name();
+  return outcome;
+}
+
 void fold_outcome(CheckReport& report, const ScheduleOutcome& outcome) {
   ++report.schedules_run;
   report.mutex_violations += outcome.mutex_violations;
@@ -317,6 +347,10 @@ void capture_first_failure(
     repro.writer_fraction = config.writer_fraction;
     repro.writer_roles = config.writer_roles;
     repro.max_steps = config.max_steps;
+    repro.max_crashes = config.max_crashes;
+    repro.crash_chance_permille = config.crash_chance_permille;
+    repro.restart_crashed = config.restart_crashed;
+    repro.adversarial_suspicion = config.adversarial_suspicion;
     repro.trace = failure.trace;
     const std::string name = failure_trace_path(config, failure.lock_name,
                                                 failure.kind, schedule_index);
@@ -391,6 +425,13 @@ CheckReport check_exclusive(const CheckConfig& config,
                             const ExclusiveLockFactory& factory) {
   return check_campaign(config, [&](const rma::SimOptions& opts) {
     return run_exclusive_schedule(config, factory, opts);
+  });
+}
+
+CheckReport check_lease(const CheckConfig& config,
+                        const LeaseLockFactory& factory) {
+  return check_campaign(config, [&](const rma::SimOptions& opts) {
+    return run_lease_schedule(config, factory, opts);
   });
 }
 

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "lockspace/lockspace.hpp"
+#include "locks/lease.hpp"
 #include "locks/lock.hpp"
 #include "rma/sim_world.hpp"
 
@@ -69,6 +70,17 @@ struct CheckConfig {
   /// Workload id stamped into written trace files; mc_verification
   /// --replay maps it back to a lock factory.
   std::string workload_id;
+  /// Crash injection (SimOptions::max_crashes etc., see rma/sim_world.hpp):
+  /// crash budget per schedule; 0 keeps every crash point a no-op and the
+  /// campaign identical to the pre-crash-model checker.
+  i32 max_crashes = 0;
+  /// Per-armed-crash-point crash probability under kRandom/kPct (permille).
+  u32 crash_chance_permille = 500;
+  /// Reboot crashed processes (they re-run the workload body from the top).
+  bool restart_crashed = false;
+  /// Failure detector may falsely suspect live processes — the adversarial
+  /// regime where only fencing (not accurate detection) protects safety.
+  bool adversarial_suspicion = false;
   /// Worker threads for the campaign (--jobs / RMALOCK_JOBS): 1 = the
   /// sequential loop (default), n > 1 = run schedules on a work-stealing
   /// TaskPool, <= 0 = all hardware threads. Every observable output —
@@ -127,6 +139,8 @@ using ExclusiveLockFactory =
     std::function<std::unique_ptr<locks::ExclusiveLock>(rma::World&)>;
 using LockSpaceFactory =
     std::function<std::unique_ptr<lockspace::LockSpace>(rma::World&)>;
+using LeaseLockFactory =
+    std::function<std::unique_ptr<locks::LeaseExclusive>(rma::World&)>;
 
 /// Explores `config.schedules` schedules of a reader/writer workload.
 CheckReport check_rw(const CheckConfig& config, const RwLockFactory& factory);
@@ -134,6 +148,16 @@ CheckReport check_rw(const CheckConfig& config, const RwLockFactory& factory);
 /// Explores `config.schedules` schedules of an all-writers workload.
 CheckReport check_exclusive(const CheckConfig& config,
                             const ExclusiveLockFactory& factory);
+
+/// Explores `config.schedules` schedules of a crash/recovery workload over
+/// a lease lock: every process declares a crash point before each acquire
+/// and one inside each critical section (armed iff config.max_crashes > 0),
+/// so an owner can die holding the lease and survivors must reclaim it.
+/// Checked properties: "never two owners in one epoch" (EpochMonitor,
+/// folded into mutex_violations) and recovery liveness — a survivor stuck
+/// forever on an unreclaimable lease surfaces as an engine deadlock.
+CheckReport check_lease(const CheckConfig& config,
+                        const LeaseLockFactory& factory);
 
 /// Explores `config.schedules` schedules of a keyed LockSpace workload:
 /// process p's i-th acquisition targets keys[(p + i) % keys.size()]
@@ -197,6 +221,10 @@ ScheduleOutcome run_rw_schedule(const CheckConfig& config,
 ScheduleOutcome run_exclusive_schedule(const CheckConfig& config,
                                        const ExclusiveLockFactory& factory,
                                        const rma::SimOptions& opts);
+/// Runs one crash/recovery lease schedule (see check_lease) under `opts`.
+ScheduleOutcome run_lease_schedule(const CheckConfig& config,
+                                   const LeaseLockFactory& factory,
+                                   const rma::SimOptions& opts);
 /// Runs one keyed LockSpace schedule (see check_lockspace) under `opts`.
 ScheduleOutcome run_lockspace_schedule(const CheckConfig& config,
                                        const LockSpaceFactory& factory,

@@ -438,6 +438,16 @@ CheckReport check_exclusive_exhaustive(const CheckConfig& config,
                                });
 }
 
+CheckReport check_lease_exhaustive(const CheckConfig& config,
+                                   const ExploreConfig& explore,
+                                   const LeaseLockFactory& factory,
+                                   bool iterative) {
+  return check_exhaustive_impl(
+      config, explore, factory, iterative,
+      [](const CheckConfig& c, const LeaseLockFactory& f,
+         const rma::SimOptions& o) { return run_lease_schedule(c, f, o); });
+}
+
 CheckReport check_lockspace_exhaustive(const CheckConfig& config,
                                        const ExploreConfig& explore,
                                        const LockSpaceFactory& factory,

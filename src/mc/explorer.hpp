@@ -95,6 +95,16 @@ CheckReport check_exclusive_exhaustive(const CheckConfig& config,
                                        const ExploreConfig& explore,
                                        const ExclusiveLockFactory& factory,
                                        bool iterative = false);
+/// Crash/recovery lease workload (see check_lease): with
+/// config.max_crashes > 0, every armed crash point is a scheduler decision
+/// the DFS branches on — crash-free interleavings AND every placement of
+/// up to max_crashes crashes are enumerated within the bounds. Crashing
+/// costs one preemption, so iterative deepening surfaces the no-crash
+/// space first.
+CheckReport check_lease_exhaustive(const CheckConfig& config,
+                                   const ExploreConfig& explore,
+                                   const LeaseLockFactory& factory,
+                                   bool iterative = false);
 /// Keyed LockSpace workload (see check_lockspace): per-key mutual
 /// exclusion and deadlock freedom over every bounded interleaving, plus
 /// the cross-key-overlap tally that witnesses key independence.

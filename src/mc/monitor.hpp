@@ -12,6 +12,7 @@
 #pragma once
 
 #include <atomic>
+#include <map>
 
 #include "common/types.hpp"
 
@@ -43,6 +44,40 @@ class CsMonitor {
  private:
   i64 readers_ = 0;
   i64 writers_ = 0;
+  u64 violations_ = 0;
+  u64 entries_ = 0;
+};
+
+/// Safety monitor for lease/epoch locks (locks::LeaseExclusive): the
+/// property is "never two owners in one epoch". Each grant enters with its
+/// epoch; a violation is an enter while the same epoch is still active.
+/// Crashed holders never exit — their epoch stays active forever — so a
+/// recovery that re-grants a dead owner's epoch (the planted no-fence bug,
+/// or a false suspicion reclaimed without fencing) is always caught, while
+/// correctly fenced recoveries (fresh epoch per grant) never trip it.
+///
+/// Note the property is deliberately *not* "epochs grow monotonically":
+/// under adversarial suspicion a thief's higher-epoch grant can reach the
+/// monitor before the fenced victim's earlier grant does, which is benign.
+/// Relies on SimWorld's serialized execution, like CsMonitor.
+class EpochMonitor {
+ public:
+  void enter(i64 epoch) {
+    ++entries_;
+    if (active_[epoch]++ > 0) ++violations_;
+  }
+  void exit(i64 epoch) {
+    auto it = active_.find(epoch);
+    if (it != active_.end() && --it->second <= 0) active_.erase(it);
+  }
+
+  [[nodiscard]] u64 violations() const { return violations_; }
+  [[nodiscard]] u64 entries() const { return entries_; }
+  /// Epochs currently active (crashed holders keep theirs forever).
+  [[nodiscard]] usize active() const { return active_.size(); }
+
+ private:
+  std::map<i64, i64> active_;
   u64 violations_ = 0;
   u64 entries_ = 0;
 };

@@ -24,7 +24,10 @@ const char* policy_name(rma::SchedPolicy policy) {
 
 namespace {
 
-const char kMagic[] = "rmalock-trace v1";
+// v2 added the crash-injection keys and the negative crash picks; v1 files
+// (no crash model) parse unchanged.
+const char kMagic[] = "rmalock-trace v2";
+const char kMagicV1[] = "rmalock-trace v1";
 
 bool parse_policy(const std::string& name, rma::SchedPolicy* out) {
   if (name == "virtual-time") *out = rma::SchedPolicy::kVirtualTime;
@@ -70,6 +73,11 @@ std::string serialize_trace(const TraceCase& c) {
     out << "\n";
   }
   out << "max_steps " << c.max_steps << "\n";
+  if (c.max_crashes != 0) {
+    out << "crashes " << c.max_crashes << " " << c.crash_chance_permille << " "
+        << (c.restart_crashed ? 1 : 0) << " "
+        << (c.adversarial_suspicion ? 1 : 0) << "\n";
+  }
   out << "picks " << c.trace.picks.size() << "\n";
   for (usize i = 0; i < c.trace.picks.size(); ++i) {
     out << c.trace.picks[i] << ((i + 1) % 32 == 0 ? "\n" : " ");
@@ -81,8 +89,8 @@ std::string serialize_trace(const TraceCase& c) {
 bool parse_trace(const std::string& text, TraceCase* out, std::string* error) {
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || line != kMagic) {
-    return fail(error, "missing 'rmalock-trace v1' header");
+  if (!std::getline(in, line) || (line != kMagic && line != kMagicV1)) {
+    return fail(error, "missing 'rmalock-trace v1/v2' header");
   }
   *out = TraceCase{};
   while (std::getline(in, line)) {
@@ -135,6 +143,15 @@ bool parse_trace(const std::string& text, TraceCase* out, std::string* error) {
       }
     } else if (key == "max_steps") {
       fields >> out->max_steps;
+    } else if (key == "crashes") {
+      i32 restart = 0;
+      i32 adversarial = 0;
+      if (!(fields >> out->max_crashes >> out->crash_chance_permille >>
+            restart >> adversarial)) {
+        return fail(error, "bad crashes line: " + line);
+      }
+      out->restart_crashed = restart != 0;
+      out->adversarial_suspicion = adversarial != 0;
     } else if (key == "picks") {
       usize count = 0;
       if (!(fields >> count)) return fail(error, "bad picks count");

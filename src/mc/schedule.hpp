@@ -5,8 +5,12 @@
 // (rma::ScheduleTrace). This module makes that pair a first-class artifact:
 //
 //   * TraceCase bundles a trace with everything needed to re-execute it —
-//     topology, world seed, workload shape — in a line-oriented text format
-//     ("rmalock-trace v1") that survives CI artifact upload and `--replay`.
+//     topology, world seed, workload shape, crash-injection knobs — in a
+//     line-oriented text format ("rmalock-trace v2"; v1 files, which
+//     predate the crash model, still parse) that survives CI artifact
+//     upload and `--replay`. Crash decisions live in the same picks stream
+//     as scheduling decisions, encoded as -(rank + 2) (see
+//     rma::ScheduleTrace).
 //   * shrink_trace() reduces a failing trace to a minimal counterexample
 //     with the classic delta-debugging loop (Zeller & Hildebrandt's ddmin):
 //     first the shortest failing prefix (violations are detected during
@@ -41,6 +45,13 @@ struct TraceCase {
   /// drawn from (world_seed, rank) with writer_fraction.
   std::vector<bool> writer_roles;
   u64 max_steps = 0;
+  /// Crash-injection knobs of the recorded run (SimOptions equivalents);
+  /// max_crashes == 0 means the run had no crash model and the trace is a
+  /// plain v1-compatible schedule.
+  i32 max_crashes = 0;
+  u32 crash_chance_permille = 500;
+  bool restart_crashed = false;
+  bool adversarial_suspicion = false;
   rma::ScheduleTrace trace;
 };
 

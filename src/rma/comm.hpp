@@ -93,6 +93,28 @@ class RmaComm {
     accumulate(oprd, target, offset, op);
   }
 
+  // --- failure model -------------------------------------------------------
+
+  /// Declared crash point: a place where the calling process volunteers to
+  /// be killed. A runtime with crash injection armed (SimWorld with
+  /// SimOptions::max_crashes > 0) treats each call as an explorable binary
+  /// decision — survive or fail-stop here — covered by record/replay and
+  /// the exhaustive explorer like any scheduling decision. Runtimes without
+  /// crash injection (ThreadWorld, or an unarmed SimWorld) ignore it
+  /// entirely: no cost, no decision, no trace entry.
+  virtual void crash_point() {}
+
+  /// Failure detector: true iff the runtime suspects `target` has crashed.
+  /// The default (no failure model) never suspects anyone. SimWorld models
+  /// either a perfect detector (suspected == crashed) or, under
+  /// SimOptions::adversarial_suspicion, one whose timeouts always fire —
+  /// recovery protocols must keep their safety property even when a live
+  /// owner is falsely suspected.
+  [[nodiscard]] virtual bool suspected(Rank target) {
+    (void)target;
+    return false;
+  }
+
   // --- runtime services ----------------------------------------------------
 
   /// Model `ns` nanoseconds of local computation (busy work in the CS,

@@ -67,6 +67,11 @@ class SimComm final : public RmaComm {
     world_.execute_op(rank_, OpKind::kFlush, target, 0, 0, 0, AccumOp::kSum);
   }
 
+  void crash_point() override { world_.execute_crash_point(rank_); }
+  [[nodiscard]] bool suspected(Rank target) override {
+    return world_.proc_suspected(rank_, target);
+  }
+
   void compute(Nanos ns) override { world_.execute_compute(rank_, ns); }
   [[nodiscard]] Nanos now_ns() override { return world_.proc_clock(rank_); }
   void barrier() override { world_.execute_barrier(rank_); }
@@ -219,6 +224,8 @@ RunResult SimWorld::run(const std::function<void(RmaComm&)>& body) {
     proc.wait_cells.clear();
     proc.pending_acks.clear();
     proc.num_polls = 0;
+    proc.crashed = false;
+    proc.incarnation = 0;
     proc.rng = Xoshiro256(mix_seed(opts_.seed, static_cast<u64>(r)));
     if (!proc.stack) {
       proc.stack = StackPool::local().acquire(opts_.fiber_stack_bytes);
@@ -247,6 +254,11 @@ RunResult SimWorld::run(const std::function<void(RmaComm&)>& body) {
   for (const auto& proc : procs_) {
     result_.makespan_ns = std::max(result_.makespan_ns, proc->clock);
   }
+  for (Rank r = 0; r < p; ++r) {
+    if (procs_[static_cast<usize>(r)]->crashed) {
+      result_.crashed_ranks.push_back(r);
+    }
+  }
   running_ = false;
   return result_;
 }
@@ -263,17 +275,33 @@ void SimWorld::fiber_entry() {
 }
 
 void SimWorld::fiber_body(Rank rank) {
-  if (!stopping_) {
-    SimComm comm(*this, rank);
+  SimComm comm(*this, rank);
+  while (!stopping_) {
+    bool crashed = false;
     try {
       (*body_)(comm);
     } catch (const StopRun&) {
       // Run is being torn down (deadlock / step limit); unwind quietly.
+    } catch (const ProcCrashed&) {
+      crashed = true;
     } catch (...) {
       RMALOCK_CHECK_MSG(false,
                         "exception escaped a SimWorld process body (rank "
                             << rank << ")");
     }
+    if (!crashed || !opts_.restart_crashed || stopping_) break;
+    // Restart: stay visibly dead (crashed == true) until the scheduler
+    // next picks this rank, so the downtime window is an ordinary
+    // scheduling decision. Then reboot and re-run the body from the top.
+    Proc& self = *procs_[static_cast<usize>(rank)];
+    self.clock += opts_.restart_delay_ns;
+    try {
+      yield_cpu(rank);
+    } catch (const StopRun&) {
+      break;
+    }
+    self.crashed = false;
+    ++self.incarnation;
   }
   finish_proc(rank);
 }
@@ -436,6 +464,13 @@ void SimWorld::handle_no_runnable() {
   for (Rank r = 0; r < nprocs(); ++r) {
     Proc& proc = *procs_[static_cast<usize>(r)];
     if (proc.state == ProcState::kParked) {
+      // Once a crash has happened, force-wakes return the pending Get to
+      // the caller (the failure-detector timeout firing): a proc that
+      // parked polling a dead owner's cell must re-evaluate suspicion in
+      // its own loop, which no window write will ever trigger. Without
+      // crashes the plain force-wake (re-poll, re-park) is kept so stall
+      // detection stays cheap and decision sequences stay bit-compatible.
+      proc.woken_by_write = result_.crashes > 0;
       make_runnable(proc, r);
       woke_any = true;
     }
@@ -915,6 +950,82 @@ void SimWorld::execute_compute(Rank origin, Nanos ns) {
   clear_polls(self);
   self.clock += ns;
   yield_cpu(origin);
+}
+
+// ---------------------------------------------------------------------------
+// Crash injection
+// ---------------------------------------------------------------------------
+
+bool SimWorld::proc_suspected(Rank origin, Rank target) const {
+  const Proc& proc = *procs_[static_cast<usize>(target)];
+  return proc.crashed || (opts_.adversarial_suspicion && target != origin);
+}
+
+bool SimWorld::decide_crash(Rank origin) {
+  bool crash;
+  if (opts_.policy == SchedPolicy::kReplay) {
+    if (opts_.replay != nullptr && replay_pos_ < opts_.replay->picks.size()) {
+      const Rank pick = opts_.replay->picks[replay_pos_++];
+      crash = pick == crash_pick(origin);
+      // A pick that names neither outcome (shrunk/edited trace) falls back
+      // to surviving, counted like any other divergence.
+      if (!crash && pick != origin) ++result_.replay_divergences;
+    } else if (opts_.pick_hook) {
+      // Candidates sorted ascending like every hook call; the caller's own
+      // rank is the "keep running" choice, so a crash costs the explorer
+      // one preemption — no-crash schedules are explored first.
+      const std::vector<Rank> candidates{crash_pick(origin), origin};
+      crash = opts_.pick_hook(candidates) == crash_pick(origin);
+    } else {
+      crash = false;  // deterministic fallback, like smallest-rank picks
+    }
+  } else {
+    crash = sched_rng_.below(1000) < opts_.crash_chance_permille;
+  }
+  if (opts_.record_schedule) {
+    result_.schedule.picks.push_back(crash ? crash_pick(origin) : origin);
+  }
+  return crash;
+}
+
+void SimWorld::execute_crash_point(Rank origin) {
+  check_stop(origin);
+  if (opts_.max_crashes <= 0 ||
+      result_.crashes >= static_cast<u64>(opts_.max_crashes)) {
+    // Unarmed (or budget spent): a complete no-op — no step, no decision,
+    // no trace entry — so bodies may declare crash points unconditionally
+    // without perturbing crash-free runs or pre-crash-model traces.
+    return;
+  }
+  bump_step(origin);
+  if (!decide_crash(origin)) return;
+  Proc& self = *procs_[static_cast<usize>(origin)];
+  ++result_.crashes;
+  self.crashed = true;
+  // Fail-stop with surviving window memory (the NIC keeps serving the dead
+  // host's registered memory): issued effects stay applied, only the
+  // process state dies with the fiber.
+  clear_polls(self);
+  self.pending_acks.clear();
+  if (trace_) [[unlikely]] {
+    std::fprintf(stderr, "[trace %8llu] r%-4d CRASH (incarnation %llu)\n",
+                 static_cast<unsigned long long>(steps_), origin,
+                 static_cast<unsigned long long>(self.incarnation));
+  }
+  wake_all_parked_on_crash(origin);
+  throw ProcCrashed{};
+}
+
+void SimWorld::wake_all_parked_on_crash(Rank crasher) {
+  const Nanos when = procs_[static_cast<usize>(crasher)]->clock;
+  for (Rank r = 0; r < nprocs(); ++r) {
+    if (r == crasher) continue;
+    Proc& proc = *procs_[static_cast<usize>(r)];
+    if (proc.state != ProcState::kParked) continue;
+    proc.clock = std::max(proc.clock, when);
+    proc.woken_by_write = true;
+    make_runnable(proc, r);
+  }
 }
 
 }  // namespace rmalock::rma

@@ -112,6 +112,39 @@ struct SimOptions {
   PickHook pick_hook;
   /// Stack bytes per simulated process.
   usize fiber_stack_bytes = 256 * 1024;
+
+  // --- crash injection -----------------------------------------------------
+  // Failure model: fail-stop crashes at *declared* crash points
+  // (RmaComm::crash_point()), window memory surviving the owner process —
+  // the RDMA model where the NIC keeps serving remote reads of a dead
+  // host's registered memory. 0 disables the machinery completely:
+  // crash_point() is then free and recorded traces stay bit-compatible
+  // with the pre-crash-model format.
+
+  /// Maximum number of crash events the run may inject (the budget the
+  /// exhaustive explorer bounds, like its preemption bound).
+  i32 max_crashes = 0;
+  /// Chance (permille) of crashing at an armed crash point under the
+  /// stochastic policies (kVirtualTime/kRandom/kPct). kReplay takes the
+  /// decision from the trace / pick_hook instead.
+  u32 crash_chance_permille = 500;
+  /// Restart crashed processes: a crashed process re-enters the scheduler
+  /// and, when next picked, reboots and re-runs the body from the top as a
+  /// fresh incarnation — so restart *timing* is an ordinary scheduling
+  /// decision that record/replay and the explorer cover for free. When
+  /// false, crashes are permanent (fail-stop). Restarting bodies must not
+  /// contain barriers: the barrier accounting cannot tell a reborn
+  /// first-barrier arrival from a later one.
+  bool restart_crashed = false;
+  /// Virtual downtime charged to a restarting process before it re-enters
+  /// the scheduler (kVirtualTime: keeps it out of the running for that
+  /// long).
+  Nanos restart_delay_ns = 0;
+  /// Failure detector model for RmaComm::suspected(): false = perfect
+  /// (suspected iff crashed); true = adversarial (every other rank is
+  /// always suspected — the timeout that always fires). Lease fencing must
+  /// keep its epoch-safety property even under the adversarial detector.
+  bool adversarial_suspicion = false;
 };
 
 class SimWorld final : public World {
@@ -174,6 +207,11 @@ class SimWorld final : public World {
     i32 num_polls = 0;
     u64 poll_epoch = 0;  // counts this proc's Get operations
     u32 pct_priority = 0;
+    /// Dead (crashed at a crash point). Stays true until the restart
+    /// reboot (restart_crashed) or the end of the run; suspected() and the
+    /// RunResult report read it.
+    bool crashed = false;
+    u64 incarnation = 0;  // restarts survived (0 = original process)
     Xoshiro256 rng;
     OpStats stats;
   };
@@ -190,6 +228,18 @@ class SimWorld final : public World {
   /// exception-transparent (RAII only), so this is safe.
   struct StopRun {};
 
+  /// Thrown from an armed crash point to fail-stop the calling process
+  /// (same exception-transparency argument as StopRun).
+  struct ProcCrashed {};
+
+  /// Crash decisions share the pick stream with scheduling decisions:
+  /// surviving crash point records the caller's rank, crashing records
+  /// crash_pick(rank). The +2 offset keeps the encoding clear of
+  /// kNilRank (-1).
+  [[nodiscard]] static constexpr Rank crash_pick(Rank rank) {
+    return -(rank + 2);
+  }
+
   void grow_windows(usize words) override;
 
   // --- fiber plumbing ------------------------------------------------------
@@ -204,6 +254,18 @@ class SimWorld final : public World {
                  IssueMode mode = IssueMode::kBlocking);
   void execute_compute(Rank origin, Nanos ns);
   void execute_barrier(Rank origin);
+  /// Declared crash point (RmaComm::crash_point): a no-op unless crash
+  /// injection is armed and budget remains, else an explorable binary
+  /// decision that may throw ProcCrashed through the caller.
+  void execute_crash_point(Rank origin);
+  /// The crash/survive decision at an armed crash point (per policy).
+  bool decide_crash(Rank origin);
+  /// Failure detector backing RmaComm::suspected().
+  [[nodiscard]] bool proc_suspected(Rank origin, Rank target) const;
+  /// A crash is a failure-detection event: wakes every parked process with
+  /// write semantics so pending Gets return and callers can re-evaluate
+  /// suspicion (a dead owner never writes the cell they parked on).
+  void wake_all_parked_on_crash(Rank crasher);
 
   i64 apply_to_window(OpKind kind, Rank target, WinOffset offset, i64 operand,
                       i64 cmp, AccumOp aop, bool* wrote);

@@ -30,6 +30,12 @@ namespace rmalock::rma {
 /// (the engine has no other source of nondeterminism); a truncated or edited
 /// trace still replays — unmatched decisions fall back to the deterministic
 /// smallest-rank policy — which is what makes ddmin-style shrinking possible.
+///
+/// Crash decisions (SimOptions::max_crashes > 0) share the pick stream: at
+/// an armed crash point, surviving records the caller's rank r and crashing
+/// records -(r + 2) (the offset keeps the encoding clear of kNilRank = -1).
+/// With crash injection off, crash points record nothing, so such traces
+/// are bit-compatible with pre-crash-model ones.
 struct ScheduleTrace {
   std::vector<Rank> picks;
 
@@ -57,6 +63,13 @@ struct RunResult {
   /// with shrunk/edited traces) and fell back to the smallest runnable rank.
   /// 0 on a faithful replay of an unmodified trace.
   u64 replay_divergences = 0;
+  /// Crash events injected at declared crash points (SimWorld with
+  /// SimOptions::max_crashes > 0; always 0 otherwise). With restarts
+  /// enabled a process can contribute several.
+  u64 crashes = 0;
+  /// Ranks that were dead when the run finished (fail-stop crashes, or
+  /// crashes whose restart never got scheduled before the run ended).
+  std::vector<Rank> crashed_ranks;
 
   [[nodiscard]] bool ok() const { return !deadlocked && !step_limit_hit; }
 };

@@ -55,6 +55,16 @@ class KeyGenerator {
  public:
   explicit KeyGenerator(KeyGenConfig config) : config_(config) {
     RMALOCK_CHECK_MSG(config_.num_keys >= 1, "need at least one key");
+    if (config_.dist == KeyDist::kZipfian &&
+        (config_.zipf_s <= 0.0 || config_.num_keys == 1)) {
+      // Degenerate cases sample as exact uniform instead of running the
+      // Gray et al. recurrence outside its domain: s == 0 is analytically
+      // uniform (1/r^0 is constant), and K == 1 has only one key but a
+      // negative eta denominator (zeta2 = 2 > zetan = 1) that made next()
+      // misbehave. The rewritten config is observable so callers and JSON
+      // records see the distribution that actually ran.
+      config_.dist = KeyDist::kUniform;
+    }
     if (config_.dist == KeyDist::kZipfian) {
       double s = config_.zipf_s;
       if (std::abs(s - 1.0) < 1e-9) s = 1.0 - 1e-9;  // sampler singularity
@@ -65,9 +75,17 @@ class KeyGenerator {
       }
       const double zeta2 = 1.0 + std::pow(0.5, theta_);
       alpha_ = 1.0 / (1.0 - theta_);
-      eta_ = (1.0 - std::pow(2.0 / static_cast<double>(config_.num_keys),
+      const double eta_denom = 1.0 - zeta2 / zetan_;
+      // K == 2 makes the denominator exactly zero (zeta2 == zetan). The
+      // value is never used — next() resolves both keys on the uz < 1 and
+      // uz < 1 + 2^-theta branches before reaching eta_ — so pin it to
+      // keep the state finite instead of propagating an inf.
+      eta_ = eta_denom == 0.0
+                 ? 0.0
+                 : (1.0 -
+                    std::pow(2.0 / static_cast<double>(config_.num_keys),
                              1.0 - theta_)) /
-             (1.0 - zeta2 / zetan_);
+                       eta_denom;
     } else if (config_.dist == KeyDist::kHotspot) {
       RMALOCK_CHECK(config_.hotspot_fraction > 0.0 &&
                     config_.hotspot_fraction <= 1.0);

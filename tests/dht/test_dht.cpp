@@ -26,7 +26,7 @@ TEST(Dht, InsertThenContains) {
   DistributedHashTable table(*world, small_config());
   world->run([&](rma::RmaComm& comm) {
     if (comm.rank() != 0) return;
-    EXPECT_TRUE(table.insert_atomic(comm, 1, 42));
+    EXPECT_EQ(table.insert_atomic(comm, 1, 42), InsertStatus::kInserted);
     EXPECT_TRUE(table.contains_atomic(comm, 1, 42));
     EXPECT_FALSE(table.contains_atomic(comm, 1, 43));
   });
@@ -43,12 +43,12 @@ TEST(Dht, VolumesAreIndependent) {
   });
 }
 
-TEST(Dht, DuplicateBucketInsertReturnsFalse) {
+TEST(Dht, DuplicateBucketInsertReportsDuplicate) {
   auto world = make_sim(topo::Topology::uniform({}, 1));
   DistributedHashTable table(*world, small_config());
   world->run([&](rma::RmaComm& comm) {
-    EXPECT_TRUE(table.insert_atomic(comm, 0, 5));
-    EXPECT_FALSE(table.insert_atomic(comm, 0, 5));
+    EXPECT_EQ(table.insert_atomic(comm, 0, 5), InsertStatus::kInserted);
+    EXPECT_EQ(table.insert_atomic(comm, 0, 5), InsertStatus::kDuplicate);
   });
   EXPECT_EQ(table.overflow_used(*world, 0), 0);
 }
@@ -61,7 +61,7 @@ TEST(Dht, CollisionsGoToOverflowChain) {
   DistributedHashTable table(*world, config);
   world->run([&](rma::RmaComm& comm) {
     for (i64 v = 1; v <= 10; ++v) {
-      EXPECT_TRUE(table.insert_atomic(comm, 0, v));
+      EXPECT_EQ(table.insert_atomic(comm, 0, v), InsertStatus::kInserted);
     }
     for (i64 v = 1; v <= 10; ++v) {
       EXPECT_TRUE(table.contains_atomic(comm, 0, v)) << v;
@@ -223,18 +223,65 @@ TEST(DhtDeathTest, RejectsEmptySentinel) {
                "sentinel");
 }
 
-TEST(DhtDeathTest, AbortsWhenHeapExhausted) {
+TEST(Dht, HeapExhaustionDropsWithStatusAtomic) {
+  auto world = make_sim(topo::Topology::uniform({}, 1));
+  DhtConfig config;
+  config.table_buckets = 1;  // everything collides into one chain
+  config.heap_entries = 2;
+  DistributedHashTable table(*world, config);
+  world->run([&](rma::RmaComm& comm) {
+    // v=1 takes the bucket slot, v=2..3 the two heap entries; everything
+    // after that is dropped with kHeapFull instead of aborting the run.
+    for (i64 v = 1; v <= 3; ++v) {
+      EXPECT_EQ(table.insert_atomic(comm, 0, v), InsertStatus::kInserted) << v;
+    }
+    for (i64 v = 4; v <= 10; ++v) {
+      EXPECT_EQ(table.insert_atomic(comm, 0, v), InsertStatus::kHeapFull) << v;
+    }
+    // Everything that reported kInserted stays findable; drops are absent.
+    for (i64 v = 1; v <= 3; ++v) {
+      EXPECT_TRUE(table.contains_atomic(comm, 0, v)) << v;
+    }
+    for (i64 v = 4; v <= 10; ++v) {
+      EXPECT_FALSE(table.contains_atomic(comm, 0, v)) << v;
+    }
+  });
+  // The atomic claim over-increments the cursor on every failed insert
+  // (documented benign); the cursor never shrinks back to capacity.
+  EXPECT_EQ(table.overflow_used(*world, 0), 2 + 7);
+  EXPECT_EQ(table.snapshot(*world, 0).size(), 3u);
+}
+
+TEST(Dht, HeapExhaustionDropsWithStatusLocked) {
   auto world = make_sim(topo::Topology::uniform({}, 1));
   DhtConfig config;
   config.table_buckets = 1;
   config.heap_entries = 2;
   DistributedHashTable table(*world, config);
-  EXPECT_DEATH(world->run([&](rma::RmaComm& comm) {
-                 for (i64 v = 1; v <= 10; ++v) {
-                   table.insert_atomic(comm, 0, v);
-                 }
-               }),
-               "heap exhausted");
+  world->run([&](rma::RmaComm& comm) {
+    for (i64 v = 1; v <= 3; ++v) {
+      EXPECT_EQ(table.insert_locked(comm, 0, v), InsertStatus::kInserted) << v;
+    }
+    for (i64 v = 4; v <= 10; ++v) {
+      EXPECT_EQ(table.insert_locked(comm, 0, v), InsertStatus::kHeapFull) << v;
+      // The drop path is read-only; without an intervening write or compute
+      // the repeated identical reads look like a pure spin to SimWorld's
+      // poll detector (real callers hold a lock, whose release writes).
+      comm.compute(10);
+    }
+    // A duplicate of a stored value still reports kDuplicate, not kHeapFull:
+    // the chain walk runs before the allocation attempt.
+    EXPECT_EQ(table.insert_locked(comm, 0, 2), InsertStatus::kDuplicate);
+    for (i64 v = 1; v <= 3; ++v) {
+      EXPECT_TRUE(table.contains_locked(comm, 0, v)) << v;
+      comm.compute(10);
+    }
+    EXPECT_FALSE(table.contains_locked(comm, 0, 4));
+  });
+  // The locked path checks capacity before writing: the cursor stays
+  // exactly at capacity no matter how many inserts were dropped.
+  EXPECT_EQ(table.overflow_used(*world, 0), 2);
+  EXPECT_EQ(table.snapshot(*world, 0).size(), 3u);
 }
 
 }  // namespace

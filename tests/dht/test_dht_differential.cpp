@@ -34,34 +34,36 @@ struct VolumeModel {
   explicit VolumeModel(const DistributedHashTable& table) : table_(&table) {}
 
   /// Mirrors insert_atomic under a single mutator: returns what the real
-  /// insert must return and tracks contents/overflow usage.
-  bool insert_atomic(i64 value) {
+  /// insert must return and tracks contents/overflow usage. The test
+  /// configs over-provision the heap, so kHeapFull is unreachable here
+  /// (exhaustion semantics are covered directly in test_dht.cpp).
+  InsertStatus insert_atomic(i64 value) {
     const i64 bucket = table_->bucket_of(value);
     const auto slot = bucket_slot_.find(bucket);
     if (slot == bucket_slot_.end()) {
       bucket_slot_[bucket] = value;
       contents_.insert(value);
-      return true;
+      return InsertStatus::kInserted;
     }
-    if (slot->second == value) return false;  // set fast path
+    if (slot->second == value) return InsertStatus::kDuplicate;  // fast path
     contents_.insert(value);  // chained: duplicates allowed
     ++overflow_used_;
-    return true;
+    return InsertStatus::kInserted;
   }
 
   /// Mirrors insert_locked: exact set semantics.
-  bool insert_locked(i64 value) {
+  InsertStatus insert_locked(i64 value) {
     const i64 bucket = table_->bucket_of(value);
     const auto slot = bucket_slot_.find(bucket);
     if (slot == bucket_slot_.end()) {
       bucket_slot_[bucket] = value;
       contents_.insert(value);
-      return true;
+      return InsertStatus::kInserted;
     }
-    if (contents_.count(value) > 0) return false;
+    if (contents_.count(value) > 0) return InsertStatus::kDuplicate;
     contents_.insert(value);
     ++overflow_used_;
-    return true;
+    return InsertStatus::kInserted;
   }
 
   [[nodiscard]] bool contains(i64 value) const {

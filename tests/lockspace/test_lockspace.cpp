@@ -239,5 +239,63 @@ TEST(LockSpaceModes, EveryBackendTakesAndReleasesKeys) {
   }
 }
 
+TEST(LockSpaceDeathTest, UnderProvisionedArenaFailsAtConstruction) {
+  // Regression for the former mid-run abort: a reservation smaller than
+  // the backend's true footprint used to pass construction and then trip
+  // the slot-arena overflow CHECK on the first lazy touch, deep inside a
+  // run. The construction-time probe must reject it up front, naming the
+  // exact budget.
+  auto world =
+      rma::SimWorld::create(sim_options(topo::Topology::uniform({2}, 2)));
+  lockspace::LockSpaceConfig config;
+  config.backend = locks::Backend::kRmaMcs;
+  config.words_per_slot_override = 1;  // RMA-MCS needs several words
+  EXPECT_DEATH(lockspace::LockSpace(*world, config),
+               "LockSpace arena under-provisioned");
+}
+
+TEST(LockSpaceRecovery, RecoverOrphansReclaimsOnlyTheOrphanedLease) {
+  // A victim instantiates several named lease locks (so the sweep has
+  // live-but-free slots it must skip), then dies holding one of them. A
+  // survivor's administrative sweep reclaims exactly that lease, and the
+  // orphaned name serves new claimants again.
+  rma::SimOptions opts = sim_options(topo::Topology::uniform({2}, 2));
+  opts.max_crashes = 1;
+  opts.crash_chance_permille = 1000;  // the armed point fires for sure
+  auto world = rma::SimWorld::create(opts);
+  lockspace::LockSpaceConfig config;
+  config.backend = locks::Backend::kLeaseMcs;
+  config.slots_per_shard = 4;
+  lockspace::LockSpace space(*world, config);
+
+  const Rank victim = static_cast<Rank>(world->nprocs() - 1);
+  constexpr u64 kOrphanKey = 3;
+  u64 reclaimed = 0;
+  u64 reclaimed_again = 0;
+  const rma::RunResult result = world->run([&](rma::RmaComm& comm) {
+    if (comm.rank() == victim) {
+      for (u64 key = 0; key < 8; ++key) {
+        space.acquire(comm, key);
+        space.release(comm, key);
+      }
+      space.acquire(comm, kOrphanKey);
+      comm.crash_point();  // dies holding the lease
+      space.release(comm, kOrphanKey);
+    } else if (comm.rank() == 0) {
+      while (!comm.suspected(victim)) comm.compute(500);
+      reclaimed = space.recover_orphans(comm);
+      // The reclaimed name must be acquirable again; every other slot was
+      // already free, so a second sweep finds nothing.
+      space.acquire(comm, kOrphanKey);
+      space.release(comm, kOrphanKey);
+      reclaimed_again = space.recover_orphans(comm);
+    }
+  });
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.crashes, 1u);
+  EXPECT_EQ(reclaimed, 1u);
+  EXPECT_EQ(reclaimed_again, 0u);
+}
+
 }  // namespace
 }  // namespace rmalock

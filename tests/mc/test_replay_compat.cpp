@@ -1,9 +1,13 @@
-// Replay compatibility: recorded "rmalock-trace v1" files must keep
-// replaying bit-identically across engine and lock-protocol changes.
+// Replay compatibility: recorded trace files must keep replaying
+// bit-identically across engine and lock-protocol changes. The v1-era
+// goldens ("rmalock-trace v1", recorded before the crash model existed)
+// additionally pin backward-compatible reads of the old format; the crash
+// goldens are v2 traces whose picks stream interleaves negative crash
+// decisions (crash of rank r = -(r + 2)).
 //
 // The golden traces under tests/mc/data/ were recorded with kRandom
-// schedules of the mc_verification workloads *before* the nonblocking-op
-// pipeline landed. Replaying them asserts three things:
+// schedules of the mc_verification workloads. Replaying them asserts
+// three things:
 //
 //   1. zero divergences — every recorded pick named a runnable rank, i.e.
 //      the park/wake structure of the run is unchanged;
@@ -26,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "locks/lease.hpp"
 #include "locks/rma_mcs.hpp"
 #include "locks/rma_rw.hpp"
 #include "mc/checker.hpp"
@@ -62,12 +67,30 @@ mc::ExclusiveLockFactory exclusive_factory() {
   };
 }
 
+mc::LeaseLockFactory lease_factory() {
+  return [](rma::World& world) {
+    locks::RmaMcsParams inner =
+        locks::RmaMcsParams::defaults(world.topology());
+    inner.locality.assign(static_cast<usize>(world.topology().num_levels()),
+                          2);
+    return std::make_unique<locks::LeaseExclusive>(
+        world, std::make_unique<locks::RmaMcs>(world, inner),
+        locks::LeaseParams{});
+  };
+}
+
 struct GoldenCase {
   const char* file;      // under tests/mc/data/
-  const char* workload;  // "rw:rma-rw" or "ex:rma-mcs"
+  const char* workload;  // "rw:rma-rw", "ex:rma-mcs", or "lease:mcs"
   topo::Topology topology;
   u64 world_seed;
   i32 acquires;
+  // Crash-injection knobs of the recorded run. Zero for the v1-era goldens
+  // (kept byte-identical on disk: they pin backward-compatible reads of the
+  // pre-crash-model format); nonzero cases record v2 traces whose picks
+  // stream interleaves negative crash decisions.
+  i32 max_crashes = 0;
+  bool restart = false;
 };
 
 std::vector<GoldenCase> golden_cases() {
@@ -80,6 +103,11 @@ std::vector<GoldenCase> golden_cases() {
        21, 4},
       {"replay_ex_P2x2_s22.trace", "ex:rma-mcs",
        topo::Topology::uniform({2}, 2), 22, 4},
+      {"replay_lease_crash_P4_s31.trace", "lease:mcs",
+       topo::Topology::uniform({}, 4), 31, 4, /*max_crashes=*/1},
+      {"replay_lease_restart_P2x2_s32.trace", "lease:mcs",
+       topo::Topology::uniform({2}, 2), 32, 4, /*max_crashes=*/1,
+       /*restart=*/true},
   };
 }
 
@@ -98,6 +126,12 @@ mc::CheckConfig config_for(const GoldenCase& c) {
   for (i32 r = 0; r < c.topology.nprocs(); r += 2) {
     config.writer_roles[static_cast<usize>(r)] = true;
   }
+  config.max_crashes = c.max_crashes;
+  // Moderate per-point chance so the one-crash budget lands on different
+  // crash points across schedules (an always-fire chance would pin every
+  // crash to the first declared point).
+  config.crash_chance_permille = 300;
+  config.restart_crashed = c.restart;
   return config;
 }
 
@@ -105,6 +139,9 @@ mc::ScheduleOutcome run_case(const GoldenCase& c, const mc::CheckConfig& config,
                              const rma::SimOptions& opts) {
   if (std::string(c.workload) == "rw:rma-rw") {
     return mc::run_rw_schedule(config, rw_factory(), opts);
+  }
+  if (std::string(c.workload) == "lease:mcs") {
+    return mc::run_lease_schedule(config, lease_factory(), opts);
   }
   return mc::run_exclusive_schedule(config, exclusive_factory(), opts);
 }
@@ -119,6 +156,11 @@ void regenerate() {
     opts.record_schedule = true;
     const mc::ScheduleOutcome outcome = run_case(c, config, opts);
     ASSERT_TRUE(outcome.run.ok()) << c.file << ": golden run must be clean";
+    if (c.max_crashes > 0) {
+      // A crash golden without a crash pins nothing — pick another seed.
+      ASSERT_GE(outcome.run.crashes, 1u)
+          << c.file << ": recorded run injected no crash";
+    }
     mc::TraceCase golden;
     golden.workload = c.workload;
     golden.lock_name = outcome.lock_name;
@@ -129,6 +171,10 @@ void regenerate() {
     golden.acquires_per_proc = c.acquires;
     golden.writer_roles = config.writer_roles;
     golden.max_steps = config.max_steps;
+    golden.max_crashes = config.max_crashes;
+    golden.crash_chance_permille = config.crash_chance_permille;
+    golden.restart_crashed = config.restart_crashed;
+    golden.adversarial_suspicion = config.adversarial_suspicion;
     golden.trace = outcome.run.schedule;
     std::string error;
     ASSERT_TRUE(mc::write_trace_file(data_path(c.file), golden, &error))
@@ -160,6 +206,11 @@ TEST(ReplayCompat, GoldenTracesReplayBitIdentically) {
         << "a recorded pick named a rank that is no longer runnable there";
     EXPECT_TRUE(outcome.run.ok()) << "golden run no longer completes cleanly";
     EXPECT_EQ(outcome.mutex_violations, 0u);
+    if (c.max_crashes > 0) {
+      // The recorded crash decisions must re-fire at the same points.
+      EXPECT_GE(outcome.run.crashes, 1u)
+          << "replay no longer reproduces the recorded crash";
+    }
     // The decision-point structure must be unchanged: same number of
     // scheduler decisions, same pick at every one of them.
     EXPECT_EQ(outcome.run.schedule.picks, golden.trace.picks)
