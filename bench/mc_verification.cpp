@@ -137,6 +137,26 @@ mc::LockSpaceFactory make_lockspace_factory(const std::string& id) {
   };
 }
 
+// Versioned optimistic-read workloads over a payload-capable LockSpace.
+// "opt:skip-validation" is a *planted* bug — optimistic_read skips the
+// version re-validation, certifying torn snapshots. The campaigns must
+// catch it with the torn-read fault model armed (max_tears > 0) and print
+// a deterministic --replay repro line; a torn-read-blind run of the same
+// workload must MISS it — the false negative the fault model exists to
+// prevent.
+mc::LockSpaceFactory make_optimistic_factory(const std::string& id) {
+  if (id != "opt:versioned" && id != "opt:skip-validation") return nullptr;
+  const bool planted = id == "opt:skip-validation";
+  return [planted](rma::World& world) {
+    lockspace::LockSpaceConfig config;
+    config.backend = locks::Backend::kRmaRw;
+    config.slots_per_shard = 4;
+    config.payload_words = 2;  // one split point: smallest tearable payload
+    config.skip_read_validation = planted;
+    return std::make_unique<lockspace::LockSpace>(world, config);
+  };
+}
+
 // ---------------------------------------------------------------------------
 // Randomized campaign (default mode)
 // ---------------------------------------------------------------------------
@@ -279,6 +299,97 @@ int run_randomized(bool quick, bool smoke, const std::string& trace_dir,
       }
       record_campaign(json, std::string(id) + "/" + policy_name,
                       topology.nprocs(), report, timer.elapsed_s());
+    }
+  }
+
+  // Versioned optimistic reads under the torn-read fault model: writers
+  // publish monotone ascending-order payloads under the write lock; readers
+  // snapshot lock-free with version validation. The armed fault model lets
+  // multi-word gets observe partial writes; validation must reject every
+  // torn snapshot (OptimisticReadMonitor folds consistency violations into
+  // mutex_violations).
+  std::printf("\n--- optimistic versioned reads (torn-read model armed) "
+              "---\n");
+  {
+    const auto factory = make_optimistic_factory("opt:versioned");
+    const topo::Topology topology = topo::Topology::uniform({2}, 2);  // P=4
+    const auto keys = mc::pick_cross_slot_keys(factory, topology, 2);
+    for (const auto policy :
+         {rma::SchedPolicy::kRandom, rma::SchedPolicy::kPct}) {
+      const char* policy_name =
+          policy == rma::SchedPolicy::kRandom ? "random" : "pct";
+      mc::CheckConfig config = base_config(
+          topology, policy, smoke ? 2 : (quick ? 8 : 60),
+          /*acquires=*/smoke ? 4 : 8, trace_dir, "opt:versioned", jobs);
+      config.writer_fraction = 0.5;
+      config.max_tears = 2;
+      const Timer timer;
+      const auto report = mc::check_optimistic(config, factory, keys);
+      std::printf("OPT-RW   P=4 K=2  %-7s %s\n", policy_name,
+                  report.summary().c_str());
+      all_ok = all_ok && report.ok();
+      record_campaign(json, std::string("opt:versioned/") + policy_name,
+                      topology.nprocs(), report, timer.elapsed_s());
+    }
+  }
+
+  // Planted skip-validation bug: with tears armed, both randomized policies
+  // must CATCH the certified-torn-read bug (repro line printed; trace_dir
+  // stays enabled on purpose). The torn-read-blind control run of the SAME
+  // buggy workload must come back clean — without the fault model every
+  // snapshot is single-instant and the bug is invisible, which is exactly
+  // why the model exists.
+  std::printf("\n--- planted skip-validation bug (must be caught when "
+              "armed) ---\n");
+  {
+    // The bug's window is narrow: a tear must straddle a write session's
+    // two payload puts on the SAME key. The campaign concentrates the
+    // workload accordingly — one key (every reader races every writer),
+    // pinned 2-writer/2-reader roles, and a tear budget spread across the
+    // schedule with a low per-read chance so tears land mid-run where the
+    // write traffic is, not in the first few reads.
+    const auto factory = make_optimistic_factory("opt:skip-validation");
+    const topo::Topology topology = topo::Topology::uniform({2}, 2);
+    const auto keys = mc::pick_cross_slot_keys(factory, topology, 1);
+    const std::vector<bool> roles = {true, false, true, false};
+    for (const auto policy :
+         {rma::SchedPolicy::kRandom, rma::SchedPolicy::kPct}) {
+      const char* policy_name =
+          policy == rma::SchedPolicy::kRandom ? "random" : "pct";
+      // Schedule i's world seed depends only on (base_seed, i), so the
+      // smoke and quick tiers share the full tier's prefix — 150 schedules
+      // provably contains a catch for BOTH policies (random: s34, pct:
+      // s131 under the default base seed).
+      mc::CheckConfig config = base_config(
+          topology, policy, quick || smoke ? 150 : 400,
+          /*acquires=*/10, trace_dir, "opt:skip-validation", jobs);
+      config.writer_roles = roles;
+      config.max_tears = 6;
+      config.tear_chance_permille = 300;
+      const auto report = mc::check_optimistic(config, factory, keys);
+      std::printf("skip-validation (%-7s): %s\n", policy_name,
+                  report.summary().c_str());
+      const bool caught = report.mutex_violations > 0;
+      if (!caught) std::printf("  ERROR: planted bug was NOT caught\n");
+      all_ok = all_ok && caught;
+    }
+    {
+      // Torn-read-blind control: same bug, fault model off. Expected clean.
+      mc::CheckConfig config = base_config(
+          topology, rma::SchedPolicy::kRandom, quick || smoke ? 150 : 400,
+          /*acquires=*/10, /*trace_dir=*/"", "opt:skip-validation", jobs);
+      config.writer_roles = roles;
+      config.max_tears = 0;
+      const auto report = mc::check_optimistic(config, factory, keys);
+      std::printf("skip-validation (blind  ): %s\n", report.summary().c_str());
+      if (report.ok()) {
+        std::printf("  torn-read-blind run missed the planted bug — the "
+                    "expected false negative\n");
+      } else {
+        std::printf("  ERROR: blind run flagged a violation (atomic "
+                    "snapshots should satisfy the monitor)\n");
+      }
+      all_ok = all_ok && report.ok();
     }
   }
 
@@ -543,6 +654,53 @@ int run_exhaustive(bool quick, bool smoke, const std::string& trace_dir,
     }
   }
 
+  // Torn-read schedules: with max_tears=1 every armed multi-word get is a
+  // scheduler decision, so the DFS enumerates all atomic-snapshot
+  // interleavings AND every tear placement. The validated reader must drain
+  // its space with zero violations; the planted skip-validation bug must be
+  // caught with a replayable counterexample (the minimal one needs three
+  // preemptions: pause the writer pre-bump, tear the read, resume the
+  // writer across the split).
+  std::printf("\n--- torn-read schedules (optimistic reads, <=1 tear) "
+              "---\n");
+  {
+    mc::ExploreConfig explore;
+    explore.max_schedules = smoke ? 50'000 : 500'000;
+    explore.max_preemptions = 3;
+    const topo::Topology topology = topo::Topology::uniform({}, 2);
+    const i32 acquires = 1;
+    const std::vector<bool> roles = {true, false};  // 1 writer, 1 reader
+    for (const char* id : {"opt:versioned", "opt:skip-validation"}) {
+      const auto factory = make_optimistic_factory(id);
+      const auto keys = mc::pick_cross_slot_keys(factory, topology, 1);
+      mc::CheckConfig config;
+      config.topology = topology;
+      config.acquires_per_proc = acquires;
+      config.max_steps = 400'000;
+      config.trace_dir = trace_dir;
+      config.workload_id = id;
+      config.jobs = jobs;
+      config.writer_roles = roles;
+      config.max_tears = 1;
+      const bool planted = id == std::string("opt:skip-validation");
+      const Timer timer;
+      const auto report = mc::check_optimistic_exhaustive(
+          config, explore, factory, keys, /*iterative=*/true);
+      std::printf("%-15s P=2 acq=%d d<=%d %s\n",
+                  planted ? "skip-validation" : "OPT-RW", acquires,
+                  explore.max_preemptions, report.summary().c_str());
+      if (planted) {
+        const bool caught = report.mutex_violations > 0;
+        if (!caught) std::printf("  ERROR: planted bug was NOT caught\n");
+        all_ok = all_ok && caught;
+      } else {
+        all_ok = all_ok && report.ok();
+        record_campaign(json, "opt:versioned/exhaustive", topology.nprocs(),
+                        report, timer.elapsed_s());
+      }
+    }
+  }
+
   std::printf("\nVERDICT: %s\n",
               all_ok ? "all enumerated interleavings are safe"
                      : "VIOLATIONS FOUND");
@@ -581,6 +739,8 @@ int run_replay(const std::string& path) {
   config.crash_chance_permille = repro.crash_chance_permille;
   config.restart_crashed = repro.restart_crashed;
   config.adversarial_suspicion = repro.adversarial_suspicion;
+  config.max_tears = repro.max_tears;
+  config.tear_chance_permille = repro.tear_chance_permille;
 
   mc::ScheduleOutcome outcome;
   if (const auto rw = make_rw_factory(repro.workload)) {
@@ -599,6 +759,18 @@ int run_replay(const std::string& path) {
     const auto keys = mc::pick_cross_slot_keys(ls, repro.topology, 2);
     outcome = mc::run_lockspace_schedule(
         config, ls, keys,
+        mc::replay_options(config, repro.world_seed, repro.trace));
+  } else if (const auto opt = make_optimistic_factory(repro.workload)) {
+    // Same key-derivation convention as the campaigns: the P=2 exhaustive
+    // sweep and the single-key planted-bug campaign use one key, the
+    // bigger validated randomized machines use K=2.
+    const i32 k = (repro.topology.nprocs() <= 2 ||
+                   repro.workload == "opt:skip-validation")
+                      ? 1
+                      : 2;
+    const auto keys = mc::pick_cross_slot_keys(opt, repro.topology, k);
+    outcome = mc::run_optimistic_schedule(
+        config, opt, keys,
         mc::replay_options(config, repro.world_seed, repro.trace));
   } else {
     std::fprintf(stderr, "mc_verification: unknown workload id '%s'\n",

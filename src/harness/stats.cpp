@@ -8,6 +8,11 @@ namespace rmalock::harness {
 double percentile_sorted(const std::vector<double>& sorted, double pct) {
   if (sorted.empty()) return 0;
   if (sorted.size() == 1) return sorted[0];
+  // Clamp before computing the position: pct < 0 would cast a negative
+  // double to usize (huge index -> OOB read), pct > 100 would walk past
+  // the back. NaN lands on 0 (the min), keeping the function total.
+  if (!(pct > 0.0)) pct = 0.0;
+  if (pct > 100.0) pct = 100.0;
   const double pos = pct / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<usize>(pos);
   const usize hi = std::min(lo + 1, sorted.size() - 1);

@@ -20,7 +20,13 @@ struct Summary {
 /// Summarizes a sample (copies and sorts internally; empty input -> zeros).
 Summary summarize(std::vector<double> values);
 
-/// Percentile (0..100) of a sorted sample via linear interpolation.
+/// Percentile of a sorted sample. The convention is linear interpolation
+/// between closest ranks over positions 0..n-1 (NIST/R-7: the value at
+/// fractional position (n-1) * pct/100), NOT nearest-rank — so pct=50 of
+/// {1,2} is 1.5, pct=0 is the minimum and pct=100 the maximum exactly.
+/// Degenerate inputs are total: empty -> 0, single sample -> that sample,
+/// and pct is clamped into [0, 100] (out-of-range requests can never index
+/// out of bounds).
 double percentile_sorted(const std::vector<double>& sorted, double pct);
 
 }  // namespace rmalock::harness

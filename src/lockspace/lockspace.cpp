@@ -177,6 +177,15 @@ LockSpace::LockSpace(rma::World& world, LockSpaceConfig config)
                                       words_per_slot_);
   }
 
+  // Versioned-payload arena: reserved separately from the lock arena so
+  // backend footprints (and the probe CHECKs above) are unaffected. Fresh
+  // window words are zero, so every version starts even-quiescent.
+  if (config_.payload_words > 0) {
+    payload_stride_ = 1 + static_cast<usize>(config_.payload_words);
+    payload_base_ = world.allocate(payload_stride_ *
+                                   static_cast<usize>(total_slots()));
+  }
+
   if (config_.eager) {
     for (u32 gs = 0; gs < total_slots(); ++gs) {
       instantiate_slot(static_cast<i32>(gs) / config_.slots_per_shard, gs);
@@ -323,6 +332,84 @@ void LockSpace::release_read(rma::RmaComm& comm, u64 key) {
   });
 }
 
+void LockSpace::write_payload(rma::RmaComm& comm, u64 key, const i64* data,
+                              usize n) {
+  RMALOCK_CHECK_MSG(optimistic_capable(), "LockSpaceConfig::payload_words = 0");
+  RMALOCK_CHECK_MSG(n <= static_cast<usize>(config_.payload_words),
+                    "payload write of " << n << " words exceeds the "
+                                        << config_.payload_words
+                                        << "-word slot payload");
+  const LockRef ref = resolve(key);
+  const WinOffset voff = version_offset(ref.global_slot);
+  // Serialized by the caller-held write lock: bump to odd (publication in
+  // progress), store the words in ascending index order — the order the
+  // optimistic monitor's consistency check relies on — then bump to even.
+  const i64 v = comm.get(ref.home, voff);
+  comm.put(v + 1, ref.home, voff);
+  for (usize i = 0; i < n; ++i) {
+    comm.put(data[i], ref.home, voff + 1 + static_cast<WinOffset>(i));
+  }
+  comm.put(v + 2, ref.home, voff);
+}
+
+void LockSpace::locked_read(rma::RmaComm& comm, u64 key, i64* out, usize n) {
+  RMALOCK_CHECK_MSG(optimistic_capable(), "LockSpaceConfig::payload_words = 0");
+  RMALOCK_CHECK(n <= static_cast<usize>(config_.payload_words));
+  const LockRef ref = resolve(key);
+  const WinOffset voff = version_offset(ref.global_slot);
+  acquire_read(comm, key);
+  // Writers are excluded, so even a torn get_vec observes one quiescent
+  // payload state.
+  comm.get_vec(ref.home, voff + 1, out, n);
+  release_read(comm, key);
+}
+
+i64 LockSpace::payload_version(rma::RmaComm& comm, u64 key) {
+  RMALOCK_CHECK_MSG(optimistic_capable(), "LockSpaceConfig::payload_words = 0");
+  const LockRef ref = resolve(key);
+  return comm.get(ref.home, version_offset(ref.global_slot));
+}
+
+LockSpace::OptimisticResult LockSpace::optimistic_read(rma::RmaComm& comm,
+                                                       u64 key, i64* out,
+                                                       usize n) {
+  RMALOCK_CHECK_MSG(optimistic_capable(), "LockSpaceConfig::payload_words = 0");
+  RMALOCK_CHECK(n <= static_cast<usize>(config_.payload_words));
+  const LockRef ref = resolve(key);
+  const WinOffset voff = version_offset(ref.global_slot);
+  OptimisticResult result;
+  const u32 attempts =
+      static_cast<u32>(std::max<i32>(0, config_.optimistic_retries)) + 1;
+  for (u32 attempt = 0; attempt < attempts; ++attempt) {
+    result.retries = attempt;
+    const i64 v1 = comm.get(ref.home, voff);
+    if ((v1 & 1) != 0) continue;  // writer mid-publication
+    comm.get_vec(ref.home, voff + 1, out, n);
+    if (config_.skip_read_validation) {
+      // PLANTED BUG: certifying the snapshot without re-reading the version
+      // accepts torn observations. Only the torn-read fault model exposes
+      // this — an atomic multi-word read mid-write never violates the
+      // ascending-order consistency check (see the header).
+      result.ok = true;
+      return result;
+    }
+    const i64 v2 = comm.get(ref.home, voff);
+    if (v2 == v1) {
+      result.ok = true;
+      return result;
+    }
+  }
+  // Retries exhausted (sustained write pressure): fall back to the read
+  // lock, which always yields a consistent snapshot.
+  result.retries = attempts;
+  result.fell_back = true;
+  acquire_read(comm, key);
+  comm.get_vec(ref.home, voff + 1, out, n);
+  release_read(comm, key);
+  result.ok = true;
+  return result;
+}
+
 u64 LockSpace::recover_orphans(rma::RmaComm& comm) {
   u64 reclaimed = 0;
   // Lock-free sweep: `ready` is published with release ordering after the
@@ -359,6 +446,10 @@ std::string LockSpace::describe() const {
       << " slots (" << total_slots() << " locks, " << words_per_slot_
       << " words/slot, "
       << (config_.eager ? "eager" : "lazy") << ")";
+  if (optimistic_capable()) {
+    out << " + versioned payload (" << config_.payload_words
+        << " words/slot)";
+  }
   return out.str();
 }
 

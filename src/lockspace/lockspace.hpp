@@ -66,6 +66,20 @@ struct LockSpaceConfig {
   bool track_op_stats = false;
   /// Directory hash salt: lets tests steer keys onto chosen shards/slots.
   u64 salt = 0;
+  /// Payload words per slot published through the versioned read path
+  /// (optimistic_read / write_payload / locked_read). 0 = no versioned
+  /// data area; the optimistic API is then unavailable. The payload arena
+  /// (1 version word + payload_words data words per slot, on the slot's
+  /// home rank) is reserved separately from the lock arena, so backend
+  /// footprints are unaffected.
+  i32 payload_words = 0;
+  /// optimistic_read attempts before falling back to the read lock.
+  i32 optimistic_retries = 3;
+  /// PLANTED-BUG knob (MC verification only): skip the version
+  /// re-validation read in optimistic_read, certifying torn observations.
+  /// The optimistic MC campaigns must catch this — and a torn-read-blind
+  /// run must NOT (the false negative the fault model exists to prevent).
+  bool skip_read_validation = false;
   /// Testing knob: reserve this many words per slot instead of the
   /// slot_words() table value. The constructor still probes the backend's
   /// true footprint and aborts if the reservation is too small — which is
@@ -115,6 +129,50 @@ class LockSpace {
   void release(rma::RmaComm& comm, u64 key);
   void acquire_read(rma::RmaComm& comm, u64 key);
   void release_read(rma::RmaComm& comm, u64 key);
+
+  // --- versioned payload (optimistic reads) --------------------------------
+  // Per-slot version word bumped odd/even around every write-side critical
+  // section; readers snapshot the payload lock-free and validate the
+  // version unchanged. Write sessions store payload words in ascending
+  // index order, which gives snapshots a checkable consistency order: any
+  // single-instant observation is non-increasing in write-session age along
+  // the word index, so an "older word after a newer word" observation can
+  // only come from a torn (time-split) read — the property the optimistic
+  // MC monitor checks.
+
+  [[nodiscard]] bool optimistic_capable() const {
+    return config_.payload_words > 0;
+  }
+  [[nodiscard]] i32 payload_words() const { return config_.payload_words; }
+
+  /// Writer-side publication of the key's payload. The caller MUST hold
+  /// acquire(key): the version bump to odd (before the data words) and back
+  /// to even (after) assumes write sessions are serialized by the lock.
+  void write_payload(rma::RmaComm& comm, u64 key, const i64* data, usize n);
+
+  /// Reads the payload under the read lock — always a consistent snapshot;
+  /// the comparison baseline for the optimistic path.
+  void locked_read(rma::RmaComm& comm, u64 key, i64* out, usize n);
+
+  /// Current version word of the key's slot (even = quiescent, odd = write
+  /// in progress). Stable only while the caller holds the write lock.
+  [[nodiscard]] i64 payload_version(rma::RmaComm& comm, u64 key);
+
+  struct OptimisticResult {
+    /// Payload attempts that validated (or, with fell_back, the locked
+    /// read); out[] holds a read of the payload either way.
+    bool ok = false;
+    /// Retries exhausted; out[] was read under the read lock instead.
+    bool fell_back = false;
+    /// Optimistic attempts that did not validate before success/fallback.
+    u32 retries = 0;
+  };
+
+  /// Lock-free versioned read: snapshot version, get_vec the payload,
+  /// validate the version unchanged-and-even; retry up to
+  /// config.optimistic_retries times, then fall back to locked_read.
+  OptimisticResult optimistic_read(rma::RmaComm& comm, u64 key, i64* out,
+                                   usize n);
 
   /// Administrative recovery sweep: walks every instantiated slot whose
   /// backend is a LeaseExclusive and reclaims leases held by
@@ -195,11 +253,21 @@ class LockSpace {
   template <typename Fn>
   void with_shard_stats(rma::RmaComm& comm, i32 shard, Fn&& fn);
 
+  /// Window offset of slot `global_slot`'s version word (payload words
+  /// follow it) on the slot's home rank.
+  [[nodiscard]] WinOffset version_offset(u32 global_slot) const {
+    return payload_base_ +
+           static_cast<WinOffset>(static_cast<usize>(global_slot) *
+                                  payload_stride_);
+  }
+
   rma::World& world_;
   LockSpaceConfig config_;
   i32 num_shards_ = 0;
   usize words_per_slot_ = 0;   // reserved per slot (table or override)
   usize backend_words_ = 0;    // probed true footprint of one instance
+  WinOffset payload_base_ = 0; // versioned-payload arena (when payload_words)
+  usize payload_stride_ = 0;   // 1 version word + payload_words per slot
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<Slot> slots_;
   std::atomic<u64> instantiated_{0};

@@ -66,6 +66,8 @@ rma::SimOptions schedule_options(const CheckConfig& config, u64 schedule) {
   opts.crash_chance_permille = config.crash_chance_permille;
   opts.restart_crashed = config.restart_crashed;
   opts.adversarial_suspicion = config.adversarial_suspicion;
+  opts.max_tears = config.max_tears;
+  opts.tear_chance_permille = config.tear_chance_permille;
   opts.abort_on_deadlock = false;  // report, don't abort: we are the checker
   // Randomized campaigns do not record up front: the engine is
   // deterministic, so capture_first_failure re-records only the (rare)
@@ -202,6 +204,89 @@ ScheduleOutcome run_lockspace_schedule(const CheckConfig& config,
     outcome.mutex_violations += monitor.violations();
     outcome.cs_entries += monitor.entries();
   }
+  outcome.max_distinct_keys_held = max_distinct_held;
+  outcome.lock_name = space->describe();
+  return outcome;
+}
+
+ScheduleOutcome run_optimistic_schedule(const CheckConfig& config,
+                                        const LockSpaceFactory& factory,
+                                        const std::vector<u64>& keys,
+                                        const rma::SimOptions& opts) {
+  RMALOCK_CHECK_MSG(!keys.empty(), "optimistic workload needs >= 1 key");
+  auto world = rma::SimWorld::create(opts);
+  const auto space = factory(*world);
+  RMALOCK_CHECK_MSG(space->optimistic_capable(),
+                    "optimistic workload needs payload_words > 0");
+  const usize payload = static_cast<usize>(space->payload_words());
+  if (!config.writer_roles.empty()) {
+    RMALOCK_CHECK_MSG(
+        config.writer_roles.size() ==
+            static_cast<usize>(config.topology.nprocs()),
+        "writer_roles has " << config.writer_roles.size() << " entries for "
+                            << config.topology.nprocs() << " processes");
+  }
+  const auto is_writer = [&](Rank rank) {
+    if (!config.writer_roles.empty()) {
+      return bool{config.writer_roles[static_cast<usize>(rank)]};
+    }
+    Xoshiro256 rng(mix_seed(opts.seed, 0xAB0 + static_cast<u64>(rank)));
+    return rng.uniform() < config.writer_fraction;
+  };
+  // Write-side mutual exclusion stays a per-key CsMonitor property; the
+  // lock-free readers are instead checked for snapshot consistency: every
+  // payload a read returns must be non-increasing along the word index
+  // (writers publish ascending-order, monotone-generation words — see
+  // OptimisticReadMonitor). Both fold into mutex_violations.
+  std::vector<CsMonitor> monitors(keys.size());
+  OptimisticReadMonitor read_monitor;
+  std::vector<i64> holders(keys.size(), 0);
+  i64 distinct_held = 0;
+  u64 max_distinct_held = 0;
+  const auto enter_key = [&](usize ki) {
+    if (holders[ki]++ == 0) {
+      ++distinct_held;
+      max_distinct_held =
+          std::max(max_distinct_held, static_cast<u64>(distinct_held));
+    }
+  };
+  const auto exit_key = [&](usize ki) {
+    if (--holders[ki] == 0) --distinct_held;
+  };
+  ScheduleOutcome outcome;
+  outcome.run = world->run([&](rma::RmaComm& comm) {
+    const bool writer = is_writer(comm.rank());
+    std::vector<i64> buf(payload, 0);
+    for (i32 i = 0; i < config.acquires_per_proc; ++i) {
+      const usize ki = (static_cast<usize>(comm.rank()) +
+                        static_cast<usize>(i)) %
+                       keys.size();
+      const u64 key = keys[ki];
+      if (writer) {
+        space->acquire(comm, key);
+        monitors[ki].enter_write();
+        enter_key(ki);
+        // Next generation for this key: completed write sessions so far
+        // plus one (version is even and == 2 * sessions under the lock).
+        const i64 gen = space->payload_version(comm, key) / 2 + 1;
+        std::fill(buf.begin(), buf.end(), gen);
+        space->write_payload(comm, key, buf.data(), payload);
+        comm.compute(10);  // scheduling point: keeps the CS observable
+        exit_key(ki);
+        monitors[ki].exit_write();
+        space->release(comm, key);
+      } else {
+        space->optimistic_read(comm, key, buf.data(), payload);
+        read_monitor.record(buf.data(), payload);
+      }
+    }
+  });
+  for (const CsMonitor& monitor : monitors) {
+    outcome.mutex_violations += monitor.violations();
+    outcome.cs_entries += monitor.entries();
+  }
+  outcome.mutex_violations += read_monitor.violations();
+  outcome.cs_entries += read_monitor.reads();
   outcome.max_distinct_keys_held = max_distinct_held;
   outcome.lock_name = space->describe();
   return outcome;
@@ -351,6 +436,8 @@ void capture_first_failure(
     repro.crash_chance_permille = config.crash_chance_permille;
     repro.restart_crashed = config.restart_crashed;
     repro.adversarial_suspicion = config.adversarial_suspicion;
+    repro.max_tears = config.max_tears;
+    repro.tear_chance_permille = config.tear_chance_permille;
     repro.trace = failure.trace;
     const std::string name = failure_trace_path(config, failure.lock_name,
                                                 failure.kind, schedule_index);
@@ -440,6 +527,14 @@ CheckReport check_lockspace(const CheckConfig& config,
                             const std::vector<u64>& keys) {
   return check_campaign(config, [&](const rma::SimOptions& opts) {
     return run_lockspace_schedule(config, factory, keys, opts);
+  });
+}
+
+CheckReport check_optimistic(const CheckConfig& config,
+                             const LockSpaceFactory& factory,
+                             const std::vector<u64>& keys) {
+  return check_campaign(config, [&](const rma::SimOptions& opts) {
+    return run_optimistic_schedule(config, factory, keys, opts);
   });
 }
 

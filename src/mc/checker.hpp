@@ -81,6 +81,13 @@ struct CheckConfig {
   /// Failure detector may falsely suspect live processes — the adversarial
   /// regime where only fencing (not accurate detection) protects safety.
   bool adversarial_suspicion = false;
+  /// Torn-read injection (SimOptions::max_tears etc.): budget of multi-word
+  /// gets per schedule that may observe a partial concurrent write; 0 keeps
+  /// every get_vec atomic-at-an-instant and the campaign (and its traces)
+  /// identical to the pre-tear-model checker.
+  i32 max_tears = 0;
+  /// Per-armed-get_vec tear probability under kRandom/kPct (permille).
+  u32 tear_chance_permille = 500;
   /// Worker threads for the campaign (--jobs / RMALOCK_JOBS): 1 = the
   /// sequential loop (default), n > 1 = run schedules on a work-stealing
   /// TaskPool, <= 0 = all hardware threads. Every observable output —
@@ -170,6 +177,22 @@ CheckReport check_lockspace(const CheckConfig& config,
                             const LockSpaceFactory& factory,
                             const std::vector<u64>& keys);
 
+/// Explores `config.schedules` schedules of the versioned optimistic-read
+/// workload over a payload-capable LockSpace (the space `factory` builds
+/// must have payload_words > 0): writers (per config roles) take the write
+/// lock and publish an all-words-equal payload stamped with the key's next
+/// generation; readers call optimistic_read lock-free. Checked properties:
+/// per-key write-side mutual exclusion (CsMonitor), deadlock freedom, and
+/// snapshot consistency — every returned payload must be non-increasing
+/// along the word index (OptimisticReadMonitor; see mc/monitor.hpp for why
+/// that is exactly "no un-validated torn read"). Violations of either fold
+/// into mutex_violations. Arm config.max_tears, or the planted
+/// skip_read_validation bug stays invisible — that false negative is itself
+/// a campaign mc_verification runs on purpose.
+CheckReport check_optimistic(const CheckConfig& config,
+                             const LockSpaceFactory& factory,
+                             const std::vector<u64>& keys);
+
 /// First `k` keys (scanning upward from 0) that resolve to pairwise
 /// distinct slots of the space `factory` builds — the keys a small-config
 /// campaign uses so "different keys" provably means "different physical
@@ -230,6 +253,11 @@ ScheduleOutcome run_lockspace_schedule(const CheckConfig& config,
                                        const LockSpaceFactory& factory,
                                        const std::vector<u64>& keys,
                                        const rma::SimOptions& opts);
+/// Runs one optimistic-read schedule (see check_optimistic) under `opts`.
+ScheduleOutcome run_optimistic_schedule(const CheckConfig& config,
+                                        const LockSpaceFactory& factory,
+                                        const std::vector<u64>& keys,
+                                        const rma::SimOptions& opts);
 
 /// Accumulates one schedule's outcome into the campaign counters.
 void fold_outcome(CheckReport& report, const ScheduleOutcome& outcome);

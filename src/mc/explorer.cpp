@@ -461,4 +461,17 @@ CheckReport check_lockspace_exhaustive(const CheckConfig& config,
       });
 }
 
+CheckReport check_optimistic_exhaustive(const CheckConfig& config,
+                                        const ExploreConfig& explore,
+                                        const LockSpaceFactory& factory,
+                                        const std::vector<u64>& keys,
+                                        bool iterative) {
+  return check_exhaustive_impl(
+      config, explore, factory, iterative,
+      [&keys](const CheckConfig& c, const LockSpaceFactory& f,
+              const rma::SimOptions& o) {
+        return run_optimistic_schedule(c, f, keys, o);
+      });
+}
+
 }  // namespace rmalock::mc

@@ -113,5 +113,16 @@ CheckReport check_lockspace_exhaustive(const CheckConfig& config,
                                        const LockSpaceFactory& factory,
                                        const std::vector<u64>& keys,
                                        bool iterative = false);
+/// Versioned optimistic-read workload (see check_optimistic): with
+/// config.max_tears > 0, every armed multi-word get is a scheduler decision
+/// the DFS branches on — the un-torn read AND every tear placement (each
+/// possible split point) are enumerated within the bounds. Tearing costs
+/// one preemption, so iterative deepening surfaces the atomic-snapshot
+/// space first.
+CheckReport check_optimistic_exhaustive(const CheckConfig& config,
+                                        const ExploreConfig& explore,
+                                        const LockSpaceFactory& factory,
+                                        const std::vector<u64>& keys,
+                                        bool iterative = false);
 
 }  // namespace rmalock::mc

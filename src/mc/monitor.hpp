@@ -82,6 +82,41 @@ class EpochMonitor {
   u64 entries_ = 0;
 };
 
+/// Consistency monitor for LockSpace's versioned optimistic reads. Write
+/// sessions (serialized by the per-key write lock) stamp every payload word
+/// with a per-key generation that only grows, storing the words in
+/// ascending index order. Therefore any *single-instant* snapshot of the
+/// payload is non-increasing along the word index — a fully quiescent
+/// payload is all-equal, and a mid-write one is [new... old...]. An
+/// observation where a LATER word carries a NEWER generation than an
+/// earlier word cannot correspond to any instant: it is exactly the
+/// signature of a torn (time-split) read that validation failed to reject.
+/// Checking this property (rather than all-equal) is what keeps the
+/// planted skip-validation bug invisible to torn-read-blind runs: without
+/// the fault model, even the buggy reader only ever sees single-instant
+/// snapshots.
+class OptimisticReadMonitor {
+ public:
+  /// Records one returned payload; tallies a violation iff some earlier
+  /// word is older than some later word.
+  void record(const i64* payload, usize n) {
+    ++reads_;
+    for (usize i = 1; i < n; ++i) {
+      if (payload[i - 1] < payload[i]) {
+        ++violations_;
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] u64 violations() const { return violations_; }
+  [[nodiscard]] u64 reads() const { return reads_; }
+
+ private:
+  u64 reads_ = 0;
+  u64 violations_ = 0;
+};
+
 class AtomicCsMonitor {
  public:
   void enter_read() {

@@ -25,7 +25,10 @@ const char* policy_name(rma::SchedPolicy policy) {
 namespace {
 
 // v2 added the crash-injection keys and the negative crash picks; v1 files
-// (no crash model) parse unchanged.
+// (no crash model) parse unchanged. v3 adds the torn-read keys — emitted
+// (and the magic bumped) only when the fault model is armed, so every
+// pre-tear case keeps serializing byte-identically as v2.
+const char kMagicV3[] = "rmalock-trace v3";
 const char kMagic[] = "rmalock-trace v2";
 const char kMagicV1[] = "rmalock-trace v1";
 
@@ -47,7 +50,7 @@ bool fail(std::string* error, const std::string& message) {
 
 std::string serialize_trace(const TraceCase& c) {
   std::ostringstream out;
-  out << kMagic << "\n";
+  out << (c.max_tears != 0 ? kMagicV3 : kMagic) << "\n";
   out << "workload " << c.workload << "\n";
   out << "lock " << c.lock_name << "\n";
   out << "kind " << c.kind << "\n";
@@ -78,6 +81,9 @@ std::string serialize_trace(const TraceCase& c) {
         << (c.restart_crashed ? 1 : 0) << " "
         << (c.adversarial_suspicion ? 1 : 0) << "\n";
   }
+  if (c.max_tears != 0) {
+    out << "tears " << c.max_tears << " " << c.tear_chance_permille << "\n";
+  }
   out << "picks " << c.trace.picks.size() << "\n";
   for (usize i = 0; i < c.trace.picks.size(); ++i) {
     out << c.trace.picks[i] << ((i + 1) % 32 == 0 ? "\n" : " ");
@@ -89,8 +95,9 @@ std::string serialize_trace(const TraceCase& c) {
 bool parse_trace(const std::string& text, TraceCase* out, std::string* error) {
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || (line != kMagic && line != kMagicV1)) {
-    return fail(error, "missing 'rmalock-trace v1/v2' header");
+  if (!std::getline(in, line) ||
+      (line != kMagic && line != kMagicV1 && line != kMagicV3)) {
+    return fail(error, "missing 'rmalock-trace v1/v2/v3' header");
   }
   *out = TraceCase{};
   while (std::getline(in, line)) {
@@ -152,6 +159,10 @@ bool parse_trace(const std::string& text, TraceCase* out, std::string* error) {
       }
       out->restart_crashed = restart != 0;
       out->adversarial_suspicion = adversarial != 0;
+    } else if (key == "tears") {
+      if (!(fields >> out->max_tears >> out->tear_chance_permille)) {
+        return fail(error, "bad tears line: " + line);
+      }
     } else if (key == "picks") {
       usize count = 0;
       if (!(fields >> count)) return fail(error, "bad picks count");

@@ -5,12 +5,14 @@
 // (rma::ScheduleTrace). This module makes that pair a first-class artifact:
 //
 //   * TraceCase bundles a trace with everything needed to re-execute it —
-//     topology, world seed, workload shape, crash-injection knobs — in a
-//     line-oriented text format ("rmalock-trace v2"; v1 files, which
-//     predate the crash model, still parse) that survives CI artifact
-//     upload and `--replay`. Crash decisions live in the same picks stream
-//     as scheduling decisions, encoded as -(rank + 2) (see
-//     rma::ScheduleTrace).
+//     topology, world seed, workload shape, crash- and torn-read-injection
+//     knobs — in a line-oriented text format. The magic is "rmalock-trace
+//     v3" only when the torn-read fault model is armed (a "tears" line is
+//     then present); unarmed cases keep serializing byte-identically as v2,
+//     and v1 files (which predate the crash model) still parse. Crash
+//     decisions live in the same picks stream as scheduling decisions,
+//     encoded as -(rank + 2); torn-read decisions as -(P + 2 + k) for a
+//     tear after a k-word prefix (see rma::ScheduleTrace).
 //   * shrink_trace() reduces a failing trace to a minimal counterexample
 //     with the classic delta-debugging loop (Zeller & Hildebrandt's ddmin):
 //     first the shortest failing prefix (violations are detected during
@@ -52,6 +54,11 @@ struct TraceCase {
   u32 crash_chance_permille = 500;
   bool restart_crashed = false;
   bool adversarial_suspicion = false;
+  /// Torn-read knobs of the recorded run (SimOptions equivalents);
+  /// max_tears == 0 means the torn-read fault model was off and the trace
+  /// serializes in the pre-tear (v2) format.
+  i32 max_tears = 0;
+  u32 tear_chance_permille = 500;
   rma::ScheduleTrace trace;
 };
 

@@ -72,6 +72,22 @@ class RmaComm {
   virtual i64 cas(i64 src_data, i64 cmp_data, Rank target,
                   WinOffset offset) = 0;
 
+  /// Ranged get: fetch n consecutive words starting at offset into out.
+  /// Atomicity is guaranteed PER WORD only — on real RMA hardware a
+  /// multi-word read is not a single atomic unit, and concurrent writers may
+  /// interleave between the words (a "torn read"). Protocols that read
+  /// multi-word payloads without holding a lock MUST validate (version
+  /// words, checksums, retry loops); see LockSpace::optimistic_read. The
+  /// default falls back to per-word blocking gets, which is always correct
+  /// under the fallback's cost model but still word-atomic only in general;
+  /// SimWorld overrides this with a torn-read fault model so the model
+  /// checker can explore every tear placement.
+  virtual void get_vec(Rank target, WinOffset offset, i64* out, usize n) {
+    for (usize i = 0; i < n; ++i) {
+      out[i] = get(target, offset + static_cast<WinOffset>(i));
+    }
+  }
+
   /// Complete all pending RMA calls started by the calling process and
   /// targeted at target. This is the completion/cost point of the
   /// nonblocking ops below.

@@ -63,6 +63,9 @@ class SimComm final : public RmaComm {
     return world_.execute_op(rank_, OpKind::kCas, target, offset, src_data,
                              cmp_data, AccumOp::kReplace);
   }
+  void get_vec(Rank target, WinOffset offset, i64* out, usize n) override {
+    world_.execute_get_vec(rank_, target, offset, out, n);
+  }
   void flush(Rank target) override {
     world_.execute_op(rank_, OpKind::kFlush, target, 0, 0, 0, AccumOp::kSum);
   }
@@ -941,6 +944,121 @@ i64 SimWorld::execute_op(Rank origin, OpKind kind, Rank target,
     yield_cpu(origin);
     return result;
   }
+}
+
+usize SimWorld::decide_tear(Rank origin, usize n) {
+  usize split = 0;
+  if (opts_.policy == SchedPolicy::kReplay) {
+    if (opts_.replay != nullptr && replay_pos_ < opts_.replay->picks.size()) {
+      const Rank pick = opts_.replay->picks[replay_pos_++];
+      for (usize k = 1; k < n; ++k) {
+        if (pick == tear_pick(k)) {
+          split = k;
+          break;
+        }
+      }
+      // A pick naming neither outcome (shrunk/edited trace) falls back to
+      // the atomic read, counted like any other divergence.
+      if (split == 0 && pick != origin) ++result_.replay_divergences;
+    } else if (opts_.pick_hook) {
+      // Candidates sorted ascending like every hook call:
+      // tear_pick(n-1) < ... < tear_pick(1) < origin. The caller's own rank
+      // is the atomic-read choice, so every tear placement costs the
+      // explorer one preemption — tear-free schedules are explored first.
+      std::vector<Rank> candidates;
+      candidates.reserve(n);
+      for (usize k = n - 1; k >= 1; --k) candidates.push_back(tear_pick(k));
+      candidates.push_back(origin);
+      const Rank pick = opts_.pick_hook(candidates);
+      for (usize k = 1; k < n; ++k) {
+        if (pick == tear_pick(k)) {
+          split = k;
+          break;
+        }
+      }
+    }
+  } else {
+    if (sched_rng_.below(1000) < opts_.tear_chance_permille) {
+      split = 1 + static_cast<usize>(sched_rng_.below(n - 1));
+    }
+  }
+  if (opts_.record_schedule) {
+    result_.schedule.picks.push_back(split == 0 ? origin : tear_pick(split));
+  }
+  return split;
+}
+
+void SimWorld::execute_get_vec(Rank origin, Rank target, WinOffset offset,
+                               i64* out, usize n) {
+  check_stop(origin);
+  if (n == 0) return;
+  if (n == 1) {
+    // A one-word vector is an ordinary get (same cost, same park behavior);
+    // there is nothing to tear.
+    out[0] = execute_op(origin, OpKind::kGet, target, offset, 0, 0,
+                        AccumOp::kSum);
+    return;
+  }
+  Proc& self = *procs_[static_cast<usize>(origin)];
+  RMALOCK_DCHECK(target >= 0 && target < nprocs());
+  RMALOCK_DCHECK(offset >= 0 &&
+                 static_cast<usize>(offset) + n <=
+                     windows_[static_cast<usize>(target)].size());
+  const i32 dclass = dclass_of(origin, target);
+
+  usize split = 0;
+  if (opts_.max_tears > 0 &&
+      result_.tears < static_cast<u64>(opts_.max_tears)) {
+    // Armed: the tear/no-tear choice is an explorable decision like a crash
+    // point. Unarmed (or budget spent) get_vec makes no decision and adds
+    // no trace entry, keeping pre-tear-model traces bit-compatible.
+    bump_step(origin);
+    split = decide_tear(origin, n);
+  }
+
+  bump_step(origin);
+  self.stats.record(OpKind::kGet, dclass);
+  // One blocking-get round trip for the whole vector: the payload words ride
+  // one request, so latency is round-trip dominated like a single get. The
+  // tear (if any) is a scheduling point, not an extra cost point.
+  const Nanos cost = opts_.latency.op_cost(OpKind::kGet, dclass);
+  if (dclass == 0) {
+    self.clock += cost;
+  } else {
+    const Nanos occupancy = opts_.latency.occupancy(OpKind::kGet, dclass);
+    const Nanos arrival = self.clock + cost / 2;
+    const Nanos start =
+        std::max(arrival, nic_free_[static_cast<usize>(target)]);
+    nic_free_[static_cast<usize>(target)] = start + occupancy;
+    self.clock = start + occupancy + (cost - cost / 2);
+  }
+
+  // A vectored read is not a spin primitive (validated-read protocols retry
+  // a bounded number of times, then fall back to a lock), so it never parks.
+  clear_polls(self);
+  const usize prefix = split == 0 ? n : split;
+  const auto& win = windows_[static_cast<usize>(target)];
+  for (usize i = 0; i < prefix; ++i) {
+    out[i] = win[static_cast<usize>(offset) + i];
+  }
+  if (split != 0) {
+    ++result_.tears;
+    if (trace_) [[unlikely]] {
+      std::fprintf(stderr,
+                   "[trace %8llu] r%-4d TEAR getvec t=%-4d off=%-3lld "
+                   "split=%zu/%zu\n",
+                   static_cast<unsigned long long>(steps_), origin, target,
+                   static_cast<long long>(offset), split, n);
+    }
+    // The torn window: hand the cpu back so concurrent writers can run
+    // between the two halves, then read the suffix from the (possibly
+    // updated) window.
+    yield_cpu(origin);
+    for (usize i = split; i < n; ++i) {
+      out[i] = win[static_cast<usize>(offset) + i];
+    }
+  }
+  yield_cpu(origin);
 }
 
 void SimWorld::execute_compute(Rank origin, Nanos ns) {

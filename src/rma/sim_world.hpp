@@ -145,6 +145,27 @@ struct SimOptions {
   /// always suspected — the timeout that always fires). Lease fencing must
   /// keep its epoch-safety property even under the adversarial detector.
   bool adversarial_suspicion = false;
+
+  // --- torn multi-word reads ----------------------------------------------
+  // Fault model for RmaComm::get_vec: on real RMA hardware a multi-word
+  // read is atomic per word only, so concurrent writers may interleave
+  // between the words. With max_tears > 0, every multi-word get_vec becomes
+  // an explorable decision: read all n words atomically, or read a prefix
+  // of k words (1 <= k < n), yield the cpu (a real scheduling point where
+  // writers can run), then read the rest — the observed vector can mix pre-
+  // and post-write state. Decisions share the pick stream (see
+  // ScheduleTrace), so record/replay, ddmin, and the exhaustive explorer
+  // cover every tear placement. 0 disables the machinery completely: no
+  // decision, no cost, recorded traces stay bit-compatible with the
+  // pre-tear-model format.
+
+  /// Maximum number of torn reads the run may inject (budget, like
+  /// max_crashes).
+  i32 max_tears = 0;
+  /// Chance (permille) of tearing an armed multi-word get_vec under the
+  /// stochastic policies (kVirtualTime/kRandom/kPct). kReplay takes the
+  /// decision from the trace / pick_hook instead.
+  u32 tear_chance_permille = 500;
 };
 
 class SimWorld final : public World {
@@ -240,6 +261,14 @@ class SimWorld final : public World {
     return -(rank + 2);
   }
 
+  /// Torn-read decisions also share the pick stream: an atomic n-word
+  /// get_vec records the caller's rank, tearing after a k-word prefix
+  /// records tear_pick(k) — offset past the crash range [-(P + 1), -2] so
+  /// the encodings never collide for any rank/split of this world.
+  [[nodiscard]] Rank tear_pick(usize split) const {
+    return -(nprocs() + 2 + static_cast<Rank>(split));
+  }
+
   void grow_windows(usize words) override;
 
   // --- fiber plumbing ------------------------------------------------------
@@ -254,6 +283,15 @@ class SimWorld final : public World {
                  IssueMode mode = IssueMode::kBlocking);
   void execute_compute(Rank origin, Nanos ns);
   void execute_barrier(Rank origin);
+  /// Multi-word get (RmaComm::get_vec) with the torn-read fault model: with
+  /// max_tears armed and n >= 2, an explorable decision to read atomically
+  /// or split after a k-word prefix with a scheduling point between the
+  /// halves.
+  void execute_get_vec(Rank origin, Rank target, WinOffset offset, i64* out,
+                       usize n);
+  /// The tear/no-tear decision at an armed multi-word get_vec: returns the
+  /// prefix length k in [1, n-1] to tear after, or 0 for an atomic read.
+  usize decide_tear(Rank origin, usize n);
   /// Declared crash point (RmaComm::crash_point): a no-op unless crash
   /// injection is armed and budget remains, else an explorable binary
   /// decision that may throw ProcCrashed through the caller.

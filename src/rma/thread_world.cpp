@@ -108,6 +108,28 @@ class ThreadComm final : public RmaComm {
     return expected;  // holds the previous value on failure, cmp on success
   }
 
+  // Ranged read: per-word relaxed loads plus one trailing acquire fence —
+  // the real-hardware analogue of the torn multi-word RMA read (words may
+  // interleave with concurrent writers; callers must validate).
+  //
+  // Ordering audit (the read-path sweep): the preceding version read is an
+  // acquire-or-stronger load, so the relaxed payload loads cannot be hoisted
+  // above it; the acquire fence afterwards keeps them ordered *before* the
+  // validating version re-read — without the fence that load could be
+  // reordered ahead of a payload word and certify a torn observation. The
+  // blocking get() stays seq_cst (lock handoffs poll single words and rely
+  // on its acquire side), and read_word/write_word stay seq_cst (out-of-run
+  // inspection wants the strongest order).
+  void get_vec(Rank target, WinOffset offset, i64* out, usize n) override {
+    account(OpKind::kGet, target);
+    for (usize i = 0; i < n; ++i) {
+      out[i] = world_.word(target, offset + static_cast<WinOffset>(i))
+                   .load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    note_progress();
+  }
+
   void flush(Rank target) override {
     account(OpKind::kFlush, target);
     // Completion point of the relaxed nonblocking issues above: the fence

@@ -36,6 +36,14 @@ namespace rmalock::rma {
 /// records -(r + 2) (the offset keeps the encoding clear of kNilRank = -1).
 /// With crash injection off, crash points record nothing, so such traces
 /// are bit-compatible with pre-crash-model ones.
+///
+/// Torn-read decisions (SimOptions::max_tears > 0) share the stream the same
+/// way: at an armed n-word get_vec, reading atomically records the caller's
+/// rank r and tearing after a prefix of k words (1 <= k < n) records
+/// -(P + 2 + k) — below the crash range [-(P + 1), -2], so the three
+/// encodings never collide. With the fault model off, get_vec makes no
+/// decision and records nothing, keeping pre-tear-model traces
+/// bit-compatible.
 struct ScheduleTrace {
   std::vector<Rank> picks;
 
@@ -67,6 +75,9 @@ struct RunResult {
   /// SimOptions::max_crashes > 0; always 0 otherwise). With restarts
   /// enabled a process can contribute several.
   u64 crashes = 0;
+  /// Torn multi-word reads injected at armed get_vec calls (SimWorld with
+  /// SimOptions::max_tears > 0; always 0 otherwise).
+  u64 tears = 0;
   /// Ranks that were dead when the run finished (fail-stop crashes, or
   /// crashes whose restart never got scheduled before the run ended).
   std::vector<Rank> crashed_ranks;

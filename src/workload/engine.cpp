@@ -11,6 +11,8 @@ namespace {
 struct PerProc {
   std::vector<double> read_latencies_us;
   std::vector<double> write_latencies_us;
+  u64 optimistic_fallbacks = 0;
+  u64 optimistic_retries = 0;
   Nanos t0 = 0;
   Nanos t1 = 0;
 };
@@ -33,6 +35,17 @@ WorkloadResult run_workload(rma::World& world, lockspace::LockSpace& space,
   if (config.arrival == Arrival::kOpen) {
     RMALOCK_CHECK(config.interarrival_ns >= 1);
   }
+  const bool versioned = config.versioned_payload;
+  if (config.optimistic_reads) {
+    RMALOCK_CHECK_MSG(versioned,
+                      "optimistic_reads requires versioned_payload");
+  }
+  if (versioned) {
+    RMALOCK_CHECK_MSG(space.optimistic_capable(),
+                      "versioned_payload needs a space with payload_words > 0");
+  }
+  const usize payload_words =
+      versioned ? static_cast<usize>(space.payload_words()) : 0;
   const i32 nprocs = world.nprocs();
   const KeyGenerator keygen(config.keys);
   const u64 read_permille = static_cast<u64>(
@@ -49,6 +62,7 @@ WorkloadResult run_workload(rma::World& world, lockspace::LockSpace& space,
 
   const rma::RunResult run = world.run([&](rma::RmaComm& comm) {
     PerProc& me = per[static_cast<usize>(comm.rank())];
+    std::vector<i64> snapshot(payload_words, 0);
 
     // One request, end to end; its latency is measured from `latency_from`
     // (call time in the closed loop, scheduled arrival in the open loop).
@@ -56,7 +70,21 @@ WorkloadResult run_workload(rma::World& world, lockspace::LockSpace& space,
       const bool read = comm.rng().chance(read_permille, 1000);
       const u64 key = keygen.next(comm.rng());
       const lockspace::LockRef ref = space.resolve(key);
-      if (read) {
+      if (versioned) {
+        if (read && config.optimistic_reads) {
+          const lockspace::LockSpace::OptimisticResult r =
+              space.optimistic_read(comm, key, snapshot.data(), payload_words);
+          if (r.fell_back) ++me.optimistic_fallbacks;
+          me.optimistic_retries += r.retries;
+        } else if (read) {
+          space.locked_read(comm, key, snapshot.data(), payload_words);
+        } else {
+          std::fill(snapshot.begin(), snapshot.end(), static_cast<i64>(key));
+          space.acquire(comm, key);
+          space.write_payload(comm, key, snapshot.data(), payload_words);
+          space.release(comm, key);
+        }
+      } else if (read) {
         space.acquire_read(comm, key);
         if (config.payload) {
           comm.get(ref.home, payload);
@@ -72,8 +100,14 @@ WorkloadResult run_workload(rma::World& world, lockspace::LockSpace& space,
         space.release(comm, key);
       }
       if (measured) {
-        const double us =
-            static_cast<double>(comm.now_ns() - latency_from) / 1e3;
+        // Clamp at zero: in the open loop `latency_from` is the *scheduled*
+        // arrival, and an over-driven process can reach here with a wall
+        // clock (ThreadWorld) that ran ahead of or behind the schedule by
+        // less than the clock's granularity — the difference must never go
+        // negative (or, worse, wrap through a huge unsigned value).
+        const Nanos end = comm.now_ns();
+        const Nanos delta = end > latency_from ? end - latency_from : 0;
+        const double us = static_cast<double>(delta) / 1e3;
         (read ? me.read_latencies_us : me.write_latencies_us).push_back(us);
       }
       if (config.arrival == Arrival::kClosed && config.think_max_ns > 0) {
@@ -122,6 +156,8 @@ WorkloadResult run_workload(rma::World& world, lockspace::LockSpace& space,
                  proc.read_latencies_us.end());
     writes.insert(writes.end(), proc.write_latencies_us.begin(),
                   proc.write_latencies_us.end());
+    result.optimistic_fallbacks += proc.optimistic_fallbacks;
+    result.optimistic_retries += proc.optimistic_retries;
   }
   all.reserve(reads.size() + writes.size());
   all.insert(all.end(), reads.begin(), reads.end());

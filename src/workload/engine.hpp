@@ -49,6 +49,16 @@ struct WorkloadConfig {
   /// get, writers put) — the SOB-style payload that makes a lock service
   /// out of a lock microbench. Off = empty CS.
   bool payload = true;
+  /// Route requests through the space's versioned payload area instead of
+  /// the single payload word (the space must be built with
+  /// payload_words > 0): writers publish every payload word via
+  /// write_payload under the write lock; readers take a consistent
+  /// multi-word snapshot — locked_read by default, or the lock-free
+  /// optimistic_read when optimistic_reads is also set. `payload` is
+  /// ignored in this mode (the versioned area IS the payload).
+  bool versioned_payload = false;
+  /// Readers use LockSpace::optimistic_read (requires versioned_payload).
+  bool optimistic_reads = false;
 };
 
 struct WorkloadResult {
@@ -64,6 +74,11 @@ struct WorkloadResult {
   /// LockSpace slots instantiated by the end of the run (lazy-instantiation
   /// observability: how much of the grid the key mix actually touched).
   u64 instantiated_slots = 0;
+  /// Versioned-payload mode with optimistic_reads: reads that exhausted
+  /// their retries and fell back to the read lock, and total optimistic
+  /// attempts that failed validation (0 elsewhere).
+  u64 optimistic_fallbacks = 0;
+  u64 optimistic_retries = 0;
 };
 
 /// Runs the configured workload against `space` on every process of

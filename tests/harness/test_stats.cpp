@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace rmalock::harness {
 namespace {
 
@@ -52,6 +55,63 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 50), 5.0);
   EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 100), 10.0);
   EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 95), 9.5);
+}
+
+// percentile_sorted pins the NIST / Hyndman-Fan R-7 convention: linear
+// interpolation between closest ranks over positions 0..n-1. {1,2} at p50
+// is 1.5 under R-7; nearest-rank would give 1 — this test is the tie
+// breaker that keeps the convention from silently drifting.
+TEST(Stats, PercentileConventionIsR7) {
+  const std::vector<double> sorted{1, 2};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 50), 1.5);
+  const std::vector<double> quartiles{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(percentile_sorted(quartiles, 25), 1.75);
+  EXPECT_DOUBLE_EQ(percentile_sorted(quartiles, 75), 3.25);
+}
+
+TEST(Stats, PercentileEmptySampleIsZeroAtEveryPct) {
+  const std::vector<double> empty;
+  for (const double pct : {0.0, 50.0, 95.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(empty, pct), 0.0) << "pct " << pct;
+  }
+}
+
+TEST(Stats, PercentileSingleSampleIsThatSampleAtEveryPct) {
+  const std::vector<double> one{42.0};
+  for (const double pct : {0.0, 50.0, 95.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(one, pct), 42.0) << "pct " << pct;
+  }
+}
+
+TEST(Stats, PercentileHundredHitsTheBackExactly) {
+  // pct = 100 lands the interpolation position exactly on n-1; the hi
+  // index must clamp instead of reading one past the end.
+  const std::vector<double> sorted{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 100), 5.0);
+}
+
+TEST(Stats, PercentileClampsOutOfRangePct) {
+  // pct < 0 used to cast a negative position to usize (a huge index);
+  // pct > 100 walked past the back. Both now clamp to the extremes.
+  const std::vector<double> sorted{10, 20, 30};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, -5), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 250), 30.0);
+  EXPECT_DOUBLE_EQ(
+      percentile_sorted(sorted, -std::numeric_limits<double>::infinity()),
+      10.0);
+  EXPECT_DOUBLE_EQ(
+      percentile_sorted(sorted, std::numeric_limits<double>::infinity()),
+      30.0);
+}
+
+TEST(Stats, PercentileNanPctIsTotal) {
+  // NaN fails every comparison; the clamp routes it to the minimum rather
+  // than producing a NaN position (and a garbage index).
+  const std::vector<double> sorted{10, 20, 30};
+  const double got =
+      percentile_sorted(sorted, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(std::isnan(got));
+  EXPECT_DOUBLE_EQ(got, 10.0);
 }
 
 TEST(Stats, P95NearTop) {

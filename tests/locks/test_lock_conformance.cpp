@@ -444,6 +444,53 @@ TEST_P(LockSpaceConformance, CrossKeyReaderConcurrency) {
       << "not all readers were inside their CSes concurrently";
 }
 
+TEST_P(LockSpaceConformance, OptimisticReadsNeverCertifyTornImages) {
+  // The lock-free read path across both worlds and every backend: writers
+  // publish all-words-equal images under the write lock; readers descend
+  // through optimistic_read and must never be handed a mixed image —
+  // version validation has to reject any snapshot overlapping a write
+  // session. On ThreadWorld this is the memory-ordering regression for the
+  // get_vec read path (relaxed per-word loads + trailing acquire fence):
+  // a reader whose version re-read certifies the snapshot must also
+  // observe the payload stores sequenced before the version bump. The
+  // writer/reader loop shape makes the race TSan-visible; a plain
+  // unsynchronized load in get_vec is a reported race, and a missing
+  // acquire shows up here as a certified torn image.
+  auto world = make_space_world(/*seed=*/19);
+  lockspace::LockSpaceConfig config;
+  config.backend = GetParam().backend;
+  config.slots_per_shard = 4;
+  config.payload_words = 4;
+  lockspace::LockSpace space(*world, config);
+  const u64 key = 17;
+  std::atomic<u64> torn{0};
+
+  const auto result = world->run([&](rma::RmaComm& comm) {
+    std::vector<i64> buf(4, 0);
+    const i32 rounds = acquires_per_proc() * 4;
+    for (i32 i = 0; i < rounds; ++i) {
+      if (comm.rank() % 2 == 0) {
+        const i64 gen = comm.rank() * 1000 + i + 1;
+        std::fill(buf.begin(), buf.end(), gen);
+        space.acquire(comm, key);
+        space.write_payload(comm, key, buf.data(), 4);
+        space.release(comm, key);
+      } else {
+        space.optimistic_read(comm, key, buf.data(), 4);
+        for (i32 w = 1; w < 4; ++w) {
+          if (buf[static_cast<usize>(w)] != buf[0]) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+    }
+  });
+
+  expect_clean(result);
+  EXPECT_EQ(torn.load(), 0u) << "optimistic read certified a torn image";
+}
+
 INSTANTIATE_TEST_SUITE_P(Space, LockSpaceConformance,
                          ::testing::ValuesIn(lockspace_cases()),
                          lockspace_case_name);

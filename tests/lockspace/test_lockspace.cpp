@@ -4,7 +4,9 @@
 // and per-shard accounting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "lockspace/lockspace.hpp"
 #include "rma/sim_world.hpp"
@@ -252,6 +254,118 @@ TEST(LockSpaceDeathTest, UnderProvisionedArenaFailsAtConstruction) {
   config.words_per_slot_override = 1;  // RMA-MCS needs several words
   EXPECT_DEATH(lockspace::LockSpace(*world, config),
                "LockSpace arena under-provisioned");
+}
+
+// ---------------------------------------------------------------------------
+// Versioned payloads and the optimistic read path
+// ---------------------------------------------------------------------------
+
+TEST(LockSpaceOptimistic, CapabilityFollowsPayloadWords) {
+  auto world =
+      rma::SimWorld::create(sim_options(topo::Topology::uniform({2}, 2)));
+  lockspace::LockSpaceConfig plain;
+  lockspace::LockSpace no_payload(*world, plain);
+  EXPECT_FALSE(no_payload.optimistic_capable());
+  EXPECT_EQ(no_payload.payload_words(), 0);
+
+  auto world2 =
+      rma::SimWorld::create(sim_options(topo::Topology::uniform({2}, 2)));
+  lockspace::LockSpaceConfig with_payload;
+  with_payload.payload_words = 4;
+  lockspace::LockSpace payload(*world2, with_payload);
+  EXPECT_TRUE(payload.optimistic_capable());
+  EXPECT_EQ(payload.payload_words(), 4);
+}
+
+TEST(LockSpaceOptimistic, PayloadRoundTripAndVersionParity) {
+  auto world =
+      rma::SimWorld::create(sim_options(topo::Topology::uniform({2}, 2)));
+  lockspace::LockSpaceConfig config;
+  config.payload_words = 3;
+  lockspace::LockSpace space(*world, config);
+  const u64 key = 42;
+  const rma::RunResult result = world->run([&](rma::RmaComm& comm) {
+    // A fresh slot starts at version 0 (even, quiescent) with a zero image.
+    EXPECT_EQ(space.payload_version(comm, key), 0);
+    if (comm.rank() == 0) {
+      const i64 image[3] = {7, 8, 9};
+      space.acquire(comm, key);
+      space.write_payload(comm, key, image, 3);
+      space.release(comm, key);
+    }
+    comm.barrier();
+    // Every completed write session bumps the version by exactly 2 (odd
+    // while mid-publication, back to even at rest).
+    const i64 version = space.payload_version(comm, key);
+    EXPECT_EQ(version, 2);
+    EXPECT_EQ(version % 2, 0);
+    i64 out[3] = {0, 0, 0};
+    space.locked_read(comm, key, out, 3);
+    EXPECT_EQ(out[0], 7);
+    EXPECT_EQ(out[1], 8);
+    EXPECT_EQ(out[2], 9);
+  });
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(LockSpaceOptimistic, UncontendedOptimisticReadSucceedsFirstTry) {
+  auto world =
+      rma::SimWorld::create(sim_options(topo::Topology::uniform({2}, 2)));
+  lockspace::LockSpaceConfig config;
+  config.payload_words = 2;
+  lockspace::LockSpace space(*world, config);
+  const u64 key = 5;
+  const rma::RunResult result = world->run([&](rma::RmaComm& comm) {
+    if (comm.rank() == 0) {
+      const i64 image[2] = {11, 11};
+      space.acquire(comm, key);
+      space.write_payload(comm, key, image, 2);
+      space.release(comm, key);
+    }
+    comm.barrier();
+    i64 out[2] = {0, 0};
+    const lockspace::LockSpace::OptimisticResult r =
+        space.optimistic_read(comm, key, out, 2);
+    EXPECT_TRUE(r.ok);
+    EXPECT_FALSE(r.fell_back);
+    EXPECT_EQ(r.retries, 0u);
+    EXPECT_EQ(out[0], 11);
+    EXPECT_EQ(out[1], 11);
+  });
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(LockSpaceOptimistic, ContendedReadsAlwaysReturnConsistentImages) {
+  // Writers publish all-words-equal images; whatever mix of validated
+  // optimistic snapshots and read-lock fallbacks the schedule produces,
+  // no returned image may ever mix two write sessions.
+  auto world =
+      rma::SimWorld::create(sim_options(topo::Topology::uniform({2}, 4)));
+  lockspace::LockSpaceConfig config;
+  config.payload_words = 4;
+  config.optimistic_retries = 1;
+  lockspace::LockSpace space(*world, config);
+  const u64 key = 3;
+  u64 torn = 0;
+  const rma::RunResult result = world->run([&](rma::RmaComm& comm) {
+    std::vector<i64> buf(4, 0);
+    for (i32 i = 0; i < 20; ++i) {
+      if (comm.rank() % 2 == 0) {
+        const i64 gen = comm.rank() * 100 + i;
+        std::fill(buf.begin(), buf.end(), gen);
+        space.acquire(comm, key);
+        space.write_payload(comm, key, buf.data(), 4);
+        space.release(comm, key);
+      } else {
+        space.optimistic_read(comm, key, buf.data(), 4);
+        for (i32 w = 1; w < 4; ++w) {
+          if (buf[static_cast<usize>(w)] != buf[0]) ++torn;
+        }
+      }
+    }
+  });
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(torn, 0u);
 }
 
 TEST(LockSpaceRecovery, RecoverOrphansReclaimsOnlyTheOrphanedLease) {

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "lockspace/lockspace.hpp"
 #include "locks/lease.hpp"
 #include "locks/rma_mcs.hpp"
 #include "locks/rma_rw.hpp"
@@ -79,9 +80,20 @@ mc::LeaseLockFactory lease_factory() {
   };
 }
 
+mc::LockSpaceFactory optimistic_factory() {
+  return [](rma::World& world) {
+    lockspace::LockSpaceConfig config;
+    config.backend = locks::Backend::kRmaRw;
+    config.slots_per_shard = 4;
+    config.payload_words = 2;
+    return std::make_unique<lockspace::LockSpace>(world, config);
+  };
+}
+
 struct GoldenCase {
   const char* file;      // under tests/mc/data/
-  const char* workload;  // "rw:rma-rw", "ex:rma-mcs", or "lease:mcs"
+  const char* workload;  // "rw:rma-rw", "ex:rma-mcs", "lease:mcs", or
+                         // "opt:versioned"
   topo::Topology topology;
   u64 world_seed;
   i32 acquires;
@@ -91,6 +103,9 @@ struct GoldenCase {
   // stream interleaves negative crash decisions.
   i32 max_crashes = 0;
   bool restart = false;
+  // Torn-read knob: nonzero cases record v3 traces whose picks stream
+  // interleaves tear decisions (tear_pick(k) = -(P + 2 + k)).
+  i32 max_tears = 0;
 };
 
 std::vector<GoldenCase> golden_cases() {
@@ -108,6 +123,9 @@ std::vector<GoldenCase> golden_cases() {
       {"replay_lease_restart_P2x2_s32.trace", "lease:mcs",
        topo::Topology::uniform({2}, 2), 32, 4, /*max_crashes=*/1,
        /*restart=*/true},
+      {"replay_opt_tear_P4_s41.trace", "opt:versioned",
+       topo::Topology::uniform({}, 4), 41, 4, /*max_crashes=*/0,
+       /*restart=*/false, /*max_tears=*/2},
   };
 }
 
@@ -132,6 +150,10 @@ mc::CheckConfig config_for(const GoldenCase& c) {
   // crash to the first declared point).
   config.crash_chance_permille = 300;
   config.restart_crashed = c.restart;
+  config.max_tears = c.max_tears;
+  // High per-read chance: the small tear budget must actually be spent
+  // within the short recorded run.
+  config.tear_chance_permille = 700;
   return config;
 }
 
@@ -142,6 +164,12 @@ mc::ScheduleOutcome run_case(const GoldenCase& c, const mc::CheckConfig& config,
   }
   if (std::string(c.workload) == "lease:mcs") {
     return mc::run_lease_schedule(config, lease_factory(), opts);
+  }
+  if (std::string(c.workload) == "opt:versioned") {
+    const auto factory = optimistic_factory();
+    const std::vector<u64> keys =
+        mc::pick_cross_slot_keys(factory, c.topology, 1);
+    return mc::run_optimistic_schedule(config, factory, keys, opts);
   }
   return mc::run_exclusive_schedule(config, exclusive_factory(), opts);
 }
@@ -161,6 +189,11 @@ void regenerate() {
       ASSERT_GE(outcome.run.crashes, 1u)
           << c.file << ": recorded run injected no crash";
     }
+    if (c.max_tears > 0) {
+      // Same for the torn-read golden: it must actually contain tears.
+      ASSERT_GE(outcome.run.tears, 1u)
+          << c.file << ": recorded run injected no torn read";
+    }
     mc::TraceCase golden;
     golden.workload = c.workload;
     golden.lock_name = outcome.lock_name;
@@ -175,6 +208,8 @@ void regenerate() {
     golden.crash_chance_permille = config.crash_chance_permille;
     golden.restart_crashed = config.restart_crashed;
     golden.adversarial_suspicion = config.adversarial_suspicion;
+    golden.max_tears = config.max_tears;
+    golden.tear_chance_permille = config.tear_chance_permille;
     golden.trace = outcome.run.schedule;
     std::string error;
     ASSERT_TRUE(mc::write_trace_file(data_path(c.file), golden, &error))
@@ -210,6 +245,11 @@ TEST(ReplayCompat, GoldenTracesReplayBitIdentically) {
       // The recorded crash decisions must re-fire at the same points.
       EXPECT_GE(outcome.run.crashes, 1u)
           << "replay no longer reproduces the recorded crash";
+    }
+    if (c.max_tears > 0) {
+      // The recorded tear decisions must re-fire at the same get_vecs.
+      EXPECT_GE(outcome.run.tears, 1u)
+          << "replay no longer reproduces the recorded torn read";
     }
     // The decision-point structure must be unchanged: same number of
     // scheduler decisions, same pick at every one of them.

@@ -179,6 +179,56 @@ TEST(TraceSerialization, FileRoundTrip) {
   EXPECT_EQ(parsed.trace, sample_case().trace);
 }
 
+TEST(TraceSerialization, DisarmedCaseStaysByteIdenticalV2) {
+  // The tears knob is emitted (and the magic bumped to v3) ONLY when the
+  // torn-read fault model is armed: every pre-tear case must keep
+  // serializing byte-identically as v2, so existing golden traces and any
+  // traces in the wild stay stable.
+  const TraceCase disarmed = sample_case();
+  ASSERT_EQ(disarmed.max_tears, 0);
+  const std::string text = serialize_trace(disarmed);
+  EXPECT_EQ(text.rfind("rmalock-trace v2\n", 0), 0u);
+  EXPECT_EQ(text.find("tears"), std::string::npos);
+  EXPECT_EQ(text.find("v3"), std::string::npos);
+}
+
+TEST(TraceSerialization, ArmedCaseRoundTripsTearKnobsAsV3) {
+  TraceCase armed = sample_case();
+  armed.max_tears = 6;
+  armed.tear_chance_permille = 300;
+  armed.trace.picks.push_back(-7);  // tear_pick(1) at P = 4
+  const std::string text = serialize_trace(armed);
+  EXPECT_EQ(text.rfind("rmalock-trace v3\n", 0), 0u);
+  EXPECT_NE(text.find("tears 6 300\n"), std::string::npos);
+  TraceCase parsed;
+  std::string error;
+  ASSERT_TRUE(parse_trace(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.max_tears, 6);
+  EXPECT_EQ(parsed.tear_chance_permille, 300u);
+  EXPECT_EQ(parsed.trace, armed.trace);
+}
+
+TEST(TraceSerialization, OlderVersionsStillParse) {
+  // A v2 body (no tears line) must parse with the fault model disarmed,
+  // and the same body under a v1 magic must parse too (v1 predates the
+  // crash keys; all v2/v3 keys are additive).
+  const TraceCase reference = sample_case();
+  const std::string v2 = serialize_trace(reference);
+  TraceCase parsed;
+  std::string error;
+  ASSERT_TRUE(parse_trace(v2, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.max_tears, 0);
+  EXPECT_EQ(parsed.max_crashes, 0);
+  EXPECT_EQ(parsed.trace, reference.trace);
+
+  std::string v1 = v2;
+  v1.replace(v1.find("v2"), 2, "v1");
+  TraceCase parsed1;
+  ASSERT_TRUE(parse_trace(v1, &parsed1, &error)) << error;
+  EXPECT_EQ(parsed1.trace, reference.trace);
+  EXPECT_EQ(parsed1.topology, reference.topology);
+}
+
 TEST(TraceSerialization, RejectsGarbage) {
   TraceCase parsed;
   std::string error;

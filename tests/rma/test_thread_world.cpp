@@ -27,6 +27,56 @@ TEST(ThreadWorld, PutGetRoundTrip) {
   });
 }
 
+TEST(ThreadWorld, GetVecReadsEveryWord) {
+  auto world = make_threads(topo::Topology::uniform({}, 2));
+  const WinOffset off = world->allocate(4);
+  world->run([&](RmaComm& comm) {
+    if (comm.rank() == 0) {
+      for (WinOffset w = 0; w < 4; ++w) {
+        comm.put(100 + static_cast<i64>(w), 1, off + w);
+      }
+      comm.flush(1);
+    }
+    comm.barrier();
+    if (comm.rank() == 1) {
+      i64 out[4] = {0, 0, 0, 0};
+      comm.get_vec(1, off, out, 4);
+      for (i64 w = 0; w < 4; ++w) EXPECT_EQ(out[w], 100 + w);
+    }
+  });
+}
+
+TEST(ThreadWorld, GetVecUnderConcurrentWritesSeesOnlyPublishedWords) {
+  // ThreadComm::get_vec is per-word atomic (relaxed loads + one trailing
+  // acquire fence): a concurrent writer storing whole values per word must
+  // never be observed as a from-thin-air mix — every word read is one the
+  // writer actually stored. The loop shape (writer keeps rewriting, reader
+  // keeps reading) is the TSan-exercised shape of the lock-free read path;
+  // a plain i64 load here would be a reported data race.
+  auto world = make_threads(topo::Topology::uniform({}, 2));
+  const WinOffset off = world->allocate(4);
+  world->run([&](RmaComm& comm) {
+    constexpr i64 kRounds = 2000;
+    if (comm.rank() == 0) {
+      for (i64 g = 1; g <= kRounds; ++g) {
+        for (WinOffset w = 0; w < 4; ++w) {
+          comm.put(g, 0, off + w);
+        }
+        comm.flush(0);
+      }
+    } else {
+      i64 out[4] = {0, 0, 0, 0};
+      for (i64 i = 0; i < kRounds; ++i) {
+        comm.get_vec(0, off, out, 4);
+        for (i64 w = 0; w < 4; ++w) {
+          ASSERT_GE(out[w], 0);
+          ASSERT_LE(out[w], kRounds);
+        }
+      }
+    }
+  });
+}
+
 TEST(ThreadWorld, FaoSumIsAtomicUnderContention) {
   auto world = make_threads(topo::Topology::uniform({}, 8));
   const WinOffset off = world->allocate(1);
