@@ -13,8 +13,9 @@
 //   --exhaustive  bounded-exhaustive DFS (iterative preemption deepening)
 //                 over small topologies — the SPIN-shaped systematic sweep;
 //   --replay <f>  deterministic re-execution of a recorded counterexample
-//                 trace file ("rmalock-trace v2", or v1 for pre-crash-model
-//                 traces; see docs/TESTING.md).
+//                 trace file ("rmalock-trace v4", or v1-v3 for traces
+//                 recorded before the crash / torn-read / gray-failure
+//                 fault models; see docs/TESTING.md).
 //
 // --jobs N (RMALOCK_JOBS; 0 = all cores) runs the randomized and
 // exhaustive campaigns on the work-stealing parallel campaign runtime.
@@ -117,6 +118,72 @@ mc::LeaseLockFactory make_lease_factory(const std::string& id) {
     params.fence_on_steal = fence;
     return std::make_unique<locks::LeaseExclusive>(world, std::move(in),
                                                    params);
+  };
+}
+
+// Write-side view of an RW lock, so the timed-acquire campaigns can drive
+// RmaRw::try_acquire_write_for through the ExclusiveLock interface.
+class WriteLockAdapter final : public locks::ExclusiveLock {
+ public:
+  explicit WriteLockAdapter(std::unique_ptr<locks::RwLock> inner)
+      : inner_(std::move(inner)) {}
+  void acquire(rma::RmaComm& comm) override { inner_->acquire_write(comm); }
+  void release(rma::RmaComm& comm) override { inner_->release_write(comm); }
+  locks::AcquireResult try_acquire_for(
+      rma::RmaComm& comm, Nanos deadline_ns,
+      const locks::RetryPolicy& retry) override {
+    return inner_->try_acquire_write_for(comm, deadline_ns, retry);
+  }
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + " (write side)";
+  }
+
+ private:
+  std::unique_ptr<locks::RwLock> inner_;
+};
+
+// Timed-acquire workloads (deadline + retry/backoff under gray failures).
+// "timeout:no-backoff" is a *planted* bug — it is the rma-mcs workload run
+// with RetryPolicy::backoff = false (run_replay re-applies the policy from
+// the id), so failed attempts never advance the virtual clock, the
+// deadline never expires, and a starved rank spins to the attempts valve:
+// the livelock the LivelockMonitor must flag.
+mc::ExclusiveLockFactory make_timeout_factory(const std::string& id) {
+  if (id == "timeout:rma-mcs" || id == "timeout:no-backoff") {
+    return make_exclusive_factory("ex:rma-mcs");
+  }
+  if (id == "timeout:rma-rw") {
+    const auto rw = make_rw_factory("rw:rma-rw");
+    return [rw](rma::World& world) -> std::unique_ptr<locks::ExclusiveLock> {
+      return std::make_unique<WriteLockAdapter>(rw(world));
+    };
+  }
+  if (id == "timeout:lease-mcs") {
+    const auto lease = make_lease_factory("lease:mcs");
+    return [lease](
+               rma::World& world) -> std::unique_ptr<locks::ExclusiveLock> {
+      return lease(world);
+    };
+  }
+  return nullptr;
+}
+
+// Re-homing workloads over a one-slot LockSpace with one pre-reserved
+// migration plane. "rehome:nofence" is a *planted* bug — the post-acquire
+// control-word re-validation is skipped, so a claimant granted on the old
+// plane after a migration coexists with the new plane's owner: two owners
+// across the migration epoch, caught as a per-key mutex violation.
+mc::LockSpaceFactory make_rehome_factory(const std::string& id) {
+  if (id != "rehome:fenced" && id != "rehome:nofence") return nullptr;
+  const bool planted = id == "rehome:nofence";
+  return [planted](rma::World& world) {
+    lockspace::LockSpaceConfig config;
+    config.backend = locks::Backend::kRmaMcs;
+    config.shards = 1;
+    config.slots_per_shard = 1;
+    config.rehome_epochs = 1;
+    config.rehome_skip_fence = planted;
+    return std::make_unique<lockspace::LockSpace>(world, config);
   };
 }
 
@@ -463,6 +530,121 @@ int run_randomized(bool quick, bool smoke, const std::string& trace_dir,
     all_ok = all_ok && caught;
   }
 
+  // Timed acquires under the gray-failure model: stragglers (delayed
+  // remote ops) and transient partitions are armed, so some acquires time
+  // out; the deadline+backoff path must stay safe (mutex), live (no
+  // deadlock) AND bounded (LivelockMonitor: no rank burns more than
+  // livelock_bound retries without progress).
+  std::printf("\n--- timed acquires under gray failures (deadline+backoff) "
+              "---\n");
+  for (const char* id :
+       {"timeout:rma-mcs", "timeout:rma-rw", "timeout:lease-mcs"}) {
+    for (const auto policy :
+         {rma::SchedPolicy::kRandom, rma::SchedPolicy::kPct}) {
+      const char* policy_name =
+          policy == rma::SchedPolicy::kRandom ? "random" : "pct";
+      mc::CheckConfig config = base_config(
+          crash_topology, policy, smoke ? 4 : (quick ? 30 : 150),
+          /*acquires=*/4, trace_dir, id, jobs);
+      config.max_delays = 2;
+      config.max_partitions = 1;
+      const Timer timer;
+      const auto report = mc::check_timeout(config, make_timeout_factory(id));
+      std::printf("%-18s P=4 %-7s %s\n", id, policy_name,
+                  report.summary().c_str());
+      all_ok = all_ok && report.ok();
+      record_campaign(json, std::string(id) + "/" + policy_name,
+                      crash_topology.nprocs(), report, timer.elapsed_s());
+    }
+  }
+
+  // Planted retry bug: the same rma-mcs workload with backoff DISABLED.
+  // Failed attempts no longer advance the virtual clock, so the deadline
+  // never expires for a starved rank — it spins to the retry valve and the
+  // LivelockMonitor must flag it. PCT schedules manufacture exactly that
+  // starvation (one rank de-prioritized while holding the lock).
+  std::printf("\n--- planted no-backoff retry livelock (must be caught) "
+              "---\n");
+  {
+    // The starvation window is narrow (a PCT change point must de-prioritize
+    // the holder and no later change point may rescue it before the retry
+    // valve), so this campaign needs more schedules than the other planted
+    // bugs — the first catch is around schedule 220 under the fixed seed.
+    mc::CheckConfig config = base_config(
+        topo::Topology::uniform({}, 2), rma::SchedPolicy::kPct,
+        quick ? 300 : 400, /*acquires=*/4, trace_dir,
+        "timeout:no-backoff", jobs);
+    config.retry.backoff = false;
+    config.max_delays = 2;
+    const auto report =
+        mc::check_timeout(config, make_timeout_factory("timeout:no-backoff"));
+    std::printf("no-backoff retry (pct):   %s\n", report.summary().c_str());
+    const bool caught = report.livelock_violations > 0;
+    if (!caught) std::printf("  ERROR: planted bug was NOT caught\n");
+    all_ok = all_ok && caught;
+
+    // Control: identical schedules with backoff ON must be clean — the
+    // livelock is the retry policy's fault, not the scheduler's.
+    mc::CheckConfig control = config;
+    control.retry.backoff = true;
+    control.trace_dir.clear();
+    control.workload_id = "timeout:rma-mcs";
+    const auto control_report =
+        mc::check_timeout(control, make_timeout_factory("timeout:rma-mcs"));
+    std::printf("backoff control (pct):    %s\n",
+                control_report.summary().c_str());
+    if (!control_report.ok()) {
+      std::printf("  backoff control failed — the bounded-retry property "
+                  "does not hold even for the correct policy\n");
+    }
+    all_ok = all_ok && control_report.ok();
+  }
+
+  // Shard re-homing: a mid-run migration moves the only shard to its next
+  // plane while every rank hammers timed acquires on the same key. The
+  // fenced path must never admit two owners across the migration epoch;
+  // the planted fence-skipping variant must be caught.
+  std::printf("\n--- shard re-homing across migration epochs ---\n");
+  const topo::Topology rehome_topology = topo::Topology::uniform({}, 2);
+  {
+    const auto factory = make_rehome_factory("rehome:fenced");
+    const auto keys = mc::pick_cross_slot_keys(factory, rehome_topology, 1);
+    for (const auto policy :
+         {rma::SchedPolicy::kRandom, rma::SchedPolicy::kPct}) {
+      const char* policy_name =
+          policy == rma::SchedPolicy::kRandom ? "random" : "pct";
+      mc::CheckConfig config = base_config(
+          rehome_topology, policy, smoke ? 4 : (quick ? 30 : 150),
+          /*acquires=*/4, trace_dir, "rehome:fenced", jobs);
+      const Timer timer;
+      const auto report = mc::check_rehome(config, factory, keys);
+      std::printf("%-16s P=2 %-7s %s\n", "rehome:fenced", policy_name,
+                  report.summary().c_str());
+      all_ok = all_ok && report.ok();
+      record_campaign(json, std::string("rehome:fenced/") + policy_name,
+                      rehome_topology.nprocs(), report, timer.elapsed_s());
+    }
+  }
+  {
+    // The two-owner window (claimant stalled between its directory read and
+    // its old-plane grant across a full migration) only opens under uniform
+    // random schedules here — PCT's strict priorities never stall the
+    // claimant mid-window — so the must-catch assertion runs kRandom, with
+    // enough schedules to pass the first catch (~schedule 76 under the
+    // fixed seed).
+    const auto factory = make_rehome_factory("rehome:nofence");
+    const auto keys = mc::pick_cross_slot_keys(factory, rehome_topology, 1);
+    mc::CheckConfig config = base_config(
+        rehome_topology, rma::SchedPolicy::kRandom, quick ? 150 : 400,
+        /*acquires=*/4, trace_dir, "rehome:nofence", jobs);
+    const auto report = mc::check_rehome(config, factory, keys);
+    std::printf("%-16s P=2 random  %s\n", "rehome:nofence",
+                report.summary().c_str());
+    const bool caught = report.mutex_violations > 0;
+    if (!caught) std::printf("  ERROR: planted bug was NOT caught\n");
+    all_ok = all_ok && caught;
+  }
+
   // Demonstration: the literal Listing 6/9 reader reset (which clears the
   // WRITE flag) vs. the flag-preserving fix, under aggressive schedules.
   // The faithful variant is a *planted* bug — expected to fail — so it
@@ -701,6 +883,88 @@ int run_exhaustive(bool quick, bool smoke, const std::string& trace_dir,
     }
   }
 
+  // Timeout/starvation schedules: timed acquires with deadline+backoff vs
+  // the planted no-backoff policy. With backoff, every failed attempt
+  // advances the virtual clock, so a starved rank's deadline expires after
+  // a bounded number of retries — the LivelockMonitor stays quiet over the
+  // whole bounded space. Without backoff the clock freezes during the spin;
+  // one preemption into a rank while the lock is held sends it straight to
+  // the retry valve (a 2-rank straggler schedule), which the monitor must
+  // flag with a shrunk, replayable counterexample.
+  std::printf("\n--- timeout/starvation schedules (bounded-retry progress) "
+              "---\n");
+  {
+    mc::ExploreConfig explore;
+    explore.max_schedules = smoke ? 50'000 : 500'000;
+    explore.max_preemptions = 2;
+    const topo::Topology topology = topo::Topology::uniform({}, 2);
+    for (const char* id : {"timeout:rma-mcs", "timeout:no-backoff"}) {
+      const bool planted = id == std::string("timeout:no-backoff");
+      mc::CheckConfig config;
+      config.topology = topology;
+      config.timeout_retry_rounds = 2;
+      config.max_steps = 400'000;
+      config.trace_dir = trace_dir;
+      config.workload_id = id;
+      config.jobs = jobs;
+      if (planted) config.retry.backoff = false;
+      const Timer timer;
+      const auto report = mc::check_timeout_exhaustive(
+          config, explore, make_timeout_factory(id), /*iterative=*/true);
+      std::printf("%-18s P=2 rounds=2 d<=%d %s\n", id,
+                  explore.max_preemptions, report.summary().c_str());
+      if (planted) {
+        const bool caught = report.livelock_violations > 0;
+        if (!caught) std::printf("  ERROR: planted bug was NOT caught\n");
+        all_ok = all_ok && caught;
+      } else {
+        all_ok = all_ok && report.ok();
+        record_campaign(json, "timeout:rma-mcs/exhaustive", topology.nprocs(),
+                        report, timer.elapsed_s());
+      }
+    }
+  }
+
+  // Re-homing schedules: rank 1 migrates the only shard mid-run while both
+  // ranks hammer timed acquires on the same key. The minimal two-owner
+  // counterexample needs two preemptions: pause a claimant between its
+  // directory read and its grant, migrate + acquire on the new plane, then
+  // resume the stale claimant — only the post-acquire fence deflects it.
+  std::printf("\n--- re-homing schedules (migration fence, epoch-stamped) "
+              "---\n");
+  {
+    mc::ExploreConfig explore;
+    explore.max_schedules = smoke ? 50'000 : 500'000;
+    explore.max_preemptions = 2;
+    const topo::Topology topology = topo::Topology::uniform({}, 2);
+    for (const char* id : {"rehome:fenced", "rehome:nofence"}) {
+      const bool planted = id == std::string("rehome:nofence");
+      const auto factory = make_rehome_factory(id);
+      const auto keys = mc::pick_cross_slot_keys(factory, topology, 1);
+      mc::CheckConfig config;
+      config.topology = topology;
+      config.acquires_per_proc = 2;
+      config.max_steps = 400'000;
+      config.trace_dir = trace_dir;
+      config.workload_id = id;
+      config.jobs = jobs;
+      const Timer timer;
+      const auto report = mc::check_rehome_exhaustive(
+          config, explore, factory, keys, /*iterative=*/true);
+      std::printf("%-16s P=2 acq=2 d<=%d %s\n", id, explore.max_preemptions,
+                  report.summary().c_str());
+      if (planted) {
+        const bool caught = report.mutex_violations > 0;
+        if (!caught) std::printf("  ERROR: planted bug was NOT caught\n");
+        all_ok = all_ok && caught;
+      } else {
+        all_ok = all_ok && report.ok();
+        record_campaign(json, "rehome:fenced/exhaustive", topology.nprocs(),
+                        report, timer.elapsed_s());
+      }
+    }
+  }
+
   std::printf("\nVERDICT: %s\n",
               all_ok ? "all enumerated interleavings are safe"
                      : "VIOLATIONS FOUND");
@@ -741,9 +1005,26 @@ int run_replay(const std::string& path) {
   config.adversarial_suspicion = repro.adversarial_suspicion;
   config.max_tears = repro.max_tears;
   config.tear_chance_permille = repro.tear_chance_permille;
+  config.max_delays = repro.max_delays;
+  config.delay_chance_permille = repro.delay_chance_permille;
+  config.delay_factor = repro.delay_factor;
+  config.max_partitions = repro.max_partitions;
+  config.partition_span = repro.partition_span;
+  // The planted retry bug lives in the *policy*, not the lock — re-apply it
+  // from the workload id so the replayed schedule spins the same way.
+  if (repro.workload == "timeout:no-backoff") config.retry.backoff = false;
 
   mc::ScheduleOutcome outcome;
-  if (const auto rw = make_rw_factory(repro.workload)) {
+  if (const auto timed = make_timeout_factory(repro.workload)) {
+    outcome = mc::run_timeout_schedule(
+        config, timed,
+        mc::replay_options(config, repro.world_seed, repro.trace));
+  } else if (const auto rehome = make_rehome_factory(repro.workload)) {
+    const auto keys = mc::pick_cross_slot_keys(rehome, repro.topology, 1);
+    outcome = mc::run_rehome_schedule(
+        config, rehome, keys,
+        mc::replay_options(config, repro.world_seed, repro.trace));
+  } else if (const auto rw = make_rw_factory(repro.workload)) {
     outcome = mc::run_rw_schedule(
         config, rw, mc::replay_options(config, repro.world_seed, repro.trace));
   } else if (const auto ex = make_exclusive_factory(repro.workload)) {
@@ -778,14 +1059,16 @@ int run_replay(const std::string& path) {
     return 1;
   }
 
-  std::printf("  result    mutex_violations=%llu deadlocked=%d steps=%llu "
-              "divergences=%llu\n",
+  std::printf("  result    mutex_violations=%llu livelock_violations=%llu "
+              "deadlocked=%d steps=%llu divergences=%llu\n",
               static_cast<unsigned long long>(outcome.mutex_violations),
+              static_cast<unsigned long long>(outcome.livelock_violations),
               outcome.run.deadlocked ? 1 : 0,
               static_cast<unsigned long long>(outcome.run.steps),
               static_cast<unsigned long long>(outcome.run.replay_divergences));
   const bool reproduced =
       (repro.kind == "mutex" && outcome.mutex_violations > 0) ||
+      (repro.kind == "livelock" && outcome.livelock_violations > 0) ||
       (repro.kind == "deadlock" && outcome.run.deadlocked) ||
       (repro.kind == "none" && !outcome.failed());
   std::printf("VERDICT: %s\n", reproduced ? "violation reproduced"

@@ -62,6 +62,20 @@ DistributedTree::LevelClaim DistributedTree::acquire_level(rma::RmaComm& comm,
   return LevelClaim{/*acquired=*/false, kStatusAcquireStart};
 }
 
+bool DistributedTree::try_enqueue_level(rma::RmaComm& comm, i32 q) {
+  const Rank p = comm.rank();
+  const Rank node = node_host(p, q);
+  // Prepare the node before publishing it: an empty-queue winner starts at
+  // ACQUIRE_START directly (there is no predecessor to pass us anything).
+  comm.iput(kNilRank, node, next_offset(q));
+  comm.iput(kStatusAcquireStart, node, status_offset(q));
+  comm.flush(node);
+  const Rank tail_rank = tail_host(p, q);
+  const i64 prev = comm.cas(node, kNilRank, tail_rank, tail_offset(q));
+  comm.flush(tail_rank);
+  return prev == kNilRank;
+}
+
 // Listing 5, lines 2-9.
 bool DistributedTree::try_pass_local(rma::RmaComm& comm, i32 q, i64 tl) {
   const Rank p = comm.rank();

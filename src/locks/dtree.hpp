@@ -57,6 +57,18 @@ class DistributedTree {
   /// tells us to climb.
   LevelClaim acquire_level(rma::RmaComm& comm, i32 q);
 
+  /// Timed-acquire building block: CAS-if-empty enqueue at level q. Enters
+  /// the DQ only when it is empty (tail == nil), so the caller never waits
+  /// behind a predecessor — the unbounded spin of acquire_level is replaced
+  /// by an instant succeed-or-fail attempt. On success the caller is the
+  /// element's representative with STATUS = ACQUIRE_START, exactly like a
+  /// contention-free acquire_level winner, so the normal release paths
+  /// (try_pass_local / release_root_exclusive / finish_release_upward)
+  /// apply unchanged. On failure nothing was enqueued. The exclusivity
+  /// argument for the shared element node is the same as acquire_level's:
+  /// callers attempt level q only after winning level q+1.
+  bool try_enqueue_level(rma::RmaComm& comm, i32 q);
+
   /// Listing 5 lines 2-9: if a successor exists at level q and the locality
   /// threshold `tl` is not reached, pass the lock (with the incremented
   /// count) and return true — the release is complete. Otherwise return

@@ -20,6 +20,19 @@ LeaseExclusive::LeaseExclusive(rma::World& world,
   }
 }
 
+i64 LeaseExclusive::pack(i64 epoch, Rank owner) {
+  // Refuse to truncate: an epoch past kMaxEpoch would shift into the sign
+  // bit and corrupt both fields. 2^51 grants is unreachable in practice
+  // (the wrap regression test drives it directly), so fail loudly.
+  RMALOCK_CHECK_MSG(epoch >= 0 && epoch <= kMaxEpoch,
+                    "lease epoch " << epoch << " overflows the "
+                                   << kEpochBits << "-bit epoch field");
+  RMALOCK_CHECK_MSG(owner >= kNilRank && owner < (1 << kOwnerBits) - 1,
+                    "lease owner " << owner
+                                   << " overflows the owner field");
+  return (epoch << kOwnerBits) | (owner + 1);
+}
+
 i64 LeaseExclusive::acquire_epoch(rma::RmaComm& comm) {
   const Rank me = comm.rank();
   // Self-recovery, before queueing on the inner lock: if a previous
@@ -58,6 +71,47 @@ i64 LeaseExclusive::acquire_epoch(rma::RmaComm& comm) {
       return next_epoch;
     }
     // Lost a race with a release or a recovery sweep: re-probe.
+  }
+}
+
+AcquireResult LeaseExclusive::try_acquire_for(rma::RmaComm& comm,
+                                              Nanos deadline_ns,
+                                              const RetryPolicy& retry) {
+  const Rank me = comm.rank();
+  u32 attempts = 0;
+  for (;;) {
+    ++attempts;
+    // Deadline-bounded probe of the lease word. Unlike acquire_epoch we
+    // never queue on the inner lock: a timed claimant must hold nothing on
+    // timeout, and the inner queue would strand us behind a gray holder —
+    // exactly what the deadline exists to escape. The cost is CAS
+    // contention between concurrent timed claimants, which the backoff
+    // absorbs.
+    const rma::TryResult probe = comm.try_get(params_.home, lease_,
+                                              deadline_ns);
+    if (probe.ok()) {
+      const i64 word = probe.value;
+      const i64 epoch = epoch_of(word);
+      const Rank owner = owner_of(word);
+      if (owner == kNilRank || owner == me || comm.suspected(owner)) {
+        // Same fencing rule as acquire_epoch: a free take or a reclaim
+        // (including our own restarted orphan) starts a fresh epoch, so a
+        // timed grant composes with epoch fencing exactly like a blocking
+        // one and release() applies unchanged.
+        const i64 next_epoch =
+            (owner == kNilRank || params_.fence_on_steal) ? epoch + 1 : epoch;
+        const rma::TryResult claim = comm.try_cas(
+            pack(next_epoch, me), word, params_.home, lease_, deadline_ns);
+        if (claim.ok() && claim.value == word) {
+          return AcquireResult{AcquireStatus::kAcquired, attempts};
+        }
+      }
+    }
+    if (attempts >= retry.max_attempts || comm.now_ns() >= deadline_ns) {
+      return AcquireResult{AcquireStatus::kTimeout, attempts};
+    }
+    const Nanos delay = retry.delay_for(attempts - 1, comm.rng());
+    if (delay > 0) comm.compute(delay);
   }
 }
 

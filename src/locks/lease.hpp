@@ -59,6 +59,14 @@ class LeaseExclusive final : public ExclusiveLock {
 
   void acquire(rma::RmaComm& comm) override { (void)acquire_epoch(comm); }
   void release(rma::RmaComm& comm) override;
+  /// Timed acquire: bypasses the inner lock entirely — probe the lease
+  /// word with deadline-bounded single attempts (try_get/try_cas) and
+  /// retry with backoff, so a partitioned home or a gray owner cannot
+  /// strand the caller in the inner queue. The deadline composes with
+  /// epoch fencing: a successful claim is an ordinary fresh-epoch grant, a
+  /// timed-out claimant holds nothing, and release() applies unchanged.
+  AcquireResult try_acquire_for(rma::RmaComm& comm, Nanos deadline_ns,
+                                const RetryPolicy& retry) override;
   [[nodiscard]] std::string name() const override;
 
   /// acquire() returning the grant's epoch, for safety monitors
@@ -71,21 +79,25 @@ class LeaseExclusive final : public ExclusiveLock {
   /// was reclaimed; racing regular claimants is benign (one CAS wins).
   bool recover_orphan(rma::RmaComm& comm);
 
+  // Lease word layout: (epoch << kOwnerBits) | (owner + 1); owner slot 0 =
+  // free. The owner field caps P at 2^kOwnerBits - 2 = 4094 (CHECKed at
+  // construction), far above anything the simulator runs; the epoch field
+  // gets every remaining non-sign bit and pack() CHECKs against overflow
+  // instead of silently truncating into the owner field.
+  static constexpr i32 kOwnerBits = 12;
+  static constexpr i32 kEpochBits = 63 - kOwnerBits;  // 51
+  static constexpr i64 kMaxEpoch = (i64{1} << kEpochBits) - 1;
+
   // Post-run introspection for tests (read through World, not RmaComm).
   [[nodiscard]] i64 lease_word(const rma::World& world) const;
   [[nodiscard]] static i64 epoch_of(i64 word) { return word >> kOwnerBits; }
   [[nodiscard]] static Rank owner_of(i64 word) {
     return static_cast<Rank>(word & ((1 << kOwnerBits) - 1)) - 1;
   }
+  /// Packs (epoch, owner) into a lease word; CHECKs the epoch fits.
+  [[nodiscard]] static i64 pack(i64 epoch, Rank owner);
 
  private:
-  // (epoch << 12) | (owner + 1); owner slot 0 = free. Caps P at 4094,
-  // far above anything the simulator runs.
-  static constexpr i32 kOwnerBits = 12;
-
-  [[nodiscard]] static i64 pack(i64 epoch, Rank owner) {
-    return (epoch << kOwnerBits) | (owner + 1);
-  }
 
   std::unique_ptr<ExclusiveLock> inner_;
   LeaseParams params_;

@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "locks/deadline.hpp"
 #include "rma/comm.hpp"
 
 namespace rmalock::locks {
@@ -24,6 +25,19 @@ class ExclusiveLock {
 
   virtual void acquire(rma::RmaComm& comm) = 0;
   virtual void release(rma::RmaComm& comm) = 0;
+
+  /// Deadline-bounded acquire: tries until `deadline_ns` (absolute, in the
+  /// caller's now_ns() timeline), backing off between attempts per
+  /// `retry`. On kAcquired the caller releases as usual; on kTimeout
+  /// nothing is held. The default has no timed path and falls back to the
+  /// blocking acquire — always correct, never times out.
+  virtual AcquireResult try_acquire_for(rma::RmaComm& comm, Nanos deadline_ns,
+                                        const RetryPolicy& retry) {
+    (void)deadline_ns;
+    (void)retry;
+    acquire(comm);
+    return AcquireResult{};
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 
@@ -43,6 +57,25 @@ class RwLock {
   virtual void release_read(rma::RmaComm& comm) = 0;
   virtual void acquire_write(rma::RmaComm& comm) = 0;
   virtual void release_write(rma::RmaComm& comm) = 0;
+
+  /// Deadline-bounded variants (see ExclusiveLock::try_acquire_for).
+  /// Defaults fall back to the blocking paths.
+  virtual AcquireResult try_acquire_read_for(rma::RmaComm& comm,
+                                             Nanos deadline_ns,
+                                             const RetryPolicy& retry) {
+    (void)deadline_ns;
+    (void)retry;
+    acquire_read(comm);
+    return AcquireResult{};
+  }
+  virtual AcquireResult try_acquire_write_for(rma::RmaComm& comm,
+                                              Nanos deadline_ns,
+                                              const RetryPolicy& retry) {
+    (void)deadline_ns;
+    (void)retry;
+    acquire_write(comm);
+    return AcquireResult{};
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 

@@ -29,6 +29,41 @@ void RmaMcs::acquire(rma::RmaComm& comm) {
   // Climbed past the root with no predecessor anywhere: we own the lock.
 }
 
+AcquireResult RmaMcs::try_acquire_for(rma::RmaComm& comm, Nanos deadline_ns,
+                                      const RetryPolicy& retry) {
+  u32 attempts = 0;
+  for (;;) {
+    ++attempts;
+    // One attempt: claim every level leaf..root via CAS-if-empty — each
+    // claim makes us the element's representative exactly like a
+    // contention-free acquire_level, never blocking behind a predecessor.
+    i32 q = tree_.num_levels();
+    bool won = true;
+    for (; q >= 1; --q) {
+      if (!tree_.try_enqueue_level(comm, q)) {
+        won = false;
+        break;
+      }
+    }
+    if (won) return AcquireResult{AcquireStatus::kAcquired, attempts};
+    // Busy at level q (never entered it): abandon the levels we did win
+    // through the normal release-upward path — any successor that meanwhile
+    // enqueued behind us is told to acquire the parent level itself, the
+    // same handoff a threshold-exhausted release performs.
+    for (i32 up = q + 1; up <= tree_.num_levels(); ++up) {
+      tree_.finish_release_upward(comm, up);
+    }
+    // The attempts valve fires even when the clock is frozen (see
+    // RetryPolicy::max_attempts); the deadline governs the common case.
+    if (attempts >= retry.max_attempts ||
+        comm.now_ns() >= deadline_ns) {
+      return AcquireResult{AcquireStatus::kTimeout, attempts};
+    }
+    const Nanos delay = retry.delay_for(attempts - 1, comm.rng());
+    if (delay > 0) comm.compute(delay);
+  }
+}
+
 void RmaMcs::release(rma::RmaComm& comm) {
   // Descend from the leaf: the first level where a successor exists and
   // T_L,q is not exhausted takes the lock locally (Listing 5 lines 2-9).

@@ -43,6 +43,15 @@ class RmaMcs final : public ExclusiveLock {
 
   void acquire(rma::RmaComm& comm) override;
   void release(rma::RmaComm& comm) override;
+  /// Timed acquire: CAS-if-empty enqueue per level from the leaf to the
+  /// root — never waits behind a predecessor, so a gray (straggling or
+  /// partitioned) holder cannot strand the caller in a queue. A failed
+  /// climb abandons the already-won levels through the normal
+  /// release-upward handoff and retries with backoff until the deadline.
+  /// A successful claim is indistinguishable from a contention-free
+  /// acquire(), so release() applies unchanged.
+  AcquireResult try_acquire_for(rma::RmaComm& comm, Nanos deadline_ns,
+                                const RetryPolicy& retry) override;
   [[nodiscard]] std::string name() const override { return "RMA-MCS"; }
 
   [[nodiscard]] const RmaMcsParams& params() const { return params_; }

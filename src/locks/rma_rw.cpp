@@ -188,6 +188,38 @@ void RmaRw::acquire_read(rma::RmaComm& comm) {
   }
 }
 
+AcquireResult RmaRw::try_acquire_read_for(rma::RmaComm& comm,
+                                          Nanos deadline_ns,
+                                          const RetryPolicy& retry) {
+  const Rank counter = counter_of(comm.rank());
+  const Rank root_tail = tree_.tail_host(comm.rank(), 1);
+  u32 attempts = 0;
+  for (;;) {
+    ++attempts;
+    const i64 current = comm.fao(1, counter, arrive_, rma::AccumOp::kSum);
+    comm.flush(counter);
+    if (current < params_.tr) {
+      return AcquireResult{AcquireStatus::kAcquired, attempts};
+    }
+    // T_R overrun or WRITE mode: cancel the arrival — a timed-out reader
+    // must hold nothing — and retry with backoff instead of parking.
+    comm.iaccumulate(-1, counter, arrive_, rma::AccumOp::kSum);
+    comm.flush(counter);
+    if (current < kWriteFlagThreshold) {
+      // Plain overrun: keep the shared reader-side reset duty (see
+      // acquire_read) so timed readers do not strand a writer-free counter.
+      const i64 tail = comm.get(root_tail, tree_.tail_offset(1));
+      comm.flush(root_tail);
+      if (tail == kNilRank) reader_reset_counter(comm, counter);
+    }
+    if (attempts >= retry.max_attempts || comm.now_ns() >= deadline_ns) {
+      return AcquireResult{AcquireStatus::kTimeout, attempts};
+    }
+    const Nanos delay = retry.delay_for(attempts - 1, comm.rng());
+    if (delay > 0) comm.compute(delay);
+  }
+}
+
 void RmaRw::release_read(rma::RmaComm& comm) {
   const Rank counter = counter_of(comm.rank());
   comm.iaccumulate(1, counter, depart_, rma::AccumOp::kSum);
@@ -244,6 +276,94 @@ void RmaRw::acquire_root_writer(rma::RmaComm& comm) {
     drain_readers(comm);
     comm.iput(kStatusAcquireStart, node, status_off);
     comm.flush(node);
+  }
+}
+
+bool RmaRw::try_drain_readers(rma::RmaComm& comm, Nanos deadline_ns,
+                              const RetryPolicy& retry) {
+  for (const Rank host : counter_hosts_) {
+    u32 polls = 0;
+    for (;;) {
+      if (++polls > retry.max_attempts || comm.now_ns() >= deadline_ns) {
+        return false;
+      }
+      const i64 arrived = comm.get(host, arrive_);
+      const i64 departed = comm.get(host, depart_);
+      comm.flush(host);
+      if (arrived < kWriteFlagThreshold) {
+        // Same defensive re-flag as the blocking drain.
+        comm.iaccumulate(kWriteFlag, host, arrive_, rma::AccumOp::kSum);
+        comm.flush(host);
+        continue;
+      }
+      if (arrived - kWriteFlag == departed) break;
+    }
+  }
+  return true;
+}
+
+void RmaRw::abandon_root_writer(rma::RmaComm& comm) {
+  const i32 q = 1;
+  const Rank p = comm.rank();
+  const Rank node = tree_.node_host(p, q);
+  // Reopen the counters first: the flags were ours, and readers must not
+  // stay blocked by a writer that is giving up.
+  reset_counters(comm);
+  i64 succ = comm.get(node, tree_.next_offset(q));
+  comm.flush(node);
+  if (succ == kNilRank) {
+    const Rank tail_rank = tree_.tail_host(p, q);
+    const i64 current =
+        comm.cas(kNilRank, node, tail_rank, tree_.tail_offset(q));
+    comm.flush(tail_rank);
+    if (current == node) return;  // queue empty: the readers have the lock
+    do {  // a successor is mid-enqueue: wait for it to become visible
+      succ = comm.get(node, tree_.next_offset(q));
+      comm.flush(node);
+    } while (succ == kNilRank);
+  }
+  comm.iput(kStatusModeChange, static_cast<Rank>(succ),
+            tree_.status_offset(q));
+  comm.flush(static_cast<Rank>(succ));
+}
+
+AcquireResult RmaRw::try_acquire_write_for(rma::RmaComm& comm,
+                                           Nanos deadline_ns,
+                                           const RetryPolicy& retry) {
+  u32 attempts = 0;
+  for (;;) {
+    ++attempts;
+    i32 q = tree_.num_levels();
+    bool won = true;
+    for (; q >= 1; --q) {
+      if (!tree_.try_enqueue_level(comm, q)) {
+        won = false;
+        break;
+      }
+    }
+    if (won) {
+      // Sole entry at the root: take the lock from the readers, but bound
+      // the drain by the deadline — a straggling reader must not convert a
+      // timed acquire into an unbounded wait.
+      set_counters_to_write(comm);
+      if (try_drain_readers(comm, deadline_ns, retry)) {
+        return AcquireResult{AcquireStatus::kAcquired, attempts};
+      }
+      abandon_root_writer(comm);
+      for (i32 up = 2; up <= tree_.num_levels(); ++up) {
+        tree_.finish_release_upward(comm, up);
+      }
+    } else {
+      // Busy at level q (never entered it): abandon the levels we won.
+      for (i32 up = q + 1; up <= tree_.num_levels(); ++up) {
+        tree_.finish_release_upward(comm, up);
+      }
+    }
+    if (attempts >= retry.max_attempts || comm.now_ns() >= deadline_ns) {
+      return AcquireResult{AcquireStatus::kTimeout, attempts};
+    }
+    const Nanos delay = retry.delay_for(attempts - 1, comm.rng());
+    if (delay > 0) comm.compute(delay);
   }
 }
 

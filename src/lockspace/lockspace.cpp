@@ -1,6 +1,7 @@
 #include "lockspace/lockspace.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -112,6 +113,11 @@ LockSpace::LockSpace(rma::World& world, LockSpaceConfig config)
                         ? config_.words_per_slot_override
                         : slot_words(config_.backend, topo);
   RMALOCK_CHECK(words_per_slot_ > 0);
+  RMALOCK_CHECK_MSG(config_.rehome_epochs >= 0 && config_.quarantine_after >= 0,
+                    "LockSpace health knobs must be non-negative");
+  RMALOCK_CHECK_MSG(config_.rehome_epochs == 0 || !rw_capable(),
+                    "re-homing supports exclusive backends only (the "
+                    "migration fence covers one grant path)");
 
   // Probe the backend's true footprint now, against a measuring world, so
   // an under-provisioned reservation fails here — with the full budget in
@@ -150,11 +156,14 @@ LockSpace::LockSpace(rma::World& world, LockSpaceConfig config)
                  static_cast<usize>(total_slots())
           << " words across " << total_slots() << " slots");
 
-  // One contiguous reservation for the whole grid; slot i's range starts at
-  // base + i * words_per_slot_. This is the only allocation the space ever
-  // performs against the world, so lazy construction never grows windows.
-  const WinOffset base =
-      world.allocate(words_per_slot_ * static_cast<usize>(total_slots()));
+  // One contiguous reservation for the whole grid — times planes() when
+  // re-homing pre-reserves migration successors. Slot (plane p, gs)'s range
+  // starts at base + (p * total_slots + gs) * words_per_slot_, so lazy
+  // construction never grows windows, even for a plane first touched
+  // mid-run by a migration.
+  const WinOffset base = world.allocate(words_per_slot_ *
+                                        static_cast<usize>(total_slots()) *
+                                        static_cast<usize>(planes()));
 
   // Leaf-major spread: consecutive shards land on distinct leaves first
   // (balancing per-NIC lock-word traffic across nodes), then cycle through
@@ -170,11 +179,24 @@ LockSpace::LockSpace(rma::World& world, LockSpaceConfig config)
     shards_.push_back(std::move(shard));
   }
 
-  slots_ = std::vector<Slot>(static_cast<usize>(total_slots()));
-  for (u32 gs = 0; gs < total_slots(); ++gs) {
-    slots_[gs].arena_base =
-        base + static_cast<WinOffset>(static_cast<usize>(gs) *
-                                      words_per_slot_);
+  slots_ = std::vector<Slot>(static_cast<usize>(total_slots()) *
+                             static_cast<usize>(planes()));
+  for (i32 plane = 0; plane < planes(); ++plane) {
+    for (u32 gs = 0; gs < total_slots(); ++gs) {
+      slots_[slot_index(plane, gs)].arena_base =
+          base + static_cast<WinOffset>(slot_index(plane, gs) *
+                                        words_per_slot_);
+    }
+  }
+
+  // Per-shard migration control words, hosted on rank 0 (the directory
+  // keeper): (epoch << 1) | migrating, starting quiescent at epoch 0.
+  if (rehoming()) {
+    rehome_ctl_base_ = world.allocate(static_cast<usize>(num_shards_));
+    for (i32 s = 0; s < num_shards_; ++s) {
+      world.write_word(0, ctl_offset(s), 0);
+    }
+    holds_.resize(static_cast<usize>(world.nprocs()));
   }
 
   // Versioned-payload arena: reserved separately from the lock arena so
@@ -187,8 +209,11 @@ LockSpace::LockSpace(rma::World& world, LockSpaceConfig config)
   }
 
   if (config_.eager) {
+    // Eager builds the original placement; migration planes stay lazy —
+    // they only materialize if a rehome ever reaches them.
     for (u32 gs = 0; gs < total_slots(); ++gs) {
-      instantiate_slot(static_cast<i32>(gs) / config_.slots_per_shard, gs);
+      instantiate_slot(static_cast<i32>(gs) / config_.slots_per_shard, gs,
+                       /*plane=*/0);
     }
   }
 }
@@ -215,6 +240,20 @@ Rank LockSpace::home_of_shard(i32 shard) const {
   return shards_[static_cast<usize>(shard)]->home;
 }
 
+Rank LockSpace::home_of_shard_at(i32 shard, i32 plane) const {
+  RMALOCK_CHECK(plane >= 0 && plane < planes());
+  // Same leaf-major spread as construction, with the leaf rotated by the
+  // migration epoch: each rehome moves the shard to the next leaf, which
+  // is by construction a different node whenever the machine has more
+  // than one.
+  const topo::Topology& topo = world_.topology();
+  const i32 leaves = topo.num_elements(topo.num_levels());
+  const i32 ppl = topo.procs_per_leaf();
+  const i32 leaf = (shard % leaves + plane) % leaves;
+  const i32 index_in_leaf = (shard / leaves) % ppl;
+  return leaf * ppl + index_in_leaf;
+}
+
 std::vector<u64> LockSpace::distinct_slot_keys(i32 count) const {
   RMALOCK_CHECK_MSG(static_cast<u32>(count) <= total_slots(),
                     "cannot pick " << count << " cross-slot keys from "
@@ -230,14 +269,15 @@ std::vector<u64> LockSpace::distinct_slot_keys(i32 count) const {
   return keys;
 }
 
-void LockSpace::instantiate_slot(i32 shard_index, u32 global_slot) {
-  Slot& slot = slots_[static_cast<usize>(global_slot)];
-  Shard& shard = *shards_[static_cast<usize>(shard_index)];
+void LockSpace::instantiate_slot(i32 shard_index, u32 global_slot,
+                                 i32 plane) {
+  Slot& slot = slots_[slot_index(plane, global_slot)];
+  const Rank home = home_of_shard_at(shard_index, plane);
   SlotArena arena(world_, slot.arena_base, words_per_slot_);
   if (rw_capable()) {
-    slot.rw = locks::make_rw(config_.backend, arena, shard.home);
+    slot.rw = locks::make_rw(config_.backend, arena, home);
   } else {
-    slot.ex = locks::make_exclusive(config_.backend, arena, shard.home);
+    slot.ex = locks::make_exclusive(config_.backend, arena, home);
     slot.lease = dynamic_cast<locks::LeaseExclusive*>(slot.ex.get());
   }
   // Consistency check against the construction-time probe: every instance
@@ -253,13 +293,13 @@ void LockSpace::instantiate_slot(i32 shard_index, u32 global_slot) {
   slot.ready.store(true, std::memory_order_release);
 }
 
-LockSpace::Slot& LockSpace::ensure_slot(const LockRef& ref) {
-  Slot& slot = slots_[ref.global_slot];
+LockSpace::Slot& LockSpace::ensure_slot(const LockRef& ref, i32 plane) {
+  Slot& slot = slots_[slot_index(plane, ref.global_slot)];
   if (slot.ready.load(std::memory_order_acquire)) return slot;
   Shard& shard = *shards_[static_cast<usize>(ref.shard)];
   const std::lock_guard<std::mutex> guard(shard.init_mutex);
   if (!slot.ready.load(std::memory_order_relaxed)) {
-    instantiate_slot(ref.shard, ref.global_slot);
+    instantiate_slot(ref.shard, ref.global_slot, plane);
   }
   return slot;
 }
@@ -280,23 +320,101 @@ void LockSpace::with_shard_stats(rma::RmaComm& comm, i32 shard_index,
   shard.op_stats += after;
 }
 
+i64 LockSpace::read_ctl(rma::RmaComm& comm, i32 shard) const {
+  const i64 ctl = comm.get(0, ctl_offset(shard));
+  comm.flush(0);
+  return ctl;
+}
+
+void LockSpace::backend_release(Slot& slot, rma::RmaComm& comm) {
+  if (slot.rw != nullptr) {
+    slot.rw->release_write(comm);
+  } else {
+    slot.ex->release(comm);
+  }
+}
+
+void LockSpace::record_timeout(i32 shard_index) {
+  Shard& shard = *shards_[static_cast<usize>(shard_index)];
+  shard.timeouts.fetch_add(1, std::memory_order_relaxed);
+  const i32 consec =
+      shard.consec_timeouts.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (config_.quarantine_after > 0 && consec >= config_.quarantine_after) {
+    shard.quarantined.store(true, std::memory_order_release);
+  }
+}
+
+void LockSpace::record_success(i32 shard_index) {
+  shards_[static_cast<usize>(shard_index)]->consec_timeouts.store(
+      0, std::memory_order_relaxed);
+}
+
+LockSpace::Slot& LockSpace::rehomed_blocking_acquire(rma::RmaComm& comm,
+                                                     const LockRef& ref) {
+  for (;;) {
+    const i64 ctl = read_ctl(comm, ref.shard);
+    if ((ctl & 1) != 0) {
+      // Migration in flight: wait it out. The drain is deadline-bounded,
+      // so this resolves in bounded virtual time.
+      comm.compute(200);
+      continue;
+    }
+    const i32 plane = static_cast<i32>(ctl >> 1);
+    Slot& slot = ensure_slot(ref, plane);
+    with_shard_stats(comm, ref.shard, [&] { slot.ex->acquire(comm); });
+    if (!config_.rehome_skip_fence) {
+      // The migration fence: between our directory read and our grant the
+      // shard may have been re-homed — in which case the plane we hold was
+      // drained and abandoned, and the real lock now lives elsewhere.
+      // Re-validate the control word before claiming the CS; on any change
+      // release the stale plane and chase the new one.
+      if (read_ctl(comm, ref.shard) != ctl) {
+        backend_release(slot, comm);
+        continue;
+      }
+    }
+    holds_[static_cast<usize>(comm.rank())].push_back(
+        {ref.global_slot, plane});
+    return slot;
+  }
+}
+
 void LockSpace::acquire(rma::RmaComm& comm, u64 key) {
   const LockRef ref = resolve(key);
-  Slot& slot = ensure_slot(ref);
-  with_shard_stats(comm, ref.shard, [&] {
-    if (slot.rw != nullptr) {
-      slot.rw->acquire_write(comm);
-    } else {
-      slot.ex->acquire(comm);
-    }
-  });
+  if (rehoming()) {
+    (void)rehomed_blocking_acquire(comm, ref);
+  } else {
+    Slot& slot = ensure_slot(ref, /*plane=*/0);
+    with_shard_stats(comm, ref.shard, [&] {
+      if (slot.rw != nullptr) {
+        slot.rw->acquire_write(comm);
+      } else {
+        slot.ex->acquire(comm);
+      }
+    });
+  }
   shards_[static_cast<usize>(ref.shard)]->write_acquires.fetch_add(
       1, std::memory_order_relaxed);
 }
 
 void LockSpace::release(rma::RmaComm& comm, u64 key) {
   const LockRef ref = resolve(key);
-  Slot& slot = ensure_slot(ref);
+  i32 plane = 0;
+  if (rehoming()) {
+    // Pop the grant's plane: the most recent live hold of this physical
+    // slot by this rank (nested distinct keys unwind LIFO).
+    auto& stack = holds_[static_cast<usize>(comm.rank())];
+    auto it = stack.rbegin();
+    for (; it != stack.rend(); ++it) {
+      if (it->first == ref.global_slot) break;
+    }
+    RMALOCK_CHECK_MSG(it != stack.rend(),
+                      "release(key) without a live hold of slot "
+                          << ref.global_slot << " on rank " << comm.rank());
+    plane = it->second;
+    stack.erase(std::next(it).base());
+  }
+  Slot& slot = ensure_slot(ref, plane);
   with_shard_stats(comm, ref.shard, [&] {
     if (slot.rw != nullptr) {
       slot.rw->release_write(comm);
@@ -308,21 +426,31 @@ void LockSpace::release(rma::RmaComm& comm, u64 key) {
 
 void LockSpace::acquire_read(rma::RmaComm& comm, u64 key) {
   const LockRef ref = resolve(key);
-  Slot& slot = ensure_slot(ref);
-  with_shard_stats(comm, ref.shard, [&] {
-    if (slot.rw != nullptr) {
-      slot.rw->acquire_read(comm);
-    } else {
-      slot.ex->acquire(comm);  // exclusive backend: readers serialize
-    }
-  });
+  if (rehoming()) {
+    // Re-homing is exclusive-only (constructor CHECK), so the read path is
+    // the serialized exclusive path with the same fence.
+    (void)rehomed_blocking_acquire(comm, ref);
+  } else {
+    Slot& slot = ensure_slot(ref, /*plane=*/0);
+    with_shard_stats(comm, ref.shard, [&] {
+      if (slot.rw != nullptr) {
+        slot.rw->acquire_read(comm);
+      } else {
+        slot.ex->acquire(comm);  // exclusive backend: readers serialize
+      }
+    });
+  }
   shards_[static_cast<usize>(ref.shard)]->read_acquires.fetch_add(
       1, std::memory_order_relaxed);
 }
 
 void LockSpace::release_read(rma::RmaComm& comm, u64 key) {
+  if (rehoming()) {
+    release(comm, key);  // symmetric with the serialized read acquire
+    return;
+  }
   const LockRef ref = resolve(key);
-  Slot& slot = ensure_slot(ref);
+  Slot& slot = ensure_slot(ref, /*plane=*/0);
   with_shard_stats(comm, ref.shard, [&] {
     if (slot.rw != nullptr) {
       slot.rw->release_read(comm);
@@ -330,6 +458,140 @@ void LockSpace::release_read(rma::RmaComm& comm, u64 key) {
       slot.ex->release(comm);
     }
   });
+}
+
+locks::AcquireResult LockSpace::try_acquire_for(rma::RmaComm& comm, u64 key,
+                                                Nanos deadline_ns,
+                                                const locks::RetryPolicy&
+                                                    retry) {
+  const LockRef ref = resolve(key);
+  Shard& shard = *shards_[static_cast<usize>(ref.shard)];
+  if (shard.quarantined.load(std::memory_order_acquire)) {
+    // Fail fast: the health score says this shard's home is gray. The
+    // caller gets its deadline budget back instead of burning it.
+    return locks::AcquireResult{locks::AcquireStatus::kDegraded, 0};
+  }
+  u32 attempts = 0;
+  for (;;) {
+    i64 ctl = 0;
+    i32 plane = 0;
+    if (rehoming()) {
+      ctl = read_ctl(comm, ref.shard);
+      if ((ctl & 1) != 0) {
+        // Migration in flight: retry with backoff inside the deadline.
+        ++attempts;
+        if (attempts >= retry.max_attempts ||
+            comm.now_ns() >= deadline_ns) {
+          record_timeout(ref.shard);
+          return locks::AcquireResult{locks::AcquireStatus::kTimeout,
+                                      attempts};
+        }
+        const Nanos delay = retry.delay_for(attempts - 1, comm.rng());
+        if (delay > 0) comm.compute(delay);
+        continue;
+      }
+      plane = static_cast<i32>(ctl >> 1);
+    }
+    Slot& slot = ensure_slot(ref, plane);
+    locks::AcquireResult result{};
+    with_shard_stats(comm, ref.shard, [&] {
+      result = slot.rw != nullptr
+                   ? slot.rw->try_acquire_write_for(comm, deadline_ns, retry)
+                   : slot.ex->try_acquire_for(comm, deadline_ns, retry);
+    });
+    attempts += result.attempts;
+    if (result.status != locks::AcquireStatus::kAcquired) {
+      record_timeout(ref.shard);
+      result.attempts = attempts;
+      return result;
+    }
+    if (rehoming() && !config_.rehome_skip_fence) {
+      // The migration fence (see rehomed_blocking_acquire).
+      if (read_ctl(comm, ref.shard) != ctl) {
+        backend_release(slot, comm);
+        if (attempts >= retry.max_attempts ||
+            comm.now_ns() >= deadline_ns) {
+          record_timeout(ref.shard);
+          return locks::AcquireResult{locks::AcquireStatus::kTimeout,
+                                      attempts};
+        }
+        continue;
+      }
+    }
+    if (rehoming()) {
+      holds_[static_cast<usize>(comm.rank())].push_back(
+          {ref.global_slot, plane});
+    }
+    record_success(ref.shard);
+    shard.write_acquires.fetch_add(1, std::memory_order_relaxed);
+    return locks::AcquireResult{locks::AcquireStatus::kAcquired, attempts};
+  }
+}
+
+bool LockSpace::rehome_shard(rma::RmaComm& comm, i32 shard_index,
+                             Nanos drain_budget_ns) {
+  RMALOCK_CHECK_MSG(rehoming(), "LockSpaceConfig::rehome_epochs = 0");
+  const i64 ctl = read_ctl(comm, shard_index);
+  if ((ctl & 1) != 0) return false;  // already migrating
+  const i64 epoch = ctl >> 1;
+  if (epoch >= config_.rehome_epochs) return false;  // planes exhausted
+  // Phase 1: flip to migrating. New claimants now wait; losing this CAS
+  // means a concurrent migration won.
+  if (comm.cas((epoch << 1) | 1, ctl, 0, ctl_offset(shard_index)) != ctl) {
+    return false;
+  }
+  // Phase 2: drain the old plane — acquire and release every instantiated
+  // slot once, which serializes with every grant issued before the flip.
+  // Claimants granted on the old plane after this drain saw the pre-flip
+  // control word and are deflected by the fence before entering their CS.
+  const i32 plane = static_cast<i32>(epoch);
+  const Nanos deadline = comm.now_ns() + drain_budget_ns;
+  const locks::RetryPolicy drain_retry{};
+  for (i32 s = 0; s < config_.slots_per_shard; ++s) {
+    const u32 gs = static_cast<u32>(shard_index) *
+                       static_cast<u32>(config_.slots_per_shard) +
+                   static_cast<u32>(s);
+    Slot& slot = slots_[slot_index(plane, gs)];
+    if (!slot.ready.load(std::memory_order_acquire)) continue;
+    locks::AcquireResult r{};
+    if (slot.ex != nullptr) {
+      r = slot.ex->try_acquire_for(comm, deadline, drain_retry);
+    }
+    if (r.status != locks::AcquireStatus::kAcquired) {
+      // Drain timed out (e.g. a wedged holder): abort the migration and
+      // reopen the old plane — claimants resume where they were.
+      comm.put(epoch << 1, 0, ctl_offset(shard_index));
+      comm.flush(0);
+      return false;
+    }
+    backend_release(slot, comm);
+  }
+  // Phase 3: commit the bumped epoch; the successor plane (and home) is
+  // instantiated on first touch.
+  comm.put((epoch + 1) << 1, 0, ctl_offset(shard_index));
+  comm.flush(0);
+  return true;
+}
+
+bool LockSpace::shard_quarantined(i32 shard) const {
+  return shards_[static_cast<usize>(shard)]->quarantined.load(
+      std::memory_order_acquire);
+}
+
+u64 LockSpace::shard_timeouts(i32 shard) const {
+  return shards_[static_cast<usize>(shard)]->timeouts.load(
+      std::memory_order_relaxed);
+}
+
+void LockSpace::reset_shard_health(i32 shard) {
+  Shard& s = *shards_[static_cast<usize>(shard)];
+  s.consec_timeouts.store(0, std::memory_order_relaxed);
+  s.quarantined.store(false, std::memory_order_release);
+}
+
+i64 LockSpace::shard_epoch(rma::RmaComm& comm, i32 shard) {
+  if (!rehoming()) return 0;
+  return read_ctl(comm, shard) >> 1;
 }
 
 void LockSpace::write_payload(rma::RmaComm& comm, u64 key, const i64* data,

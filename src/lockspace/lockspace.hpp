@@ -41,9 +41,11 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "locks/factory.hpp"
+#include "locks/lock.hpp"
 #include "rma/world.hpp"
 
 namespace rmalock::locks {
@@ -85,6 +87,23 @@ struct LockSpaceConfig {
   /// true footprint and aborts if the reservation is too small — which is
   /// exactly what the under-provisioning regression test provokes.
   usize words_per_slot_override = 0;
+  /// Graceful degradation: consecutive try_acquire_for timeouts on a shard
+  /// before the shard is quarantined (0 = never). A quarantined shard
+  /// fails fast with AcquireStatus::kDegraded instead of burning the
+  /// caller's deadline against a home rank the fault model says is gray.
+  i32 quarantine_after = 0;
+  /// Epoch-stamped re-homing: number of successor placements (slot planes)
+  /// pre-reserved beyond the original one, so a gray shard can be migrated
+  /// to a fresh home mid-run (rehome_shard). 0 = off. Exclusive backends
+  /// only. Each extra plane costs a full grid arena.
+  i32 rehome_epochs = 0;
+  /// PLANTED-BUG knob (MC verification only): skip the post-acquire
+  /// control-word re-validation — the fence that deflects a claimant whose
+  /// plane was migrated away between its directory read and its grant. With
+  /// the fence skipped, a migration can admit one owner on the old plane
+  /// and one on the new: two owners across the migration epoch. The
+  /// rehome MC campaigns must catch this.
+  bool rehome_skip_fence = false;
 };
 
 /// Result of the O(1) directory computation for one key.
@@ -129,6 +148,46 @@ class LockSpace {
   void release(rma::RmaComm& comm, u64 key);
   void acquire_read(rma::RmaComm& comm, u64 key);
   void release_read(rma::RmaComm& comm, u64 key);
+
+  // --- deadlines, health, re-homing ----------------------------------------
+  // The gray-failure story: a straggling or partitioned shard home makes
+  // blocking acquires arbitrarily slow without ever tripping the crash
+  // detector. try_acquire_for bounds each attempt by the caller's deadline;
+  // repeated timeouts score the shard's health and eventually quarantine it
+  // (fail-fast kDegraded); an operator — or a bench policy — then migrates
+  // the shard to a healthy successor home with rehome_shard.
+
+  /// Deadline-bounded exclusive acquire (write path on RW backends).
+  /// `deadline_ns` is absolute virtual time, as in ExclusiveLock. On
+  /// success release with the ordinary release(key) — the space remembers
+  /// which plane the grant landed on.
+  locks::AcquireResult try_acquire_for(rma::RmaComm& comm, u64 key,
+                                       Nanos deadline_ns,
+                                       const locks::RetryPolicy& retry = {});
+
+  /// Migrates `shard` to its next epoch plane (fresh home rank, fresh slot
+  /// instances). Two-phase: CAS the shard's control word to `migrating`
+  /// (new claimants wait), drain every instantiated old-plane slot by
+  /// acquiring and releasing it once — bounded by `drain_budget_ns` of
+  /// virtual time — then commit the bumped epoch. Returns false without
+  /// migrating if the shard is already migrating, out of planes, the CAS
+  /// is lost, or the drain times out (the control word is restored).
+  /// Safety: a claimant granted on the old plane after the drain re-reads
+  /// the control word before entering its CS and bails (the fence), so no
+  /// two owners exist across the migration epoch.
+  bool rehome_shard(rma::RmaComm& comm, i32 shard, Nanos drain_budget_ns);
+
+  [[nodiscard]] bool shard_quarantined(i32 shard) const;
+  /// Cumulative try_acquire_for timeouts charged to the shard.
+  [[nodiscard]] u64 shard_timeouts(i32 shard) const;
+  /// Clears the shard's timeout score and lifts its quarantine (operator
+  /// action after a rehome or a repaired network).
+  void reset_shard_health(i32 shard);
+  /// Current migration epoch of the shard (reads the control word; 0 when
+  /// re-homing is off).
+  [[nodiscard]] i64 shard_epoch(rma::RmaComm& comm, i32 shard);
+  /// Home rank of `shard` at migration epoch `plane` (plane 0 = original).
+  [[nodiscard]] Rank home_of_shard_at(i32 shard, i32 plane) const;
 
   // --- versioned payload (optimistic reads) --------------------------------
   // Per-slot version word bumped odd/even around every write-side critical
@@ -226,6 +285,12 @@ class LockSpace {
     std::mutex init_mutex;  // serializes first-touch construction
     std::atomic<u64> write_acquires{0};
     std::atomic<u64> read_acquires{0};
+    // Health score: cumulative and consecutive timed-acquire timeouts.
+    // consec resets on every success; crossing quarantine_after trips the
+    // quarantine latch (cleared only by reset_shard_health).
+    std::atomic<u64> timeouts{0};
+    std::atomic<i32> consec_timeouts{0};
+    std::atomic<bool> quarantined{false};
     mutable std::mutex stats_mutex;  // guards op_stats when tracking
     rma::OpStats op_stats;
   };
@@ -241,12 +306,32 @@ class LockSpace {
     locks::LeaseExclusive* lease = nullptr;
   };
 
-  /// Returns the slot's backend instance, constructing it on first touch.
-  Slot& ensure_slot(const LockRef& ref);
+  /// Returns the (plane, slot) backend instance, constructing it on first
+  /// touch. Plane 0 is the original placement; planes 1..rehome_epochs are
+  /// the pre-reserved migration successors.
+  Slot& ensure_slot(const LockRef& ref, i32 plane);
 
-  /// Builds slot `global_slot` from its pre-reserved arena range. Callers
-  /// hold the shard's init_mutex (or are the collective constructor).
-  void instantiate_slot(i32 shard_index, u32 global_slot);
+  /// Builds the (plane, global_slot) instance from its pre-reserved arena
+  /// range. Callers hold the shard's init_mutex (or are the collective
+  /// constructor).
+  void instantiate_slot(i32 shard_index, u32 global_slot, i32 plane);
+
+  [[nodiscard]] bool rehoming() const { return config_.rehome_epochs > 0; }
+  [[nodiscard]] i32 planes() const { return config_.rehome_epochs + 1; }
+  [[nodiscard]] usize slot_index(i32 plane, u32 global_slot) const {
+    return static_cast<usize>(plane) * static_cast<usize>(total_slots()) +
+           static_cast<usize>(global_slot);
+  }
+  /// Shard control words live on rank 0, packing (epoch << 1) | migrating.
+  [[nodiscard]] WinOffset ctl_offset(i32 shard) const {
+    return rehome_ctl_base_ + static_cast<WinOffset>(shard);
+  }
+  [[nodiscard]] i64 read_ctl(rma::RmaComm& comm, i32 shard) const;
+  /// Blocking acquire with plane resolution + the migration fence.
+  Slot& rehomed_blocking_acquire(rma::RmaComm& comm, const LockRef& ref);
+  void backend_release(Slot& slot, rma::RmaComm& comm);
+  void record_timeout(i32 shard);
+  void record_success(i32 shard);
 
   /// Runs `hold` (acquire-CS-release is the caller's business; this wraps
   /// one protocol call) and attributes its OpStats delta to the shard.
@@ -268,8 +353,13 @@ class LockSpace {
   usize backend_words_ = 0;    // probed true footprint of one instance
   WinOffset payload_base_ = 0; // versioned-payload arena (when payload_words)
   usize payload_stride_ = 0;   // 1 version word + payload_words per slot
+  WinOffset rehome_ctl_base_ = 0;  // per-shard control words (when rehoming)
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<Slot> slots_;
+  std::vector<Slot> slots_;    // planes() x total_slots(), plane-major
+  // Per-rank stack of live grants as (global_slot, plane), so release(key)
+  // finds the plane a grant landed on. Each rank only touches its own
+  // stack. Maintained only when re-homing is enabled.
+  std::vector<std::vector<std::pair<u32, i32>>> holds_;
   std::atomic<u64> instantiated_{0};
 };
 

@@ -15,6 +15,9 @@ std::string CheckReport::summary() const {
   out << "schedules=" << schedules_run << " cs_entries=" << total_cs_entries
       << " mutex_violations=" << mutex_violations
       << " deadlocks=" << deadlocks << " step_limit_hits=" << step_limit_hits;
+  if (livelock_violations > 0) {
+    out << " livelock_violations=" << livelock_violations;
+  }
   if (exhausted_spaces > 0) out << " exhausted_spaces=" << exhausted_spaces;
   if (cross_key_overlap_schedules > 0) {
     out << " cross_key_overlaps=" << cross_key_overlap_schedules;
@@ -39,6 +42,7 @@ CheckReport& CheckReport::operator+=(const CheckReport& other) {
   schedules_run += other.schedules_run;
   mutex_violations += other.mutex_violations;
   deadlocks += other.deadlocks;
+  livelock_violations += other.livelock_violations;
   step_limit_hits += other.step_limit_hits;
   total_cs_entries += other.total_cs_entries;
   exhausted_spaces += other.exhausted_spaces;
@@ -68,6 +72,11 @@ rma::SimOptions schedule_options(const CheckConfig& config, u64 schedule) {
   opts.adversarial_suspicion = config.adversarial_suspicion;
   opts.max_tears = config.max_tears;
   opts.tear_chance_permille = config.tear_chance_permille;
+  opts.max_delays = config.max_delays;
+  opts.delay_chance_permille = config.delay_chance_permille;
+  opts.delay_factor = config.delay_factor;
+  opts.max_partitions = config.max_partitions;
+  opts.partition_span = config.partition_span;
   opts.abort_on_deadlock = false;  // report, don't abort: we are the checker
   // Randomized campaigns do not record up front: the engine is
   // deterministic, so capture_first_failure re-records only the (rare)
@@ -340,9 +349,87 @@ ScheduleOutcome run_lease_schedule(const CheckConfig& config,
   return outcome;
 }
 
+ScheduleOutcome run_timeout_schedule(const CheckConfig& config,
+                                     const ExclusiveLockFactory& factory,
+                                     const rma::SimOptions& opts) {
+  auto world = rma::SimWorld::create(opts);
+  const auto lock = factory(*world);
+  CsMonitor monitor;
+  LivelockMonitor livelock(config.livelock_bound);
+  ScheduleOutcome outcome;
+  outcome.run = world->run([&](rma::RmaComm& comm) {
+    for (i32 round = 0; round < config.timeout_retry_rounds; ++round) {
+      const Nanos deadline = comm.now_ns() + config.acquire_timeout_ns;
+      const locks::AcquireResult r =
+          lock->try_acquire_for(comm, deadline, config.retry);
+      livelock.record(comm.rank(), r.attempts, r.ok());
+      if (!r.ok()) continue;  // timed out: the round's budget is spent
+      monitor.enter();
+      comm.compute(10);  // scheduling point: keeps the CS observable
+      monitor.exit();
+      lock->release(comm);
+    }
+  });
+  outcome.mutex_violations = monitor.violations();
+  outcome.livelock_violations = livelock.violations();
+  outcome.cs_entries = monitor.entries();
+  outcome.lock_name = lock->name();
+  return outcome;
+}
+
+ScheduleOutcome run_rehome_schedule(const CheckConfig& config,
+                                    const LockSpaceFactory& factory,
+                                    const std::vector<u64>& keys,
+                                    const rma::SimOptions& opts) {
+  RMALOCK_CHECK_MSG(!keys.empty(), "rehome workload needs >= 1 key");
+  auto world = rma::SimWorld::create(opts);
+  const auto space = factory(*world);
+  RMALOCK_CHECK_MSG(space->config().rehome_epochs >= 1,
+                    "rehome workload needs rehome_epochs >= 1");
+  const Rank nprocs = config.topology.nprocs();
+  // Per-key monitors, plane-agnostic: an old-plane owner concurrent with a
+  // new-plane owner of the same key is exactly a mutex violation here.
+  std::vector<CsMonitor> monitors(keys.size());
+  LivelockMonitor livelock(config.livelock_bound);
+  ScheduleOutcome outcome;
+  outcome.run = world->run([&](rma::RmaComm& comm) {
+    const Rank me = comm.rank();
+    const bool migrator = me == nprocs - 1;
+    for (i32 i = 0; i < config.acquires_per_proc; ++i) {
+      if (migrator && i == config.acquires_per_proc / 2) {
+        // Mid-run migration of the first key's shard to its successor
+        // home; a generous drain budget so only a wedged holder aborts it.
+        const i32 shard = space->resolve(keys[0]).shard;
+        (void)space->rehome_shard(comm, shard,
+                                  10 * config.acquire_timeout_ns);
+      }
+      const usize ki =
+          (static_cast<usize>(me) + static_cast<usize>(i)) % keys.size();
+      const u64 key = keys[ki];
+      const Nanos deadline = comm.now_ns() + config.acquire_timeout_ns;
+      const locks::AcquireResult r =
+          space->try_acquire_for(comm, key, deadline, config.retry);
+      livelock.record(me, r.attempts, r.ok());
+      if (!r.ok()) continue;  // timeout or degraded: budget spent
+      monitors[ki].enter_write();
+      comm.compute(10);  // scheduling point: keeps the CS observable
+      monitors[ki].exit_write();
+      space->release(comm, key);
+    }
+  });
+  for (const CsMonitor& monitor : monitors) {
+    outcome.mutex_violations += monitor.violations();
+    outcome.cs_entries += monitor.entries();
+  }
+  outcome.livelock_violations = livelock.violations();
+  outcome.lock_name = space->describe();
+  return outcome;
+}
+
 void fold_outcome(CheckReport& report, const ScheduleOutcome& outcome) {
   ++report.schedules_run;
   report.mutex_violations += outcome.mutex_violations;
+  report.livelock_violations += outcome.livelock_violations;
   report.total_cs_entries += outcome.cs_entries;
   if (outcome.run.deadlocked) ++report.deadlocks;
   if (outcome.run.step_limit_hit) ++report.step_limit_hits;
@@ -410,11 +497,14 @@ void capture_first_failure(
 
   if (config.shrink_failures && !failure.trace.picks.empty()) {
     const bool want_mutex = outcome.mutex_violations > 0;
+    const bool want_livelock =
+        !want_mutex && outcome.livelock_violations > 0;
     const TraceOracle oracle = [&](const rma::ScheduleTrace& candidate) {
       const ScheduleOutcome replayed =
           rerun(replay_options(config, opts.seed, candidate));
-      return want_mutex ? replayed.mutex_violations > 0
-                        : replayed.run.deadlocked;
+      if (want_mutex) return replayed.mutex_violations > 0;
+      if (want_livelock) return replayed.livelock_violations > 0;
+      return replayed.run.deadlocked;
     };
     failure.trace =
         shrink_trace(failure.trace, oracle, config.max_shrink_replays);
@@ -438,6 +528,11 @@ void capture_first_failure(
     repro.adversarial_suspicion = config.adversarial_suspicion;
     repro.max_tears = config.max_tears;
     repro.tear_chance_permille = config.tear_chance_permille;
+    repro.max_delays = config.max_delays;
+    repro.delay_chance_permille = config.delay_chance_permille;
+    repro.delay_factor = config.delay_factor;
+    repro.max_partitions = config.max_partitions;
+    repro.partition_span = config.partition_span;
     repro.trace = failure.trace;
     const std::string name = failure_trace_path(config, failure.lock_name,
                                                 failure.kind, schedule_index);
@@ -535,6 +630,21 @@ CheckReport check_optimistic(const CheckConfig& config,
                              const std::vector<u64>& keys) {
   return check_campaign(config, [&](const rma::SimOptions& opts) {
     return run_optimistic_schedule(config, factory, keys, opts);
+  });
+}
+
+CheckReport check_timeout(const CheckConfig& config,
+                          const ExclusiveLockFactory& factory) {
+  return check_campaign(config, [&](const rma::SimOptions& opts) {
+    return run_timeout_schedule(config, factory, opts);
+  });
+}
+
+CheckReport check_rehome(const CheckConfig& config,
+                         const LockSpaceFactory& factory,
+                         const std::vector<u64>& keys) {
+  return check_campaign(config, [&](const rma::SimOptions& opts) {
+    return run_rehome_schedule(config, factory, keys, opts);
   });
 }
 

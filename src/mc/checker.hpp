@@ -88,6 +88,30 @@ struct CheckConfig {
   i32 max_tears = 0;
   /// Per-armed-get_vec tear probability under kRandom/kPct (permille).
   u32 tear_chance_permille = 500;
+  /// Gray-failure injection (SimOptions::max_delays / max_partitions etc.):
+  /// budgets of per-op straggler delays and transient target-unreachable
+  /// windows per schedule; 0 keeps the campaign identical to the
+  /// pre-gray-model checker.
+  i32 max_delays = 0;
+  u32 delay_chance_permille = 200;
+  i64 delay_factor = 16;
+  i32 max_partitions = 0;
+  Nanos partition_span = 50'000;
+  /// Timed-acquire workloads (check_timeout / check_rehome): per-round
+  /// deadline budget in virtual nanoseconds. Under the checker's
+  /// zero-latency network only compute() — i.e. backoff — advances the
+  /// clock toward it (see mc::LivelockMonitor).
+  Nanos acquire_timeout_ns = 60'000;
+  /// try_acquire_for rounds per process in the timeout workloads.
+  i32 timeout_retry_rounds = 3;
+  /// Retry policy the timed workloads hand to try_acquire_for. The planted
+  /// livelock bug is `retry.backoff = false`.
+  locks::RetryPolicy retry;
+  /// LivelockMonitor bound: cumulative attempts without an acquire before
+  /// a rank is declared livelocked. Correct backoff stays ~an order of
+  /// magnitude below; the no-backoff bug blows through it via the
+  /// RetryPolicy::max_attempts valve.
+  u64 livelock_bound = 128;
   /// Worker threads for the campaign (--jobs / RMALOCK_JOBS): 1 = the
   /// sequential loop (default), n > 1 = run schedules on a work-stealing
   /// TaskPool, <= 0 = all hardware threads. Every observable output —
@@ -101,7 +125,7 @@ struct CheckConfig {
 
 /// Coordinates and replayable evidence of the first property violation.
 struct FirstFailure {
-  std::string kind;       // "mutex" or "deadlock"
+  std::string kind;       // "mutex", "livelock", or "deadlock"
   std::string lock_name;  // Lock::name() of the subject
   u64 base_seed = 0;
   u64 schedule_index = 0;  // index within its campaign
@@ -116,6 +140,8 @@ struct CheckReport {
   u64 schedules_run = 0;
   u64 mutex_violations = 0;
   u64 deadlocks = 0;
+  /// Bounded-retry progress violations (LivelockMonitor, timed workloads).
+  u64 livelock_violations = 0;
   u64 step_limit_hits = 0;
   u64 total_cs_entries = 0;
   /// Exhaustive explorations that drained their full bounded schedule
@@ -129,9 +155,10 @@ struct CheckReport {
   bool has_first_failure = false;
   FirstFailure first_failure;
 
-  /// True iff no safety property was violated.
+  /// True iff no safety or progress property was violated.
   [[nodiscard]] bool ok() const {
-    return mutex_violations == 0 && deadlocks == 0;
+    return mutex_violations == 0 && deadlocks == 0 &&
+           livelock_violations == 0;
   }
   /// One line of counts; on failure, appends the first-failure coordinates
   /// and a repro command.
@@ -193,6 +220,33 @@ CheckReport check_optimistic(const CheckConfig& config,
                              const LockSpaceFactory& factory,
                              const std::vector<u64>& keys);
 
+/// Explores `config.schedules` schedules of the timed-acquire workload:
+/// every process runs config.timeout_retry_rounds rounds of
+/// try_acquire_for with an acquire_timeout_ns deadline and config.retry,
+/// entering/leaving a CS on success and moving on on timeout. Checked
+/// properties: mutual exclusion (CsMonitor), deadlock freedom, and
+/// bounded-retry progress (LivelockMonitor, folded into
+/// livelock_violations) — the property the planted no-backoff retry policy
+/// violates under a straggler schedule. Arm the gray-failure knobs
+/// (max_delays / max_partitions) to exercise the paths the deadlines
+/// exist for.
+CheckReport check_timeout(const CheckConfig& config,
+                          const ExclusiveLockFactory& factory);
+
+/// Explores `config.schedules` schedules of the re-homing workload over a
+/// rehome-capable LockSpace (the space `factory` builds must have
+/// rehome_epochs >= 1 and an exclusive backend): every process runs keyed
+/// timed acquires (as in check_timeout); the highest rank additionally
+/// migrates the first key's shard to its successor home mid-run
+/// (rehome_shard). Checked properties: per-key mutual exclusion across
+/// migration planes — one CsMonitor per key, so an old-plane owner
+/// coexisting with a new-plane owner is a mutex violation (exactly what
+/// the planted rehome_skip_fence bug admits) — plus deadlock freedom and
+/// bounded-retry progress.
+CheckReport check_rehome(const CheckConfig& config,
+                         const LockSpaceFactory& factory,
+                         const std::vector<u64>& keys);
+
 /// First `k` keys (scanning upward from 0) that resolve to pairwise
 /// distinct slots of the space `factory` builds — the keys a small-config
 /// campaign uses so "different keys" provably means "different physical
@@ -208,6 +262,8 @@ std::vector<u64> pick_cross_slot_keys(const LockSpaceFactory& factory,
 struct ScheduleOutcome {
   rma::RunResult run;
   u64 mutex_violations = 0;
+  /// Timed workloads: LivelockMonitor violations (bounded-retry progress).
+  u64 livelock_violations = 0;
   u64 cs_entries = 0;
   /// LockSpace workloads: peak number of distinct keys held at once during
   /// the schedule (>= 2 witnesses cross-key concurrency); 0 elsewhere.
@@ -215,11 +271,13 @@ struct ScheduleOutcome {
   std::string lock_name;
 
   [[nodiscard]] bool failed() const {
-    return mutex_violations > 0 || run.deadlocked;
+    return mutex_violations > 0 || livelock_violations > 0 ||
+           run.deadlocked;
   }
-  /// "mutex" (takes precedence), "deadlock", or "none".
+  /// "mutex" (takes precedence), "livelock", "deadlock", or "none".
   [[nodiscard]] const char* kind() const {
     if (mutex_violations > 0) return "mutex";
+    if (livelock_violations > 0) return "livelock";
     if (run.deadlocked) return "deadlock";
     return "none";
   }
@@ -258,6 +316,15 @@ ScheduleOutcome run_optimistic_schedule(const CheckConfig& config,
                                         const LockSpaceFactory& factory,
                                         const std::vector<u64>& keys,
                                         const rma::SimOptions& opts);
+/// Runs one timed-acquire schedule (see check_timeout) under `opts`.
+ScheduleOutcome run_timeout_schedule(const CheckConfig& config,
+                                     const ExclusiveLockFactory& factory,
+                                     const rma::SimOptions& opts);
+/// Runs one re-homing schedule (see check_rehome) under `opts`.
+ScheduleOutcome run_rehome_schedule(const CheckConfig& config,
+                                    const LockSpaceFactory& factory,
+                                    const std::vector<u64>& keys,
+                                    const rma::SimOptions& opts);
 
 /// Accumulates one schedule's outcome into the campaign counters.
 void fold_outcome(CheckReport& report, const ScheduleOutcome& outcome);

@@ -474,4 +474,27 @@ CheckReport check_optimistic_exhaustive(const CheckConfig& config,
       });
 }
 
+CheckReport check_timeout_exhaustive(const CheckConfig& config,
+                                     const ExploreConfig& explore,
+                                     const ExclusiveLockFactory& factory,
+                                     bool iterative) {
+  return check_exhaustive_impl(
+      config, explore, factory, iterative,
+      [](const CheckConfig& c, const ExclusiveLockFactory& f,
+         const rma::SimOptions& o) { return run_timeout_schedule(c, f, o); });
+}
+
+CheckReport check_rehome_exhaustive(const CheckConfig& config,
+                                    const ExploreConfig& explore,
+                                    const LockSpaceFactory& factory,
+                                    const std::vector<u64>& keys,
+                                    bool iterative) {
+  return check_exhaustive_impl(
+      config, explore, factory, iterative,
+      [&keys](const CheckConfig& c, const LockSpaceFactory& f,
+              const rma::SimOptions& o) {
+        return run_rehome_schedule(c, f, keys, o);
+      });
+}
+
 }  // namespace rmalock::mc

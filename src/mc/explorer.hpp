@@ -124,5 +124,25 @@ CheckReport check_optimistic_exhaustive(const CheckConfig& config,
                                         const LockSpaceFactory& factory,
                                         const std::vector<u64>& keys,
                                         bool iterative = false);
+/// Timed-acquire workload (see check_timeout): with config.max_delays /
+/// max_partitions > 0, every armed remote op is a scheduler decision the
+/// DFS branches on — the fault-free interleaving AND every placement of up
+/// to the budgeted delays/partitions are enumerated within the bounds.
+/// Each injected fault costs one preemption, so iterative deepening
+/// surfaces the fault-free space first. The livelock progress property
+/// (bounded retries) is checked alongside mutual exclusion.
+CheckReport check_timeout_exhaustive(const CheckConfig& config,
+                                     const ExploreConfig& explore,
+                                     const ExclusiveLockFactory& factory,
+                                     bool iterative = false);
+/// Re-homing workload (see check_rehome): enumerates interleavings of the
+/// mid-run shard migration against keyed timed acquires; per-key mutual
+/// exclusion across migration planes is the property the planted
+/// rehome_skip_fence bug violates.
+CheckReport check_rehome_exhaustive(const CheckConfig& config,
+                                    const ExploreConfig& explore,
+                                    const LockSpaceFactory& factory,
+                                    const std::vector<u64>& keys,
+                                    bool iterative = false);
 
 }  // namespace rmalock::mc

@@ -11,6 +11,7 @@
 // for ThreadWorld stress tests.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <map>
 
@@ -115,6 +116,42 @@ class OptimisticReadMonitor {
  private:
   u64 reads_ = 0;
   u64 violations_ = 0;
+};
+
+/// Progress monitor for deadline/retry acquire paths: a bounded-retry
+/// progress witness. Every try_acquire_for reports its attempt count; the
+/// monitor accumulates attempts per rank and resets on success. A correct
+/// policy (capped exponential backoff) is *self-bounding* even under the
+/// model checker's zero-latency network: each backoff advances the virtual
+/// clock via compute(), so the deadline expires after ~10 attempts and a
+/// round records a small, bounded count. A retry loop with no backoff
+/// freezes the clock — the deadline never expires, the loop spins to the
+/// RetryPolicy::max_attempts valve, and the cumulative count blows past any
+/// reasonable bound: that is a livelock, flagged when a rank exceeds
+/// `bound` attempts without ever acquiring. Relies on SimWorld's
+/// serialized execution, like CsMonitor.
+class LivelockMonitor {
+ public:
+  explicit LivelockMonitor(u64 bound) : bound_(bound) {}
+
+  void record(Rank rank, u32 attempts, bool acquired) {
+    u64& cumulative = cumulative_[rank];
+    cumulative += attempts;
+    max_cumulative_ = std::max(max_cumulative_, cumulative);
+    if (!acquired && cumulative > bound_) ++violations_;
+    if (acquired) cumulative = 0;
+  }
+
+  [[nodiscard]] u64 violations() const { return violations_; }
+  /// Largest attempts-without-success any rank accumulated (tests pin the
+  /// correct-policy ceiling well below the bound).
+  [[nodiscard]] u64 max_cumulative_attempts() const { return max_cumulative_; }
+
+ private:
+  u64 bound_;
+  std::map<Rank, u64> cumulative_;
+  u64 violations_ = 0;
+  u64 max_cumulative_ = 0;
 };
 
 class AtomicCsMonitor {

@@ -27,7 +27,11 @@ namespace {
 // v2 added the crash-injection keys and the negative crash picks; v1 files
 // (no crash model) parse unchanged. v3 adds the torn-read keys — emitted
 // (and the magic bumped) only when the fault model is armed, so every
-// pre-tear case keeps serializing byte-identically as v2.
+// pre-tear case keeps serializing byte-identically as v2. v4 adds the
+// gray-failure keys ("delays"/"partitions") under the same rule: emitted
+// (and the magic bumped) only when the gray model is armed, keeping every
+// pre-gray case byte-identical in its older format.
+const char kMagicV4[] = "rmalock-trace v4";
 const char kMagicV3[] = "rmalock-trace v3";
 const char kMagic[] = "rmalock-trace v2";
 const char kMagicV1[] = "rmalock-trace v1";
@@ -49,8 +53,9 @@ bool fail(std::string* error, const std::string& message) {
 }  // namespace
 
 std::string serialize_trace(const TraceCase& c) {
+  const bool gray = c.max_delays != 0 || c.max_partitions != 0;
   std::ostringstream out;
-  out << (c.max_tears != 0 ? kMagicV3 : kMagic) << "\n";
+  out << (gray ? kMagicV4 : (c.max_tears != 0 ? kMagicV3 : kMagic)) << "\n";
   out << "workload " << c.workload << "\n";
   out << "lock " << c.lock_name << "\n";
   out << "kind " << c.kind << "\n";
@@ -84,6 +89,12 @@ std::string serialize_trace(const TraceCase& c) {
   if (c.max_tears != 0) {
     out << "tears " << c.max_tears << " " << c.tear_chance_permille << "\n";
   }
+  if (gray) {
+    out << "delays " << c.max_delays << " " << c.delay_chance_permille << " "
+        << c.delay_factor << "\n";
+    out << "partitions " << c.max_partitions << " " << c.partition_span
+        << "\n";
+  }
   out << "picks " << c.trace.picks.size() << "\n";
   for (usize i = 0; i < c.trace.picks.size(); ++i) {
     out << c.trace.picks[i] << ((i + 1) % 32 == 0 ? "\n" : " ");
@@ -96,8 +107,9 @@ bool parse_trace(const std::string& text, TraceCase* out, std::string* error) {
   std::istringstream in(text);
   std::string line;
   if (!std::getline(in, line) ||
-      (line != kMagic && line != kMagicV1 && line != kMagicV3)) {
-    return fail(error, "missing 'rmalock-trace v1/v2/v3' header");
+      (line != kMagic && line != kMagicV1 && line != kMagicV3 &&
+       line != kMagicV4)) {
+    return fail(error, "missing 'rmalock-trace v1/v2/v3/v4' header");
   }
   *out = TraceCase{};
   while (std::getline(in, line)) {
@@ -162,6 +174,15 @@ bool parse_trace(const std::string& text, TraceCase* out, std::string* error) {
     } else if (key == "tears") {
       if (!(fields >> out->max_tears >> out->tear_chance_permille)) {
         return fail(error, "bad tears line: " + line);
+      }
+    } else if (key == "delays") {
+      if (!(fields >> out->max_delays >> out->delay_chance_permille >>
+            out->delay_factor)) {
+        return fail(error, "bad delays line: " + line);
+      }
+    } else if (key == "partitions") {
+      if (!(fields >> out->max_partitions >> out->partition_span)) {
+        return fail(error, "bad partitions line: " + line);
       }
     } else if (key == "picks") {
       usize count = 0;

@@ -7,12 +7,15 @@
 //   * TraceCase bundles a trace with everything needed to re-execute it —
 //     topology, world seed, workload shape, crash- and torn-read-injection
 //     knobs — in a line-oriented text format. The magic is "rmalock-trace
-//     v3" only when the torn-read fault model is armed (a "tears" line is
-//     then present); unarmed cases keep serializing byte-identically as v2,
-//     and v1 files (which predate the crash model) still parse. Crash
-//     decisions live in the same picks stream as scheduling decisions,
-//     encoded as -(rank + 2); torn-read decisions as -(P + 2 + k) for a
-//     tear after a k-word prefix (see rma::ScheduleTrace).
+//     v4" only when the gray-failure model is armed ("delays"/"partitions"
+//     lines then present) and "rmalock-trace v3" only when the torn-read
+//     fault model is armed (a "tears" line is then present); unarmed cases
+//     keep serializing byte-identically as v2, and v1 files (which predate
+//     the crash model) still parse. Crash decisions live in the same picks
+//     stream as scheduling decisions, encoded as -(rank + 2); torn-read
+//     decisions as -(P + 2 + k) for a tear after a k-word prefix;
+//     gray-failure decisions in disjoint ranges below the tear span (see
+//     rma::ScheduleTrace).
 //   * shrink_trace() reduces a failing trace to a minimal counterexample
 //     with the classic delta-debugging loop (Zeller & Hildebrandt's ddmin):
 //     first the shortest failing prefix (violations are detected during
@@ -59,6 +62,14 @@ struct TraceCase {
   /// serializes in the pre-tear (v2) format.
   i32 max_tears = 0;
   u32 tear_chance_permille = 500;
+  /// Gray-failure knobs of the recorded run (SimOptions equivalents);
+  /// max_delays == max_partitions == 0 means the gray model was off and the
+  /// trace serializes in the pre-gray (v3 or earlier) format.
+  i32 max_delays = 0;
+  u32 delay_chance_permille = 200;
+  i64 delay_factor = 16;
+  i32 max_partitions = 0;
+  Nanos partition_span = 50'000;
   rma::ScheduleTrace trace;
 };
 

@@ -39,6 +39,22 @@
 
 namespace rmalock::rma {
 
+/// Outcome of a deadline-aware single-attempt op (try_get/try_cas/try_fao).
+/// kTimeout means the runtime decided the op would not complete by the
+/// caller's deadline — the op was NOT applied and `value` is meaningless.
+/// kOk means the op was applied and `value` carries the fetched/previous
+/// word; the op may still have completed *after* the deadline (a straggler
+/// that was slow but alive), so deadline-sensitive callers re-check
+/// now_ns() on return.
+enum class TryStatus : u8 { kOk, kTimeout };
+
+struct TryResult {
+  TryStatus status = TryStatus::kOk;
+  i64 value = 0;
+
+  [[nodiscard]] bool ok() const { return status == TryStatus::kOk; }
+};
+
 class RmaComm {
  public:
   virtual ~RmaComm() = default;
@@ -107,6 +123,35 @@ class RmaComm {
   virtual void iaccumulate(i64 oprd, Rank target, WinOffset offset,
                            AccumOp op) {
     accumulate(oprd, target, offset, op);
+  }
+
+  // --- deadline-aware single attempts --------------------------------------
+  // Gray-failure plumbing: the blocking ops above spin forever with
+  // impunity, which is exactly what a congested link or transiently
+  // unreachable target breaks. The try_* variants attempt the op ONCE and
+  // let the runtime fail fast (kTimeout, op not applied) when it can prove
+  // the op cannot complete by `deadline_ns` (absolute, in this process's
+  // now_ns() timeline). Runtimes without a gray-failure model fall back to
+  // the blocking op — always correct, never times out.
+
+  /// Single-attempt get with a completion deadline.
+  virtual TryResult try_get(Rank target, WinOffset offset, Nanos deadline_ns) {
+    (void)deadline_ns;
+    return TryResult{TryStatus::kOk, get(target, offset)};
+  }
+
+  /// Single-attempt compare-and-swap with a completion deadline.
+  virtual TryResult try_cas(i64 src_data, i64 cmp_data, Rank target,
+                            WinOffset offset, Nanos deadline_ns) {
+    (void)deadline_ns;
+    return TryResult{TryStatus::kOk, cas(src_data, cmp_data, target, offset)};
+  }
+
+  /// Single-attempt fetch-and-op with a completion deadline.
+  virtual TryResult try_fao(i64 oprd, Rank target, WinOffset offset,
+                            AccumOp op, Nanos deadline_ns) {
+    (void)deadline_ns;
+    return TryResult{TryStatus::kOk, fao(oprd, target, offset, op)};
   }
 
   // --- failure model -------------------------------------------------------

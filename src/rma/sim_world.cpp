@@ -66,6 +66,21 @@ class SimComm final : public RmaComm {
   void get_vec(Rank target, WinOffset offset, i64* out, usize n) override {
     world_.execute_get_vec(rank_, target, offset, out, n);
   }
+  TryResult try_get(Rank target, WinOffset offset,
+                    Nanos deadline_ns) override {
+    return world_.execute_try_op(rank_, OpKind::kGet, target, offset, 0, 0,
+                                 AccumOp::kSum, deadline_ns);
+  }
+  TryResult try_cas(i64 src_data, i64 cmp_data, Rank target, WinOffset offset,
+                    Nanos deadline_ns) override {
+    return world_.execute_try_op(rank_, OpKind::kCas, target, offset, src_data,
+                                 cmp_data, AccumOp::kReplace, deadline_ns);
+  }
+  TryResult try_fao(i64 oprd, Rank target, WinOffset offset, AccumOp op,
+                    Nanos deadline_ns) override {
+    return world_.execute_try_op(rank_, OpKind::kFao, target, offset, oprd, 0,
+                                 op, deadline_ns);
+  }
   void flush(Rank target) override {
     world_.execute_op(rank_, OpKind::kFlush, target, 0, 0, 0, AccumOp::kSum);
   }
@@ -110,6 +125,7 @@ SimWorld::SimWorld(SimOptions opts)
   }
   windows_.resize(static_cast<usize>(p));
   nic_free_.assign(static_cast<usize>(p), 0);
+  partition_until_.assign(static_cast<usize>(p), 0);
   // Distance classes are pure topology: precompute the P x P table once so
   // the per-op hot path is a byte load instead of a per-level division walk.
   dclass_.resize(static_cast<usize>(p) * static_cast<usize>(p));
@@ -191,6 +207,7 @@ RunResult SimWorld::run(const std::function<void(RmaComm&)>& body) {
   replay_pos_ = 0;
   sched_rng_ = Xoshiro256(mix_seed(opts_.seed, 0xface5eedULL));
   std::fill(nic_free_.begin(), nic_free_.end(), 0);
+  std::fill(partition_until_.begin(), partition_until_.end(), 0);
   body_ = &body;
 
   if (opts_.policy == SchedPolicy::kPct) {
@@ -871,6 +888,18 @@ i64 SimWorld::execute_op(Rank origin, OpKind kind, Rank target,
   }
 
   for (;;) {
+    // Gray model: with a fault budget armed, every remote op is an
+    // explorable fault decision (straggler delay / transient partition)
+    // before the op itself — mirroring the armed-get_vec tear structure.
+    // Unarmed (or budget spent) ops make no decision and add no trace
+    // entry, keeping pre-gray-model traces bit-compatible.
+    Nanos cost = opts_.latency.op_cost(kind, dclass);
+    if (dclass != 0 && gray_armed()) {
+      bump_step(origin);
+      if (decide_gray(origin, target) == GrayOutcome::kDelay) {
+        cost *= opts_.delay_factor;
+      }
+    }
     bump_step(origin);
     self.stats.record(kind, dclass);
     RMALOCK_DCHECK(offset >= 0 &&
@@ -880,8 +909,9 @@ i64 SimWorld::execute_op(Rank origin, OpKind kind, Rank target,
     // Cost accounting: a blocking op charges full end-to-end latency at the
     // op; a nonblocking op charges the origin only its injection slot here
     // and defers the rest to flush. Remote ops of either mode queue in the
-    // target's NIC (contention model).
-    const Nanos cost = opts_.latency.op_cost(kind, dclass);
+    // target's NIC (contention model). A partitioned target additionally
+    // stalls arrivals until its window closes (partition_until_ is all-zero
+    // when the gray model is unarmed, making the max a no-op).
     Nanos completion;  // when the op takes effect at the target
     if (dclass == 0) {
       // Self access: no pipelining win to model; both modes charge the op.
@@ -892,7 +922,9 @@ i64 SimWorld::execute_op(Rank origin, OpKind kind, Rank target,
       // The request departs now; the origin's NIC stays busy for one
       // injection slot (that slot overlaps the wire time — it is what
       // serializes a burst of issues, not what delays each request).
-      const Nanos arrival = self.clock + cost / 2;
+      const Nanos arrival =
+          std::max(self.clock + cost / 2,
+                   partition_until_[static_cast<usize>(target)]);
       self.clock += occupancy;
       const Nanos start =
           std::max(arrival, nic_free_[static_cast<usize>(target)]);
@@ -901,7 +933,9 @@ i64 SimWorld::execute_op(Rank origin, OpKind kind, Rank target,
       note_pending_ack(self, target, completion + (cost - cost / 2));
     } else {
       const Nanos occupancy = opts_.latency.occupancy(kind, dclass);
-      const Nanos arrival = self.clock + cost / 2;
+      const Nanos arrival =
+          std::max(self.clock + cost / 2,
+                   partition_until_[static_cast<usize>(target)]);
       const Nanos start =
           std::max(arrival, nic_free_[static_cast<usize>(target)]);
       nic_free_[static_cast<usize>(target)] = start + occupancy;
@@ -1006,12 +1040,26 @@ void SimWorld::execute_get_vec(Rank origin, Rank target, WinOffset offset,
                      windows_[static_cast<usize>(target)].size());
   const i32 dclass = dclass_of(origin, target);
 
+  // Gray fault decision first, mirroring execute_op's armed remote path.
+  Nanos cost = opts_.latency.op_cost(OpKind::kGet, dclass);
+  if (dclass != 0 && gray_armed()) {
+    bump_step(origin);
+    if (decide_gray(origin, target) == GrayOutcome::kDelay) {
+      cost *= opts_.delay_factor;
+    }
+  }
+
   usize split = 0;
   if (opts_.max_tears > 0 &&
       result_.tears < static_cast<u64>(opts_.max_tears)) {
     // Armed: the tear/no-tear choice is an explorable decision like a crash
     // point. Unarmed (or budget spent) get_vec makes no decision and adds
-    // no trace entry, keeping pre-tear-model traces bit-compatible.
+    // no trace entry, keeping pre-tear-model traces bit-compatible. The
+    // reserved tear-pick span bounds the payload size so tear picks can
+    // never collide with the gray-failure picks below them.
+    RMALOCK_CHECK_MSG(n - 1 <= static_cast<usize>(kTearPickSpan),
+                      "get_vec of " << n << " words exceeds the tear-pick "
+                      "span (" << kTearPickSpan << ") with tears armed");
     bump_step(origin);
     split = decide_tear(origin, n);
   }
@@ -1021,12 +1069,13 @@ void SimWorld::execute_get_vec(Rank origin, Rank target, WinOffset offset,
   // One blocking-get round trip for the whole vector: the payload words ride
   // one request, so latency is round-trip dominated like a single get. The
   // tear (if any) is a scheduling point, not an extra cost point.
-  const Nanos cost = opts_.latency.op_cost(OpKind::kGet, dclass);
   if (dclass == 0) {
     self.clock += cost;
   } else {
     const Nanos occupancy = opts_.latency.occupancy(OpKind::kGet, dclass);
-    const Nanos arrival = self.clock + cost / 2;
+    const Nanos arrival =
+        std::max(self.clock + cost / 2,
+                 partition_until_[static_cast<usize>(target)]);
     const Nanos start =
         std::max(arrival, nic_free_[static_cast<usize>(target)]);
     nic_free_[static_cast<usize>(target)] = start + occupancy;
@@ -1059,6 +1108,154 @@ void SimWorld::execute_get_vec(Rank origin, Rank target, WinOffset offset,
     }
   }
   yield_cpu(origin);
+}
+
+SimWorld::GrayOutcome SimWorld::decide_gray(Rank origin, Rank target) {
+  const bool delay_ok =
+      opts_.max_delays > 0 && result_.delays < static_cast<u64>(opts_.max_delays);
+  const bool part_ok = opts_.max_partitions > 0 &&
+                       result_.partitions <
+                           static_cast<u64>(opts_.max_partitions);
+  GrayOutcome outcome = GrayOutcome::kNone;
+  if (opts_.policy == SchedPolicy::kReplay) {
+    if (opts_.replay != nullptr && replay_pos_ < opts_.replay->picks.size()) {
+      const Rank pick = opts_.replay->picks[replay_pos_++];
+      if (delay_ok && pick == delay_pick(origin)) {
+        outcome = GrayOutcome::kDelay;
+      } else if (part_ok && pick == part_pick(target)) {
+        outcome = GrayOutcome::kPartition;
+      } else if (pick != origin) {
+        // A pick naming neither outcome (shrunk/edited trace) falls back to
+        // the fault-free completion, counted like any other divergence.
+        ++result_.replay_divergences;
+      }
+    } else if (opts_.pick_hook) {
+      // Candidates sorted ascending like every hook call:
+      // part_pick(target) < delay_pick(origin) < origin. The caller's own
+      // rank is the fault-free choice, so every injected fault costs the
+      // explorer one preemption — fault-free schedules are explored first.
+      std::vector<Rank> candidates;
+      candidates.reserve(3);
+      if (part_ok) candidates.push_back(part_pick(target));
+      if (delay_ok) candidates.push_back(delay_pick(origin));
+      candidates.push_back(origin);
+      const Rank pick = opts_.pick_hook(candidates);
+      if (delay_ok && pick == delay_pick(origin)) {
+        outcome = GrayOutcome::kDelay;
+      } else if (part_ok && pick == part_pick(target)) {
+        outcome = GrayOutcome::kPartition;
+      }
+    }
+  } else {
+    // Stochastic policies share one fault draw (delay_chance_permille);
+    // when both budgets remain a second draw picks which fault fires.
+    if (sched_rng_.below(1000) < opts_.delay_chance_permille) {
+      if (delay_ok && part_ok) {
+        outcome = sched_rng_.below(2) == 0 ? GrayOutcome::kDelay
+                                           : GrayOutcome::kPartition;
+      } else {
+        outcome = delay_ok ? GrayOutcome::kDelay : GrayOutcome::kPartition;
+      }
+    }
+  }
+  if (opts_.record_schedule) {
+    result_.schedule.picks.push_back(outcome == GrayOutcome::kDelay
+                                         ? delay_pick(origin)
+                                     : outcome == GrayOutcome::kPartition
+                                         ? part_pick(target)
+                                         : origin);
+  }
+  if (outcome == GrayOutcome::kDelay) {
+    ++result_.delays;
+    if (trace_) [[unlikely]] {
+      std::fprintf(stderr, "[trace %8llu] r%-4d DELAY op to t=%d (x%lld)\n",
+                   static_cast<unsigned long long>(steps_), origin, target,
+                   static_cast<long long>(opts_.delay_factor));
+    }
+  } else if (outcome == GrayOutcome::kPartition) {
+    ++result_.partitions;
+    Nanos& until = partition_until_[static_cast<usize>(target)];
+    until = std::max(until, procs_[static_cast<usize>(origin)]->clock +
+                                opts_.partition_span);
+    if (trace_) [[unlikely]] {
+      std::fprintf(stderr,
+                   "[trace %8llu] r%-4d PARTITION t=%d until %lld\n",
+                   static_cast<unsigned long long>(steps_), origin, target,
+                   static_cast<long long>(until));
+    }
+  }
+  return outcome;
+}
+
+TryResult SimWorld::execute_try_op(Rank origin, OpKind kind, Rank target,
+                                   WinOffset offset, i64 operand, i64 cmp,
+                                   AccumOp aop, Nanos deadline_ns) {
+  check_stop(origin);
+  Proc& self = *procs_[static_cast<usize>(origin)];
+  RMALOCK_DCHECK(target >= 0 && target < nprocs());
+  RMALOCK_DCHECK(offset >= 0 &&
+                 static_cast<usize>(offset) <
+                     windows_[static_cast<usize>(target)].size());
+  const i32 dclass = dclass_of(origin, target);
+
+  Nanos cost = opts_.latency.op_cost(kind, dclass);
+  if (dclass != 0 && gray_armed()) {
+    bump_step(origin);
+    if (decide_gray(origin, target) == GrayOutcome::kDelay) {
+      cost *= opts_.delay_factor;
+    }
+  }
+
+  bump_step(origin);
+  self.stats.record(kind, dclass);
+  // A single deadline-bounded attempt is not a spin primitive: it never
+  // parks — the caller owns the retry loop and its backoff.
+  clear_polls(self);
+
+  Nanos completion;
+  if (dclass == 0) {
+    // Self access cannot be partitioned away.
+    self.clock += cost;
+    completion = self.clock;
+  } else {
+    const Nanos until = partition_until_[static_cast<usize>(target)];
+    const Nanos arrival = self.clock + cost / 2;
+    if (until > arrival && until > deadline_ns) {
+      // The target is unreachable past the caller's deadline: fail fast
+      // WITHOUT applying the op. The failed attempt still costs the caller
+      // the time spent finding out (bounded by the deadline itself).
+      self.clock = std::max(self.clock, deadline_ns);
+      if (trace_) [[unlikely]] {
+        std::fprintf(stderr,
+                     "[trace %8llu] r%-4d TRY-%s t=%d TIMEOUT (part until "
+                     "%lld > deadline %lld)\n",
+                     static_cast<unsigned long long>(steps_), origin,
+                     op_kind_name(kind), target,
+                     static_cast<long long>(until),
+                     static_cast<long long>(deadline_ns));
+      }
+      yield_cpu(origin);
+      return TryResult{TryStatus::kTimeout, 0};
+    }
+    const Nanos occupancy = opts_.latency.occupancy(kind, dclass);
+    const Nanos start = std::max(std::max(arrival, until),
+                                 nic_free_[static_cast<usize>(target)]);
+    nic_free_[static_cast<usize>(target)] = start + occupancy;
+    completion = start + occupancy;
+    // A slow-but-delivered attempt (straggler) completes late rather than
+    // failing: the caller re-checks now_ns() against its deadline.
+    self.clock = completion + (cost - cost / 2);
+  }
+
+  bool wrote = false;
+  const i64 result =
+      apply_to_window(kind, target, offset, operand, cmp, aop, &wrote);
+  if (wrote) {
+    ++window_writes_;
+    wake_waiters(target, offset, completion);
+  }
+  yield_cpu(origin);
+  return TryResult{TryStatus::kOk, result};
 }
 
 void SimWorld::execute_compute(Rank origin, Nanos ns) {

@@ -166,6 +166,36 @@ struct SimOptions {
   /// stochastic policies (kVirtualTime/kRandom/kPct). kReplay takes the
   /// decision from the trace / pick_hook instead.
   u32 tear_chance_permille = 500;
+
+  // --- gray-failure network ------------------------------------------------
+  // Fault model for the *common* production failure the paper's healthy
+  // interconnect assumes away: stragglers (an op that completes, just much
+  // later) and transient partitions (a target unreachable for a window, then
+  // fine). With either budget armed, every remote op is an explorable
+  // decision — complete normally, inject a straggler delay (the op's
+  // completion charge is multiplied by delay_factor), or open a partition of
+  // the target (remote ops against it stall until the window closes;
+  // try_* ops fail fast instead). Decisions share the pick stream (see
+  // ScheduleTrace) below the tear range, so record/replay, ddmin, and the
+  // exhaustive explorer cover them. 0/0 disables the machinery completely:
+  // no decision, no cost, recorded traces stay bit-compatible with the
+  // pre-gray-model format.
+
+  /// Maximum number of straggler delays the run may inject (budget).
+  i32 max_delays = 0;
+  /// Chance (permille) of injecting a fault at an armed remote op under the
+  /// stochastic policies (kVirtualTime/kRandom/kPct); shared by the delay
+  /// and partition draws. kReplay takes the decision from the trace /
+  /// pick_hook instead.
+  u32 delay_chance_permille = 200;
+  /// Straggler multiplier: a delayed op's completion charge is multiplied
+  /// by this factor (congested-link model).
+  i64 delay_factor = 16;
+  /// Maximum number of transient partitions the run may open (budget).
+  i32 max_partitions = 0;
+  /// Virtual duration of one transient partition: remote ops against the
+  /// partitioned target stall until `origin clock + partition_span`.
+  Nanos partition_span = 50'000;
 };
 
 class SimWorld final : public World {
@@ -269,6 +299,23 @@ class SimWorld final : public World {
     return -(nprocs() + 2 + static_cast<Rank>(split));
   }
 
+  /// Width reserved for the tear range in the pick encoding: splits are
+  /// CHECKed against it when tears are armed, so the gray-failure picks
+  /// below can sit at fixed offsets under the tear range without ever
+  /// colliding for any payload size of this world.
+  static constexpr Rank kTearPickSpan = 64;
+
+  /// Gray-failure decisions share the pick stream below the tear range:
+  /// a normal completion records the caller's rank, a straggler delay
+  /// records delay_pick(origin), a transient partition of the target
+  /// records part_pick(target).
+  [[nodiscard]] Rank delay_pick(Rank rank) const {
+    return -(nprocs() + kTearPickSpan + 3 + rank);
+  }
+  [[nodiscard]] Rank part_pick(Rank rank) const {
+    return -(2 * nprocs() + kTearPickSpan + 3 + rank);
+  }
+
   void grow_windows(usize words) override;
 
   // --- fiber plumbing ------------------------------------------------------
@@ -292,6 +339,25 @@ class SimWorld final : public World {
   /// The tear/no-tear decision at an armed multi-word get_vec: returns the
   /// prefix length k in [1, n-1] to tear after, or 0 for an atomic read.
   usize decide_tear(Rank origin, usize n);
+  /// Gray-failure outcome of one remote-op fault decision.
+  enum class GrayOutcome : u8 { kNone, kDelay, kPartition };
+  /// The fault decision at an armed remote op (gray model): complete
+  /// normally, inject a straggler delay, or open a transient partition of
+  /// the target. Only called while a budget remains.
+  GrayOutcome decide_gray(Rank origin, Rank target);
+  /// True iff either gray budget still has events left.
+  [[nodiscard]] bool gray_armed() const {
+    return (opts_.max_delays > 0 &&
+            result_.delays < static_cast<u64>(opts_.max_delays)) ||
+           (opts_.max_partitions > 0 &&
+            result_.partitions < static_cast<u64>(opts_.max_partitions));
+  }
+  /// Deadline-aware single-attempt op (RmaComm::try_*): one engine step,
+  /// never parks; fails fast without applying when the target is inside a
+  /// partition window that outlasts the deadline.
+  TryResult execute_try_op(Rank origin, OpKind kind, Rank target,
+                           WinOffset offset, i64 operand, i64 cmp, AccumOp aop,
+                           Nanos deadline_ns);
   /// Declared crash point (RmaComm::crash_point): a no-op unless crash
   /// injection is armed and budget remains, else an explorable binary
   /// decision that may throw ProcCrashed through the caller.
@@ -374,6 +440,10 @@ class SimWorld final : public World {
   std::vector<std::unique_ptr<Proc>> procs_;
   std::vector<std::vector<i64>> windows_;  // [rank][offset]
   std::vector<Nanos> nic_free_;            // per-rank NIC availability time
+  // Gray model: per-rank virtual time until which the rank is unreachable
+  // (transient partition). All-zero when the model is unarmed, making the
+  // stall below a no-op.
+  std::vector<Nanos> partition_until_;
   std::vector<u8> dclass_;  // [origin * P + target] distance classes
 
   // Parked-waiter arena: one singly-linked list of ranks per window cell

@@ -44,6 +44,16 @@ namespace rmalock::rma {
 /// encodings never collide. With the fault model off, get_vec makes no
 /// decision and records nothing, keeping pre-tear-model traces
 /// bit-compatible.
+///
+/// Gray-failure decisions (SimOptions::max_delays / max_partitions > 0)
+/// share the stream below the tear range, whose width is bounded by
+/// SimWorld::kTearPickSpan: at an armed remote op, completing normally
+/// records the caller's rank r, injecting a straggler delay records
+/// -(P + kTearPickSpan + 3 + r), and opening a transient partition of the
+/// *target* rank t records -(2P + kTearPickSpan + 3 + t). All four fault
+/// encodings occupy disjoint negative ranges, and with the gray model off
+/// remote ops make no fault decision — pre-gray-model traces stay
+/// bit-compatible.
 struct ScheduleTrace {
   std::vector<Rank> picks;
 
@@ -78,6 +88,12 @@ struct RunResult {
   /// Torn multi-word reads injected at armed get_vec calls (SimWorld with
   /// SimOptions::max_tears > 0; always 0 otherwise).
   u64 tears = 0;
+  /// Straggler delays injected at armed remote ops (SimWorld with
+  /// SimOptions::max_delays > 0; always 0 otherwise).
+  u64 delays = 0;
+  /// Transient partitions opened at armed remote ops (SimWorld with
+  /// SimOptions::max_partitions > 0; always 0 otherwise).
+  u64 partitions = 0;
   /// Ranks that were dead when the run finished (fail-stop crashes, or
   /// crashes whose restart never got scheduled before the run ended).
   std::vector<Rank> crashed_ranks;

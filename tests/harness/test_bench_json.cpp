@@ -97,6 +97,33 @@ TEST_F(BenchJson, GitRevIsNonEmpty) {
       << "git_rev must be a stamp or the literal \"unknown\", never empty";
 }
 
+TEST_F(BenchJson, Fig9FaultKnobMetricsRoundTripUnchanged) {
+  // The gray-failure bench (fig9) extended the record vocabulary with
+  // fault-knob metrics; the perf-tracking workflow diffs them by name, so
+  // a rename in fig9 must fail here, not silently fork the schema. Keep
+  // this list in sync with bench/fig9_gray_failures.cpp.
+  harness::FigureReport report("fig9-gray-failures", "schema pin", "exp");
+  const char* fault_metrics[] = {
+      "lat_us_p50",   "lat_us_p99",        "lat_us_p999",
+      "goodput_mops_s", "ok_frac",         "timeouts",
+      "degraded_fastfails", "injected_delays", "injected_partitions"};
+  double value = 1.0;
+  for (const char* metric : fault_metrics) {
+    report.add("deadline/gray", 16, metric, value);
+    value += 1.0;
+  }
+  const std::string json = write_and_read(report);
+  value = 1.0;
+  for (const char* metric : fault_metrics) {
+    std::ostringstream expect;
+    expect << "{\"series\": \"deadline/gray\", \"p\": 16, \"metric\": \""
+           << metric << "\", \"value\": " << value << "}";
+    EXPECT_NE(json.find(expect.str()), std::string::npos)
+        << "fault-knob record drifted: " << expect.str();
+    value += 1.0;
+  }
+}
+
 TEST_F(BenchJson, UnwritablePathReturnsFalse) {
   const harness::FigureReport report = sample_report();
   EXPECT_FALSE(report.write_json("/nonexistent-dir/nope/record.json"));

@@ -1,0 +1,206 @@
+// Deadline/retry acquire-path unit tests: RetryPolicy backoff shape
+// (doubling, cap, jitter bounds, the no-backoff knob), timed acquires on
+// the RMA-MCS, RMA-RW (write side), and lease locks — uncontended grants,
+// timeouts under a long-held lock with nothing held afterwards — and the
+// lease-word epoch-wrap regression (pack() refuses to truncate an epoch
+// past kMaxEpoch into the owner field).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "../support/test_support.hpp"
+#include "locks/deadline.hpp"
+#include "locks/lease.hpp"
+#include "locks/rma_mcs.hpp"
+#include "locks/rma_rw.hpp"
+#include "rma/sim_world.hpp"
+
+namespace rmalock::locks {
+namespace {
+
+rma::SimOptions timed_options(const topo::Topology& topology, u64 seed) {
+  rma::SimOptions opts;
+  opts.topology = topology;
+  opts.seed = seed;
+  return opts;
+}
+
+TEST(RetryPolicy, BackoffDoublesUpToTheCap) {
+  RetryPolicy policy;
+  policy.base_ns = 500;
+  policy.cap_ns = 8'000;
+  policy.jitter_permille = 0;  // exact delays
+  Xoshiro256 rng(1);
+  EXPECT_EQ(policy.delay_for(0, rng), 500);
+  EXPECT_EQ(policy.delay_for(1, rng), 1'000);
+  EXPECT_EQ(policy.delay_for(2, rng), 2'000);
+  EXPECT_EQ(policy.delay_for(3, rng), 4'000);
+  EXPECT_EQ(policy.delay_for(4, rng), 8'000);
+  EXPECT_EQ(policy.delay_for(5, rng), 8'000) << "delay grew past the cap";
+  // Far attempts must not overflow the shift into a negative delay.
+  EXPECT_EQ(policy.delay_for(63, rng), 8'000);
+}
+
+TEST(RetryPolicy, JitterStaysWithinItsAmplitude) {
+  RetryPolicy policy;
+  policy.base_ns = 1'000;
+  policy.jitter_permille = 250;
+  Xoshiro256 rng(7);
+  for (u32 attempt = 0; attempt < 8; ++attempt) {
+    RetryPolicy exact = policy;
+    exact.jitter_permille = 0;
+    Xoshiro256 unused(1);
+    const Nanos center = exact.delay_for(attempt, unused);
+    const Nanos span = center / 4;  // 250 permille
+    for (i32 i = 0; i < 20; ++i) {
+      const Nanos delay = policy.delay_for(attempt, rng);
+      EXPECT_GE(delay, center - span);
+      EXPECT_LE(delay, center + span);
+    }
+  }
+}
+
+TEST(RetryPolicy, NoBackoffRetriesImmediately) {
+  // The planted-livelock knob: delays collapse to zero, so a retry loop
+  // under the MC's zero-latency clock can never expire its deadline.
+  RetryPolicy policy;
+  policy.backoff = false;
+  Xoshiro256 rng(1);
+  for (u32 attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_EQ(policy.delay_for(attempt, rng), 0);
+  }
+}
+
+/// Drives one lock through the timed path: rank 0 grabs the lock and sits
+/// in a long critical section; rank 1's deadline-bounded acquire must time
+/// out holding nothing; after rank 0 releases, rank 1's blocking acquire
+/// must succeed (nothing leaked from the failed attempts).
+template <typename MakeLock>
+void timeout_under_contention(const MakeLock& make_lock) {
+  auto world =
+      rma::SimWorld::create(timed_options(topo::Topology::uniform({}, 2), 3));
+  auto lock = make_lock(*world);
+  constexpr Nanos kHold = 2'000'000;
+  AcquireResult timed{};
+  world->run([&](rma::RmaComm& comm) {
+    if (comm.rank() == 0) {
+      lock->acquire(comm);
+      comm.compute(kHold);
+      lock->release(comm);
+    } else {
+      comm.compute(10'000);  // let rank 0 win the lock
+      timed = lock->try_acquire_for(comm, comm.now_ns() + 100'000,
+                                    RetryPolicy{});
+      if (timed.ok()) lock->release(comm);
+      // The failed timed attempts must not have corrupted the lock: a
+      // blocking acquire still goes through once the holder is gone.
+      lock->acquire(comm);
+      comm.compute(10);
+      lock->release(comm);
+    }
+  });
+  EXPECT_EQ(timed.status, AcquireStatus::kTimeout)
+      << lock->name() << ": deadline inside a " << kHold << "ns hold";
+  EXPECT_GE(timed.attempts, 1u);
+}
+
+/// Uncontended timed acquire: must be granted, not time out.
+template <typename MakeLock>
+void uncontended_grant(const MakeLock& make_lock) {
+  auto world =
+      rma::SimWorld::create(timed_options(topo::Topology::uniform({}, 2), 5));
+  auto lock = make_lock(*world);
+  AcquireResult granted{};
+  world->run([&](rma::RmaComm& comm) {
+    if (comm.rank() != 0) return;
+    granted =
+        lock->try_acquire_for(comm, comm.now_ns() + 1'000'000, RetryPolicy{});
+    if (granted.ok()) lock->release(comm);
+  });
+  EXPECT_TRUE(granted.ok()) << lock->name();
+  EXPECT_EQ(granted.attempts, 1u) << lock->name();
+}
+
+std::unique_ptr<ExclusiveLock> make_mcs(rma::World& world) {
+  return std::make_unique<RmaMcs>(world);
+}
+
+std::unique_ptr<ExclusiveLock> make_lease(rma::World& world) {
+  return std::make_unique<LeaseExclusive>(
+      world, std::make_unique<RmaMcs>(world), LeaseParams{});
+}
+
+TEST(TimedAcquire, McsGrantsUncontended) { uncontended_grant(make_mcs); }
+TEST(TimedAcquire, McsTimesOutUnderContention) {
+  timeout_under_contention(make_mcs);
+}
+
+TEST(TimedAcquire, LeaseGrantsUncontended) { uncontended_grant(make_lease); }
+TEST(TimedAcquire, LeaseTimesOutUnderContention) {
+  timeout_under_contention(make_lease);
+}
+
+TEST(TimedAcquire, RwWriteSideTimesOutUnderContention) {
+  auto world =
+      rma::SimWorld::create(timed_options(topo::Topology::uniform({}, 2), 9));
+  RmaRw lock(*world, RmaRwParams::defaults(world->topology()));
+  AcquireResult timed{};
+  world->run([&](rma::RmaComm& comm) {
+    if (comm.rank() == 0) {
+      lock.acquire_write(comm);
+      comm.compute(2'000'000);
+      lock.release_write(comm);
+    } else {
+      comm.compute(10'000);
+      timed = lock.try_acquire_write_for(comm, comm.now_ns() + 100'000,
+                                         RetryPolicy{});
+      if (timed.ok()) lock.release_write(comm);
+      lock.acquire_write(comm);
+      comm.compute(10);
+      lock.release_write(comm);
+    }
+  });
+  EXPECT_EQ(timed.status, AcquireStatus::kTimeout);
+}
+
+TEST(TimedAcquire, RwWriteSideGrantsUncontended) {
+  auto world =
+      rma::SimWorld::create(timed_options(topo::Topology::uniform({}, 2), 13));
+  RmaRw lock(*world, RmaRwParams::defaults(world->topology()));
+  AcquireResult granted{};
+  world->run([&](rma::RmaComm& comm) {
+    if (comm.rank() != 0) return;
+    granted = lock.try_acquire_write_for(comm, comm.now_ns() + 1'000'000,
+                                         RetryPolicy{});
+    if (granted.ok()) lock.release_write(comm);
+  });
+  EXPECT_TRUE(granted.ok());
+}
+
+TEST(LeaseWord, PackRoundTripsAtTheEpochCeiling) {
+  // Epoch-wrap regression: the epoch field is 51 bits; packing must stay
+  // exact all the way to kMaxEpoch without bleeding into the owner field
+  // or the sign bit.
+  for (const i64 epoch :
+       {i64{0}, i64{1}, LeaseExclusive::kMaxEpoch - 1,
+        LeaseExclusive::kMaxEpoch}) {
+    for (const Rank owner : std::vector<Rank>{kNilRank, 0, 7, 4093}) {
+      const i64 word = LeaseExclusive::pack(epoch, owner);
+      EXPECT_GE(word, 0) << "sign bit corrupted at epoch " << epoch;
+      EXPECT_EQ(LeaseExclusive::epoch_of(word), epoch);
+      EXPECT_EQ(LeaseExclusive::owner_of(word), owner)
+          << "owner field corrupted at epoch " << epoch;
+    }
+  }
+}
+
+TEST(LeaseWord, PackRefusesToTruncatePastMaxEpoch) {
+  EXPECT_DEATH(
+      (void)LeaseExclusive::pack(LeaseExclusive::kMaxEpoch + 1, Rank{0}),
+      "overflows");
+  EXPECT_DEATH((void)LeaseExclusive::pack(i64{-1}, Rank{0}), "overflows");
+}
+
+}  // namespace
+}  // namespace rmalock::locks

@@ -3,7 +3,9 @@
 // goldens ("rmalock-trace v1", recorded before the crash model existed)
 // additionally pin backward-compatible reads of the old format; the crash
 // goldens are v2 traces whose picks stream interleaves negative crash
-// decisions (crash of rank r = -(r + 2)).
+// decisions (crash of rank r = -(r + 2)); the torn-read golden is v3; the
+// gray-failure golden is v4, whose picks stream interleaves delay/partition
+// decisions below the tear range.
 //
 // The golden traces under tests/mc/data/ were recorded with kRandom
 // schedules of the mc_verification workloads. Replaying them asserts
@@ -106,6 +108,10 @@ struct GoldenCase {
   // Torn-read knob: nonzero cases record v3 traces whose picks stream
   // interleaves tear decisions (tear_pick(k) = -(P + 2 + k)).
   i32 max_tears = 0;
+  // Gray-failure knobs: nonzero cases record v4 traces whose picks stream
+  // interleaves delay/partition decisions (encoded below the tear range).
+  i32 max_delays = 0;
+  i32 max_partitions = 0;
 };
 
 std::vector<GoldenCase> golden_cases() {
@@ -126,6 +132,10 @@ std::vector<GoldenCase> golden_cases() {
       {"replay_opt_tear_P4_s41.trace", "opt:versioned",
        topo::Topology::uniform({}, 4), 41, 4, /*max_crashes=*/0,
        /*restart=*/false, /*max_tears=*/2},
+      {"replay_timeout_gray_P4_s51.trace", "timeout:rma-mcs",
+       topo::Topology::uniform({}, 4), 51, 4, /*max_crashes=*/0,
+       /*restart=*/false, /*max_tears=*/0, /*max_delays=*/2,
+       /*max_partitions=*/1},
   };
 }
 
@@ -154,6 +164,10 @@ mc::CheckConfig config_for(const GoldenCase& c) {
   // High per-read chance: the small tear budget must actually be spent
   // within the short recorded run.
   config.tear_chance_permille = 700;
+  config.max_delays = c.max_delays;
+  config.max_partitions = c.max_partitions;
+  // Same reasoning for the gray budgets: the recorded run must spend them.
+  config.delay_chance_permille = 400;
   return config;
 }
 
@@ -170,6 +184,9 @@ mc::ScheduleOutcome run_case(const GoldenCase& c, const mc::CheckConfig& config,
     const std::vector<u64> keys =
         mc::pick_cross_slot_keys(factory, c.topology, 1);
     return mc::run_optimistic_schedule(config, factory, keys, opts);
+  }
+  if (std::string(c.workload) == "timeout:rma-mcs") {
+    return mc::run_timeout_schedule(config, exclusive_factory(), opts);
   }
   return mc::run_exclusive_schedule(config, exclusive_factory(), opts);
 }
@@ -194,6 +211,14 @@ void regenerate() {
       ASSERT_GE(outcome.run.tears, 1u)
           << c.file << ": recorded run injected no torn read";
     }
+    if (c.max_delays > 0) {
+      ASSERT_GE(outcome.run.delays, 1u)
+          << c.file << ": recorded run injected no straggler delay";
+    }
+    if (c.max_partitions > 0) {
+      ASSERT_GE(outcome.run.partitions, 1u)
+          << c.file << ": recorded run injected no partition window";
+    }
     mc::TraceCase golden;
     golden.workload = c.workload;
     golden.lock_name = outcome.lock_name;
@@ -210,6 +235,11 @@ void regenerate() {
     golden.adversarial_suspicion = config.adversarial_suspicion;
     golden.max_tears = config.max_tears;
     golden.tear_chance_permille = config.tear_chance_permille;
+    golden.max_delays = config.max_delays;
+    golden.delay_chance_permille = config.delay_chance_permille;
+    golden.delay_factor = config.delay_factor;
+    golden.max_partitions = config.max_partitions;
+    golden.partition_span = config.partition_span;
     golden.trace = outcome.run.schedule;
     std::string error;
     ASSERT_TRUE(mc::write_trace_file(data_path(c.file), golden, &error))
@@ -250,6 +280,15 @@ TEST(ReplayCompat, GoldenTracesReplayBitIdentically) {
       // The recorded tear decisions must re-fire at the same get_vecs.
       EXPECT_GE(outcome.run.tears, 1u)
           << "replay no longer reproduces the recorded torn read";
+    }
+    if (c.max_delays > 0) {
+      // The recorded delay decisions must re-fire at the same remote ops.
+      EXPECT_GE(outcome.run.delays, 1u)
+          << "replay no longer reproduces the recorded straggler delay";
+    }
+    if (c.max_partitions > 0) {
+      EXPECT_GE(outcome.run.partitions, 1u)
+          << "replay no longer reproduces the recorded partition window";
     }
     // The decision-point structure must be unchanged: same number of
     // scheduler decisions, same pick at every one of them.
