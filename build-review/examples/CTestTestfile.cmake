@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-review/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build-review/examples/example_quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  LABELS "examples" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_kv_store]=] "/root/repo/build-review/examples/example_kv_store")
+set_tests_properties([=[example_kv_store]=] PROPERTIES  LABELS "examples" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_graph_updates]=] "/root/repo/build-review/examples/example_graph_updates")
+set_tests_properties([=[example_graph_updates]=] PROPERTIES  LABELS "examples" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_tuning]=] "/root/repo/build-review/examples/example_tuning")
+set_tests_properties([=[example_tuning]=] PROPERTIES  LABELS "examples" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_btree_olc]=] "/root/repo/build-review/examples/example_btree_olc")
+set_tests_properties([=[example_btree_olc]=] PROPERTIES  LABELS "examples" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;0;")

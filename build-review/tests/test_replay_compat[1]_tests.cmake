@@ -1,0 +1,3 @@
+add_test([=[ReplayCompat.GoldenTracesReplayBitIdentically]=]  /root/repo/build-review/tests/test_replay_compat [==[--gtest_filter=ReplayCompat.GoldenTracesReplayBitIdentically]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[ReplayCompat.GoldenTracesReplayBitIdentically]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-review/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 300 LABELS mc)
+set(  test_replay_compat_TESTS ReplayCompat.GoldenTracesReplayBitIdentically)
