@@ -13,9 +13,9 @@
 //   --exhaustive  bounded-exhaustive DFS (iterative preemption deepening)
 //                 over small topologies — the SPIN-shaped systematic sweep;
 //   --replay <f>  deterministic re-execution of a recorded counterexample
-//                 trace file ("rmalock-trace v4", or v1-v3 for traces
-//                 recorded before the crash / torn-read / gray-failure
-//                 fault models; see docs/TESTING.md).
+//                 trace file ("rmalock-trace v5", or v1-v4 for traces
+//                 recorded before the crash / torn-read / gray-failure /
+//                 clock-drift fault models; see docs/TESTING.md).
 //
 // --jobs N (RMALOCK_JOBS; 0 = all cores) runs the randomized and
 // exhaustive campaigns on the work-stealing parallel campaign runtime.
@@ -221,6 +221,42 @@ mc::LockSpaceFactory make_optimistic_factory(const std::string& id) {
     config.payload_words = 2;  // one split point: smallest tearable payload
     config.skip_read_validation = planted;
     return std::make_unique<lockspace::LockSpace>(world, config);
+  };
+}
+
+// Wall-clock timed-lease workloads over a payload-capable one-slot
+// LockSpace: grants are valid for duration_ns on the holder's clock,
+// reclaimed after duration_ns + safety_margin_ns on the claimant's clock,
+// and every write carries the grant epoch as a fencing token that
+// LockSpace::write_payload_fenced validates. Two *planted* bugs:
+// "drift:margin0" trusts the local clocks outright (safety_margin_ns = 0) —
+// safe under perfect clocks, a belief overlap once the drift model is
+// armed; "drift:skip-token-check" additionally drops the resource-side
+// token validation, so the stale holder's write *commits* (a stale-token
+// commit on top of the overlap). Both keep counterexample artifacts ON:
+// the campaigns must print deterministic --replay repro lines.
+mc::DriftLeaseFactory make_drift_factory(const std::string& id) {
+  if (id != "drift:fenced" && id != "drift:margin0" &&
+      id != "drift:skip-token-check") {
+    return nullptr;
+  }
+  const bool margin = id == "drift:fenced";
+  const bool skip_token = id == "drift:skip-token-check";
+  return [margin, skip_token](rma::World& world) {
+    mc::DriftLeaseSubject subject;
+    locks::TimedLeaseParams params;
+    params.home = 0;
+    if (!margin) params.safety_margin_ns = 0;
+    subject.lease = std::make_unique<locks::TimedLease>(world, params);
+    lockspace::LockSpaceConfig config;
+    config.backend = locks::Backend::kRmaMcs;
+    config.shards = 1;
+    config.slots_per_shard = 1;
+    config.payload_words = 2;
+    config.skip_token_check = skip_token;
+    subject.space = std::make_unique<lockspace::LockSpace>(world, config);
+    subject.key = 0;  // one slot: every key resolves to it
+    return subject;
   };
 }
 
@@ -645,6 +681,117 @@ int run_randomized(bool quick, bool smoke, const std::string& trace_dir,
     all_ok = all_ok && caught;
   }
 
+  // Wall-clock leases under the clock-drift fault model: per-process
+  // clocks may drift (rate error) and skew (step) within the armed budget;
+  // the correctly-margined, token-fenced workload must stay clean — no
+  // belief overlap, no stale-token commit — across every drifted schedule.
+  // Drift campaigns run under kVirtualTime: the clocks themselves are the
+  // adversary here (drift decisions are the explored choice, randomized per
+  // world seed), and belief intervals are only comparable when every
+  // process executes in virtual-time order — a preemptive scheduler's
+  // unbounded pauses would flag overlaps no finite margin can prevent
+  // (that hazard is real, but it is the *pause* story, not the clock one).
+  std::printf("\n--- wall-clock leases under clock drift (fencing tokens) "
+              "---\n");
+  const topo::Topology drift_topology = topo::Topology::uniform({}, 2);
+  {
+    const auto factory = make_drift_factory("drift:fenced");
+    mc::CheckConfig config = base_config(
+        drift_topology, rma::SchedPolicy::kVirtualTime,
+        smoke ? 8 : (quick ? 60 : 300), /*acquires=*/3, trace_dir,
+        "drift:fenced", jobs);
+    config.max_drift_events = 2;
+    const Timer timer;
+    const auto report = mc::check_drift(config, factory);
+    std::printf("%-16s P=2 %-7s %s\n", "drift:fenced", "vtime",
+                report.summary().c_str());
+    all_ok = all_ok && report.ok();
+    if (report.stale_token_commits > 0) {
+      std::printf("  ERROR: fencing admitted a stale-token commit\n");
+      all_ok = false;
+    }
+    record_campaign(json, "drift:fenced/virtual-time",
+                    drift_topology.nprocs(), report, timer.elapsed_s());
+  }
+
+  // Planted zero-margin bug: the claimant trusts the clocks and reclaims
+  // right at duration_ns, so a drift-slow holder still *believes* its lease
+  // valid while the reclaim proceeds — the belief overlap the monitor must
+  // flag. Fencing stays ON, so the stale holder's write is rejected at the
+  // resource: the campaign asserts the overlap is caught AND that zero
+  // stale-token commits slip through — the fencing token contains the bug
+  // even when the lease protocol itself is broken.
+  std::printf("\n--- planted zero-margin lease bug (must be caught under "
+              "drift) ---\n");
+  {
+    const auto factory = make_drift_factory("drift:margin0");
+    {
+      mc::CheckConfig config = base_config(
+          drift_topology, rma::SchedPolicy::kVirtualTime,
+          smoke ? 60 : (quick ? 150 : 400),
+          /*acquires=*/3, trace_dir, "drift:margin0", jobs);
+      config.max_drift_events = 2;
+      const auto report = mc::check_drift(config, factory);
+      std::printf("zero-margin (%-7s): %s\n", "vtime",
+                  report.summary().c_str());
+      const bool caught = report.mutex_violations > 0;
+      if (!caught) std::printf("  ERROR: planted bug was NOT caught\n");
+      all_ok = all_ok && caught;
+      if (report.stale_token_commits > 0) {
+        std::printf("  ERROR: fencing admitted a stale-token commit\n");
+        all_ok = false;
+      }
+    }
+    {
+      // Drift-blind control: same zero-margin workload, clock model off.
+      // Expected clean — under perfect clocks the claimant's reclaim at
+      // duration_ns can only land at-or-after the holder's belief expires,
+      // which is exactly why time-based leases look safe in testing and
+      // fail in production.
+      mc::CheckConfig config = base_config(
+          drift_topology, rma::SchedPolicy::kVirtualTime,
+          smoke ? 60 : (quick ? 150 : 400), /*acquires=*/3,
+          /*trace_dir=*/"", "drift:margin0", jobs);
+      config.max_drift_events = 0;
+      const auto report = mc::check_drift(config, factory);
+      std::printf("zero-margin (blind  ): %s\n", report.summary().c_str());
+      if (report.ok()) {
+        std::printf("  drift-blind run missed the planted bug — the "
+                    "expected false negative\n");
+      } else {
+        std::printf("  ERROR: blind run flagged a violation (perfect clocks "
+                    "should satisfy the monitor)\n");
+      }
+      all_ok = all_ok && report.ok();
+    }
+  }
+
+  // Planted skip-token-check bug: zero margin AND no resource-side token
+  // validation — the end-to-end failure. The stale holder's write now
+  // *commits* with an old token, so on top of the belief overlap the
+  // campaign must witness stale_token_commits > 0: margins only shrink the
+  // overlap window; fencing is what closes it.
+  std::printf("\n--- planted skip-token-check bug (stale write must commit) "
+              "---\n");
+  {
+    const auto factory = make_drift_factory("drift:skip-token-check");
+    mc::CheckConfig config = base_config(
+        drift_topology, rma::SchedPolicy::kVirtualTime,
+        smoke ? 60 : (quick ? 150 : 400), /*acquires=*/3, trace_dir,
+        "drift:skip-token-check", jobs);
+    config.max_drift_events = 2;
+    const auto report = mc::check_drift(config, factory);
+    std::printf("skip-token-check (vtime ): %s\n", report.summary().c_str());
+    const bool caught = report.mutex_violations > 0;
+    if (!caught) std::printf("  ERROR: planted bug was NOT caught\n");
+    all_ok = all_ok && caught;
+    if (report.stale_token_commits == 0) {
+      std::printf("  ERROR: no stale-token commit witnessed — the unfenced "
+                  "resource should have admitted one\n");
+      all_ok = false;
+    }
+  }
+
   // Demonstration: the literal Listing 6/9 reader reset (which clears the
   // WRITE flag) vs. the flag-preserving fix, under aggressive schedules.
   // The faithful variant is a *planted* bug — expected to fail — so it
@@ -925,6 +1072,59 @@ int run_exhaustive(bool quick, bool smoke, const std::string& trace_dir,
     }
   }
 
+  // Clock-drift schedules: scheduling stays virtual-time (belief intervals
+  // are only comparable on that timeline — see check_drift_exhaustive), and
+  // every armed remote op is a DFS decision, so the explorer enumerates
+  // every placement of the <=2 drift events over the deterministic schedule
+  // (each event is a deterministic function of its rank and ordinal, so the
+  // branches alone pin the whole clock trajectory). Two events are the
+  // minimal budget that reaches the hazard: a rank's first event drifts it
+  // in the self-safe direction (a slow holder extends only its own belief;
+  // a slow claimant waits longer), so the counterexample needs the second,
+  // opposite-signed event — a fast-clocked claimant whose observation
+  // window shrinks below the honest holder's belief. The margined,
+  // token-fenced lease must drain its space with zero violations; the
+  // planted zero-margin variant must be caught with a replayable
+  // counterexample.
+  std::printf("\n--- clock-drift schedules (wall-clock leases, <=2 events) "
+              "---\n");
+  {
+    mc::ExploreConfig explore;
+    explore.max_schedules = smoke ? 50'000 : 500'000;
+    explore.max_preemptions = smoke ? 2 : 3;
+    const topo::Topology topology = topo::Topology::uniform({}, 2);
+    for (const char* id : {"drift:fenced", "drift:margin0"}) {
+      const bool planted = id == std::string("drift:margin0");
+      const auto factory = make_drift_factory(id);
+      mc::CheckConfig config;
+      config.topology = topology;
+      // Two rounds per rank: the overlap needs an abandoned hold reclaimed
+      // by time, and under deterministic virtual-time scheduling the first
+      // round's holds are always released or never reclaimed — the hazard
+      // starts at the second round.
+      config.acquires_per_proc = 2;
+      config.max_steps = 400'000;
+      config.trace_dir = trace_dir;
+      config.workload_id = id;
+      config.jobs = jobs;
+      config.max_drift_events = 2;
+      const Timer timer;
+      const auto report = mc::check_drift_exhaustive(config, explore, factory,
+                                                     /*iterative=*/true);
+      std::printf("%-16s P=2 acq=2 e<=%d %s\n", id, config.max_drift_events,
+                  report.summary().c_str());
+      if (planted) {
+        const bool caught = report.mutex_violations > 0;
+        if (!caught) std::printf("  ERROR: planted bug was NOT caught\n");
+        all_ok = all_ok && caught;
+      } else {
+        all_ok = all_ok && report.ok();
+        record_campaign(json, "drift:fenced/exhaustive", topology.nprocs(),
+                        report, timer.elapsed_s());
+      }
+    }
+  }
+
   // Re-homing schedules: rank 1 migrates the only shard mid-run while both
   // ranks hammer timed acquires on the same key. The minimal two-owner
   // counterexample needs two preemptions: pause a claimant between its
@@ -1010,12 +1210,24 @@ int run_replay(const std::string& path) {
   config.delay_factor = repro.delay_factor;
   config.max_partitions = repro.max_partitions;
   config.partition_span = repro.partition_span;
+  config.max_drift_events = repro.max_drift_events;
+  config.drift_chance_permille = repro.drift_chance_permille;
+  config.max_drift_permille = repro.max_drift_permille;
+  config.skew_window = repro.skew_window;
+  // Virtual-time campaigns (drift) replay under kVirtualTime with the trace
+  // consumed only at fault-decision points; everything else replays under
+  // kReplay. replay_options() keys off this.
+  config.policy = repro.recorded_policy;
   // The planted retry bug lives in the *policy*, not the lock — re-apply it
   // from the workload id so the replayed schedule spins the same way.
   if (repro.workload == "timeout:no-backoff") config.retry.backoff = false;
 
   mc::ScheduleOutcome outcome;
-  if (const auto timed = make_timeout_factory(repro.workload)) {
+  if (const auto drift = make_drift_factory(repro.workload)) {
+    outcome = mc::run_drift_schedule(
+        config, drift,
+        mc::replay_options(config, repro.world_seed, repro.trace));
+  } else if (const auto timed = make_timeout_factory(repro.workload)) {
     outcome = mc::run_timeout_schedule(
         config, timed,
         mc::replay_options(config, repro.world_seed, repro.trace));

@@ -75,17 +75,27 @@ struct RetryPolicy {
   u32 max_attempts = 512;
 
   /// Delay before retry number `attempt` (0-based), jittered from `rng`.
+  /// Never exceeds cap_ns, jitter included: the cap is the caller's promise
+  /// about worst-case added latency per retry, and a +25% jittered
+  /// excursion above it would break deadline math built on it.
   [[nodiscard]] Nanos delay_for(u32 attempt, Xoshiro256& rng) const {
     if (!backoff) return 0;
     const u32 shift = attempt < 20 ? attempt : 20;
-    Nanos delay = base_ns << shift;
-    if (delay <= 0 || delay > cap_ns) delay = cap_ns;
+    // Compare against the shifted-down cap instead of shifting the base
+    // up: base_ns << 20 overflows i64 for a base over ~8.8 ms, and signed
+    // overflow (like shifting a non-positive base) is UB — the comparison
+    // runs in the safe direction.
+    const Nanos delay_base =
+        (base_ns <= 0 || base_ns >= (cap_ns >> shift)) ? cap_ns
+                                                       : base_ns << shift;
+    Nanos delay = delay_base;
     if (jitter_permille > 0) {
       const Nanos span = delay * jitter_permille / 1000;
       if (span > 0) {
         delay += static_cast<Nanos>(
                      rng.below(2 * static_cast<u64>(span) + 1)) -
                  span;
+        if (delay > cap_ns) delay = cap_ns;
       }
     }
     return delay;

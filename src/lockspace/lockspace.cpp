@@ -594,8 +594,8 @@ i64 LockSpace::shard_epoch(rma::RmaComm& comm, i32 shard) {
   return read_ctl(comm, shard) >> 1;
 }
 
-void LockSpace::write_payload(rma::RmaComm& comm, u64 key, const i64* data,
-                              usize n) {
+i64 LockSpace::write_payload(rma::RmaComm& comm, u64 key, const i64* data,
+                             usize n) {
   RMALOCK_CHECK_MSG(optimistic_capable(), "LockSpaceConfig::payload_words = 0");
   RMALOCK_CHECK_MSG(n <= static_cast<usize>(config_.payload_words),
                     "payload write of " << n << " words exceeds the "
@@ -612,6 +612,55 @@ void LockSpace::write_payload(rma::RmaComm& comm, u64 key, const i64* data,
     comm.put(data[i], ref.home, voff + 1 + static_cast<WinOffset>(i));
   }
   comm.put(v + 2, ref.home, voff);
+  return v + 2;
+}
+
+bool LockSpace::write_payload_fenced(rma::RmaComm& comm, u64 key, i64 token,
+                                     const i64* data, usize n,
+                                     i64* admitted_version) {
+  RMALOCK_CHECK_MSG(optimistic_capable(), "LockSpaceConfig::payload_words = 0");
+  RMALOCK_CHECK(n <= static_cast<usize>(config_.payload_words));
+  RMALOCK_CHECK_MSG(token > 0 && token <= (i64{1} << (62 - kTokenSeqBits)),
+                    "fencing token " << token << " out of range");
+  if (config_.skip_token_check) {
+    // PLANTED BUG: trust the caller outright. Any overlap the lease's
+    // clock assumptions let through now reaches the payload unfiltered.
+    const i64 closing = write_payload(comm, key, data, n);
+    if (admitted_version != nullptr) *admitted_version = closing;
+    return true;
+  }
+  const LockRef ref = resolve(key);
+  const WinOffset voff = version_offset(ref.global_slot);
+  for (;;) {
+    const i64 v = comm.get(ref.home, voff);
+    comm.flush(ref.home);
+    if ((v & 1) != 0) {
+      // Another admitted session is mid-publication: wait for its closing
+      // version write (the runtime parks this poll and wakes on it), then
+      // re-validate — our token may well be stale by then.
+      continue;
+    }
+    if (token < token_of_version(v)) return false;  // stale: fenced out
+    const i64 seq = v & kTokenSeqMask;
+    RMALOCK_CHECK_MSG(seq + 2 <= kTokenSeqMask,
+                      "payload seq field exhausted on slot "
+                          << ref.global_slot);
+    // Session-begin CAS: admits the token and flips to odd in one atomic
+    // unit, so no second writer — fenced or plain — can interleave between
+    // the validation and the publication start.
+    if (comm.cas((token << kTokenSeqBits) | (seq + 1), v, ref.home, voff) !=
+        v) {
+      continue;  // lost a race with another session: re-validate
+    }
+    for (usize i = 0; i < n; ++i) {
+      comm.put(data[i], ref.home, voff + 1 + static_cast<WinOffset>(i));
+    }
+    comm.put((token << kTokenSeqBits) | (seq + 2), ref.home, voff);
+    if (admitted_version != nullptr) {
+      *admitted_version = (token << kTokenSeqBits) | (seq + 2);
+    }
+    return true;
+  }
 }
 
 void LockSpace::locked_read(rma::RmaComm& comm, u64 key, i64* out, usize n) {

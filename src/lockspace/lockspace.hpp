@@ -104,6 +104,13 @@ struct LockSpaceConfig {
   /// and one on the new: two owners across the migration epoch. The
   /// rehome MC campaigns must catch this.
   bool rehome_skip_fence = false;
+  /// PLANTED-BUG knob (MC verification only): write_payload_fenced accepts
+  /// every write without validating the caller's fencing token against the
+  /// newest admitted one. A time-based lease then has no resource-side
+  /// defense left: once local clocks let a paused or drift-slow holder's
+  /// belief overlap a reclaimer's grant, the stale holder's write commits.
+  /// The clock-drift MC campaigns must catch this as a stale-token commit.
+  bool skip_token_check = false;
 };
 
 /// Result of the O(1) directory computation for one key.
@@ -207,7 +214,40 @@ class LockSpace {
   /// Writer-side publication of the key's payload. The caller MUST hold
   /// acquire(key): the version bump to odd (before the data words) and back
   /// to even (after) assumes write sessions are serialized by the lock.
-  void write_payload(rma::RmaComm& comm, u64 key, const i64* data, usize n);
+  /// Returns the closing (even) version word the session published — its
+  /// low kTokenSeqBits are the slot's session sequence number, which
+  /// monitors use to recover the slot's own admission order.
+  i64 write_payload(rma::RmaComm& comm, u64 key, const i64* data, usize n);
+
+  /// Token-validating publication for time-based leases (TimedLease):
+  /// unlike write_payload it does NOT trust the caller to be serialized —
+  /// the write session begins with a CAS on the version word that
+  /// atomically (a) rejects any token older than the newest one the slot
+  /// has admitted and (b) serializes concurrent fenced writers. Returns
+  /// true iff the write was admitted; false means the caller's token is
+  /// stale — its lease was reclaimed out from under it — and no word was
+  /// written. This is the resource-side half of the fencing-token story:
+  /// a paused or drift-slow holder that still believes its lease valid
+  /// fails *here*, deterministically, instead of corrupting the payload.
+  /// With LockSpaceConfig::skip_token_check set (planted bug) it degrades
+  /// to the trusting write_payload and always returns true. On acceptance,
+  /// `admitted_version` (if non-null) receives the closing version word the
+  /// session published (see write_payload's return value).
+  bool write_payload_fenced(rma::RmaComm& comm, u64 key, i64 token,
+                            const i64* data, usize n,
+                            i64* admitted_version = nullptr);
+
+  // Version-word layout under fenced writes: (token << kTokenSeqBits) | seq,
+  // where seq keeps the plain seqlock odd/even discipline (even = quiescent,
+  // odd = publication in progress). Plain write_payload's v+1/v+2 bumps
+  // touch only the seq field, so the two write paths and optimistic_read
+  // (which compares full version words) compose unchanged. The seq field
+  // caps write sessions per slot at ~2^19, CHECKed loudly on overflow.
+  static constexpr i32 kTokenSeqBits = 20;
+  static constexpr i64 kTokenSeqMask = (i64{1} << kTokenSeqBits) - 1;
+  [[nodiscard]] static i64 token_of_version(i64 v) {
+    return v >> kTokenSeqBits;
+  }
 
   /// Reads the payload under the read lock — always a consistent snapshot;
   /// the comparison baseline for the optimistic path.

@@ -18,6 +18,9 @@ std::string CheckReport::summary() const {
   if (livelock_violations > 0) {
     out << " livelock_violations=" << livelock_violations;
   }
+  if (stale_token_commits > 0) {
+    out << " stale_token_commits=" << stale_token_commits;
+  }
   if (exhausted_spaces > 0) out << " exhausted_spaces=" << exhausted_spaces;
   if (cross_key_overlap_schedules > 0) {
     out << " cross_key_overlaps=" << cross_key_overlap_schedules;
@@ -43,6 +46,7 @@ CheckReport& CheckReport::operator+=(const CheckReport& other) {
   mutex_violations += other.mutex_violations;
   deadlocks += other.deadlocks;
   livelock_violations += other.livelock_violations;
+  stale_token_commits += other.stale_token_commits;
   step_limit_hits += other.step_limit_hits;
   total_cs_entries += other.total_cs_entries;
   exhausted_spaces += other.exhausted_spaces;
@@ -77,6 +81,10 @@ rma::SimOptions schedule_options(const CheckConfig& config, u64 schedule) {
   opts.delay_factor = config.delay_factor;
   opts.max_partitions = config.max_partitions;
   opts.partition_span = config.partition_span;
+  opts.max_drift_events = config.max_drift_events;
+  opts.drift_chance_permille = config.drift_chance_permille;
+  opts.max_drift_permille = config.max_drift_permille;
+  opts.skew_window = config.skew_window;
   opts.abort_on_deadlock = false;  // report, don't abort: we are the checker
   // Randomized campaigns do not record up front: the engine is
   // deterministic, so capture_first_failure re-records only the (rare)
@@ -91,7 +99,13 @@ rma::SimOptions replay_options(const CheckConfig& config, u64 world_seed,
                                const rma::ScheduleTrace& trace) {
   rma::SimOptions opts = schedule_options(config, 0);
   opts.seed = world_seed;
-  opts.policy = rma::SchedPolicy::kReplay;
+  // Virtual-time campaigns (drift) record only fault-decision picks — the
+  // scheduling itself is deterministic — so their replays keep kVirtualTime
+  // and consume the trace at the decision sites. Preemptive campaigns
+  // recorded every scheduling pick and replay under kReplay.
+  opts.policy = config.policy == rma::SchedPolicy::kVirtualTime
+                    ? rma::SchedPolicy::kVirtualTime
+                    : rma::SchedPolicy::kReplay;
   opts.replay = &trace;
   opts.record_schedule = false;
   return opts;
@@ -377,6 +391,74 @@ ScheduleOutcome run_timeout_schedule(const CheckConfig& config,
   return outcome;
 }
 
+ScheduleOutcome run_drift_schedule(const CheckConfig& config,
+                                   const DriftLeaseFactory& factory,
+                                   const rma::SimOptions& opts) {
+  auto world = rma::SimWorld::create(opts);
+  DriftLeaseSubject subject = factory(*world);
+  RMALOCK_CHECK(subject.lease != nullptr && subject.space != nullptr);
+  RMALOCK_CHECK_MSG(subject.space->optimistic_capable(),
+                    "drift workload needs payload_words > 0");
+  const usize payload = static_cast<usize>(subject.space->payload_words());
+  const Nanos duration = subject.lease->params().duration_ns;
+  const Nanos margin = subject.lease->params().safety_margin_ns;
+  // Pace the hold so the last write lands AT the belief boundary: each
+  // round checks still_valid, ages the belief by a quarter duration, THEN
+  // writes — the check-then-act pattern every real lease client has. With
+  // honest clocks the claimant's reclaim_grace_ns covers that in-flight
+  // final write; a drift-slow clock stretches the same local schedule past
+  // the grace in real time, and THOSE are the stale writes the fencing
+  // token exists to reject.
+  const Nanos chunk = std::max<Nanos>(1, duration / 4);
+  WallClockLeaseMonitor monitor;
+  ScheduleOutcome outcome;
+  outcome.run = world->run([&](rma::RmaComm& comm) {
+    std::vector<i64> buf(payload, 0);
+    for (i32 i = 0; i < config.acquires_per_proc; ++i) {
+      const i64 token = subject.lease->acquire_token(comm);
+      monitor.session_begin(comm.rank(), comm.now_ns());
+      // A well-behaved client: writes only while it believes the grant
+      // valid on its own clock, and stamps every write with its token.
+      // What it cannot know is whether its clock made the belief a lie —
+      // deciding that is the resource's (and the monitor's) job.
+      for (i32 w = 0; w < 8; ++w) {
+        if (!subject.lease->still_valid(comm)) break;
+        // A fresh grantee writes immediately; later rounds age the belief
+        // first, so a lying clock's final round writes past the boundary.
+        if (w > 0) comm.compute(chunk);
+        std::fill(buf.begin(), buf.end(), token);
+        i64 admitted = 0;
+        const bool accepted = subject.space->write_payload_fenced(
+            comm, subject.key, token, buf.data(), payload, &admitted);
+        monitor.commit(token, accepted,
+                       admitted & lockspace::LockSpace::kTokenSeqMask);
+        if (!accepted) break;  // fenced out: this grant is stale
+      }
+      monitor.session_end(comm.rank(), comm.now_ns());
+      // Rank-staggered holds are ABANDONED — the holder walks away without
+      // releasing (a stalled client), so the next claimant must reclaim by
+      // time. Staggering by rank keeps one releasing rank per round; if
+      // every rank abandoned the same rounds the fleet would phase-lock
+      // into self-re-takes and no timed reclaim would ever happen. The
+      // abandoner sits out past every claimant's reclaim point (with a
+      // jittered tail so reclaims never tie-break against self-re-takes)
+      // so it does not simply re-take its own lease.
+      if ((i + comm.rank()) % 2 == 0) {
+        subject.lease->release(comm);
+      } else {
+        comm.compute(2 * (duration + margin) +
+                     static_cast<Nanos>(
+                         comm.rng().below(static_cast<u64>(duration))));
+      }
+    }
+  });
+  outcome.mutex_violations = monitor.violations();
+  outcome.stale_token_commits = monitor.stale_commits();
+  outcome.cs_entries = monitor.writes();
+  outcome.lock_name = subject.lease->name();
+  return outcome;
+}
+
 ScheduleOutcome run_rehome_schedule(const CheckConfig& config,
                                     const LockSpaceFactory& factory,
                                     const std::vector<u64>& keys,
@@ -430,6 +512,7 @@ void fold_outcome(CheckReport& report, const ScheduleOutcome& outcome) {
   ++report.schedules_run;
   report.mutex_violations += outcome.mutex_violations;
   report.livelock_violations += outcome.livelock_violations;
+  report.stale_token_commits += outcome.stale_token_commits;
   report.total_cs_entries += outcome.cs_entries;
   if (outcome.run.deadlocked) ++report.deadlocks;
   if (outcome.run.step_limit_hit) ++report.step_limit_hits;
@@ -533,6 +616,10 @@ void capture_first_failure(
     repro.delay_factor = config.delay_factor;
     repro.max_partitions = config.max_partitions;
     repro.partition_span = config.partition_span;
+    repro.max_drift_events = config.max_drift_events;
+    repro.drift_chance_permille = config.drift_chance_permille;
+    repro.max_drift_permille = config.max_drift_permille;
+    repro.skew_window = config.skew_window;
     repro.trace = failure.trace;
     const std::string name = failure_trace_path(config, failure.lock_name,
                                                 failure.kind, schedule_index);
@@ -637,6 +724,13 @@ CheckReport check_timeout(const CheckConfig& config,
                           const ExclusiveLockFactory& factory) {
   return check_campaign(config, [&](const rma::SimOptions& opts) {
     return run_timeout_schedule(config, factory, opts);
+  });
+}
+
+CheckReport check_drift(const CheckConfig& config,
+                        const DriftLeaseFactory& factory) {
+  return check_campaign(config, [&](const rma::SimOptions& opts) {
+    return run_drift_schedule(config, factory, opts);
   });
 }
 

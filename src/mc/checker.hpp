@@ -35,6 +35,7 @@
 #include "lockspace/lockspace.hpp"
 #include "locks/lease.hpp"
 #include "locks/lock.hpp"
+#include "locks/timed_lease.hpp"
 #include "rma/sim_world.hpp"
 
 namespace rmalock::mc {
@@ -97,6 +98,15 @@ struct CheckConfig {
   i64 delay_factor = 16;
   i32 max_partitions = 0;
   Nanos partition_span = 50'000;
+  /// Clock-drift injection (SimOptions::max_drift_events etc.): budget of
+  /// per-process clock drift/skew events per schedule; 0 keeps every local
+  /// clock perfect and the campaign identical to the pre-drift-model
+  /// checker. The timed-lease workload (check_drift) is the consumer:
+  /// its safety rests exactly on the clock assumptions this model breaks.
+  i32 max_drift_events = 0;
+  u32 drift_chance_permille = 200;
+  u32 max_drift_permille = 200;
+  Nanos skew_window = 2'000;
   /// Timed-acquire workloads (check_timeout / check_rehome): per-round
   /// deadline budget in virtual nanoseconds. Under the checker's
   /// zero-latency network only compute() — i.e. backoff — advances the
@@ -142,6 +152,11 @@ struct CheckReport {
   u64 deadlocks = 0;
   /// Bounded-retry progress violations (LivelockMonitor, timed workloads).
   u64 livelock_violations = 0;
+  /// Drift workloads only: accepted payload writes carrying a stale fencing
+  /// token (WallClockLeaseMonitor; already counted in mutex_violations —
+  /// broken out so campaigns can assert "fencing admitted zero of these"
+  /// even while the margin-0 lease itself was violated).
+  u64 stale_token_commits = 0;
   u64 step_limit_hits = 0;
   u64 total_cs_entries = 0;
   /// Exhaustive explorations that drained their full bounded schedule
@@ -175,6 +190,17 @@ using LockSpaceFactory =
     std::function<std::unique_ptr<lockspace::LockSpace>(rma::World&)>;
 using LeaseLockFactory =
     std::function<std::unique_ptr<locks::LeaseExclusive>(rma::World&)>;
+
+/// Subject of the clock-drift workload (check_drift): one timed lease
+/// guarding one payload key of a payload-capable LockSpace — the lease is
+/// the *permission*, the space's versioned payload the *resource*, and the
+/// grant token the thread of trust between them.
+struct DriftLeaseSubject {
+  std::unique_ptr<locks::TimedLease> lease;
+  std::unique_ptr<lockspace::LockSpace> space;
+  u64 key = 0;
+};
+using DriftLeaseFactory = std::function<DriftLeaseSubject(rma::World&)>;
 
 /// Explores `config.schedules` schedules of a reader/writer workload.
 CheckReport check_rw(const CheckConfig& config, const RwLockFactory& factory);
@@ -233,6 +259,19 @@ CheckReport check_optimistic(const CheckConfig& config,
 CheckReport check_timeout(const CheckConfig& config,
                           const ExclusiveLockFactory& factory);
 
+/// Explores `config.schedules` schedules of the wall-clock lease workload:
+/// every process repeatedly takes the timed lease (acquire_token), then —
+/// while still_valid() on its own clock — publishes token-stamped payloads
+/// through LockSpace::write_payload_fenced, and releases. Checked
+/// properties (WallClockLeaseMonitor, folded into mutex_violations):
+/// never two believing writers at once, and never an accepted write with a
+/// stale token; plus deadlock freedom. Arm config.max_drift_events, or the
+/// planted safety_margin_ns = 0 and skip_token_check bugs stay invisible —
+/// under perfect clocks a margin-0 lease is actually safe, the false
+/// negative the drift model exists to prevent.
+CheckReport check_drift(const CheckConfig& config,
+                        const DriftLeaseFactory& factory);
+
 /// Explores `config.schedules` schedules of the re-homing workload over a
 /// rehome-capable LockSpace (the space `factory` builds must have
 /// rehome_epochs >= 1 and an exclusive backend): every process runs keyed
@@ -264,6 +303,9 @@ struct ScheduleOutcome {
   u64 mutex_violations = 0;
   /// Timed workloads: LivelockMonitor violations (bounded-retry progress).
   u64 livelock_violations = 0;
+  /// Drift workloads: accepted stale-token writes (subset of
+  /// mutex_violations; see CheckReport::stale_token_commits).
+  u64 stale_token_commits = 0;
   u64 cs_entries = 0;
   /// LockSpace workloads: peak number of distinct keys held at once during
   /// the schedule (>= 2 witnesses cross-key concurrency); 0 elsewhere.
@@ -320,6 +362,10 @@ ScheduleOutcome run_optimistic_schedule(const CheckConfig& config,
 ScheduleOutcome run_timeout_schedule(const CheckConfig& config,
                                      const ExclusiveLockFactory& factory,
                                      const rma::SimOptions& opts);
+/// Runs one wall-clock lease schedule (see check_drift) under `opts`.
+ScheduleOutcome run_drift_schedule(const CheckConfig& config,
+                                   const DriftLeaseFactory& factory,
+                                   const rma::SimOptions& opts);
 /// Runs one re-homing schedule (see check_rehome) under `opts`.
 ScheduleOutcome run_rehome_schedule(const CheckConfig& config,
                                     const LockSpaceFactory& factory,

@@ -381,14 +381,17 @@ CheckReport check_exhaustive_parallel(const CheckConfig& config,
 }
 
 template <typename Factory, typename Runner>
-CheckReport check_exhaustive_impl(const CheckConfig& config,
-                                  const ExploreConfig& explore,
-                                  const Factory& factory, bool iterative,
-                                  const Runner& run_schedule) {
+CheckReport check_exhaustive_impl(
+    const CheckConfig& config, const ExploreConfig& explore,
+    const Factory& factory, bool iterative, const Runner& run_schedule,
+    rma::SchedPolicy policy = rma::SchedPolicy::kReplay) {
   // Trace files and reports stamp the policy the schedules actually ran
-  // under — the hook-driven kReplay — not the CheckConfig default.
+  // under — the hook-driven kReplay for interleaving exploration, or
+  // kVirtualTime for drift campaigns, where the hook drives ONLY the
+  // fault-decision sites and the schedule itself stays deterministic —
+  // not the CheckConfig default.
   CheckConfig exhaustive_config = config;
-  exhaustive_config.policy = rma::SchedPolicy::kReplay;
+  exhaustive_config.policy = policy;
   const i32 jobs = harness::TaskPool::resolve_jobs(config.jobs);
   if (jobs > 1) {
     return check_exhaustive_parallel(exhaustive_config, explore, factory,
@@ -482,6 +485,24 @@ CheckReport check_timeout_exhaustive(const CheckConfig& config,
       config, explore, factory, iterative,
       [](const CheckConfig& c, const ExclusiveLockFactory& f,
          const rma::SimOptions& o) { return run_timeout_schedule(c, f, o); });
+}
+
+CheckReport check_drift_exhaustive(const CheckConfig& config,
+                                   const ExploreConfig& explore,
+                                   const DriftLeaseFactory& factory,
+                                   bool iterative) {
+  // Drift campaigns explore under kVirtualTime: the DFS hook is consulted
+  // only at drift-decision sites (decide_drift), so the enumerated space is
+  // every placement of the drift budget over one deterministic schedule —
+  // the clock is the adversary, not the scheduler. Belief-overlap intervals
+  // are only comparable on the virtual-time timeline; a preemptive DFS
+  // would let a later-serialized session carry earlier clock readings and
+  // flag overlaps no margin could prevent.
+  return check_exhaustive_impl(
+      config, explore, factory, iterative,
+      [](const CheckConfig& c, const DriftLeaseFactory& f,
+         const rma::SimOptions& o) { return run_drift_schedule(c, f, o); },
+      rma::SchedPolicy::kVirtualTime);
 }
 
 CheckReport check_rehome_exhaustive(const CheckConfig& config,

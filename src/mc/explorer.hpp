@@ -135,6 +135,18 @@ CheckReport check_timeout_exhaustive(const CheckConfig& config,
                                      const ExploreConfig& explore,
                                      const ExclusiveLockFactory& factory,
                                      bool iterative = false);
+/// Wall-clock lease workload (see check_drift): with
+/// config.max_drift_events > 0, every armed remote op is a scheduler
+/// decision the DFS branches on — the perfect-clocks interleaving AND
+/// every placement of up to the budgeted drift/skew events are enumerated
+/// within the bounds. Each event is a deterministic function of (rank,
+/// event count), so the branch alone pins the whole clock trajectory; a
+/// drift event costs one preemption and iterative deepening surfaces the
+/// perfect-clocks space first.
+CheckReport check_drift_exhaustive(const CheckConfig& config,
+                                   const ExploreConfig& explore,
+                                   const DriftLeaseFactory& factory,
+                                   bool iterative = false);
 /// Re-homing workload (see check_rehome): enumerates interleavings of the
 /// mid-run shard migration against keyed timed acquires; per-key mutual
 /// exclusion across migration planes is the property the planted

@@ -13,7 +13,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <map>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -116,6 +118,120 @@ class OptimisticReadMonitor {
  private:
   u64 reads_ = 0;
   u64 violations_ = 0;
+};
+
+/// Safety monitor for time-based leases with fencing tokens (TimedLease +
+/// LockSpace::write_payload_fenced). Two properties fold into violations():
+///
+///   * Belief overlap — "never two believing holders": a session spans
+///     from the grant until the holder first *observes* expiry (its next
+///     still_valid() == false) or releases. Sessions are recorded as
+///     *virtual-time* intervals and compared pairwise after the run: two
+///     different ranks whose intervals strictly overlap mean the clocks let
+///     two holders each think the lease theirs at the same instant. This is
+///     what safety_margin_ns = 0 admits under drift (and what a sufficient
+///     margin prevents) — it fires whether or not the resource ends up
+///     rejecting the stale writes, because the *lease* already failed.
+///     Comparing VT intervals (instead of call order) is only sound under
+///     SchedPolicy::kVirtualTime, where per-process clocks advance along one
+///     consistent global timeline; preemptive policies (kRandom/kPct) run
+///     code out of virtual-time order, so "overlap" there would conflate
+///     scheduler pauses with clock failures. Drift campaigns therefore pin
+///     kVirtualTime and explore drift decisions as the adversary.
+///   * Stale-token commit — an *accepted* write whose token is older than
+///     a later-admitted session's token, in the order the *resource*
+///     admitted them. Each accepted write reports the slot's session
+///     sequence number (the low seq bits of the admitted version word);
+///     sorting commits by seq recovers the slot's own admission order, which
+///     is scheduling-robust — no execution-order artifact can invert it. An
+///     inversion means the resource let a fenced-out holder mutate state:
+///     with token checks on this never happens (the overlap above is caught
+///     upstream instead); the planted skip_token_check bug is exactly this
+///     property's true positive.
+///
+/// A write the resource rejects is not a violation — a fencing token doing
+/// its job is the defense working, not the hazard. Relies on SimWorld's
+/// serialized execution, like CsMonitor.
+class WallClockLeaseMonitor {
+ public:
+  /// A believing session starts at virtual time `now`: the caller was just
+  /// granted the lease (and a well-behaved client keeps writing only while
+  /// still_valid()).
+  void session_begin(Rank rank, Nanos now) {
+    sessions_.push_back(Session{rank, now, now, /*open=*/true});
+    open_[rank] = sessions_.size() - 1;
+  }
+  /// One payload write under the rank's current belief; `accepted` is
+  /// write_payload_fenced's verdict (always true through the planted
+  /// skip_token_check path and the unfenced write_payload baseline), `seq`
+  /// the slot's admitted session sequence number for accepted writes
+  /// (ignored when !accepted).
+  void commit(i64 token, bool accepted, i64 seq = 0) {
+    ++writes_;
+    if (!accepted) return;
+    commits_.push_back(Commit{seq, token});
+  }
+  /// The session ends at virtual time `now`: the holder released, was
+  /// fenced out, or observed its own expiry.
+  void session_end(Rank rank, Nanos now) {
+    auto it = open_.find(rank);
+    if (it == open_.end()) return;
+    Session& s = sessions_[it->second];
+    s.end = now;
+    s.open = false;
+    open_.erase(it);
+  }
+
+  /// Different-rank session pairs whose virtual-time intervals strictly
+  /// overlap (a never-closed session extends to +inf).
+  [[nodiscard]] u64 belief_overlaps() const {
+    u64 overlaps = 0;
+    for (usize i = 0; i < sessions_.size(); ++i) {
+      for (usize j = i + 1; j < sessions_.size(); ++j) {
+        const Session& a = sessions_[i];
+        const Session& b = sessions_[j];
+        if (a.rank == b.rank) continue;
+        const Nanos a_end = a.open ? kForever : a.end;
+        const Nanos b_end = b.open ? kForever : b.end;
+        if (a.begin < b_end && b.begin < a_end) ++overlaps;
+      }
+    }
+    return overlaps;
+  }
+  /// Token inversions in the resource's admission (seq) order.
+  [[nodiscard]] u64 stale_commits() const {
+    std::vector<Commit> ordered = commits_;
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Commit& a, const Commit& b) { return a.seq < b.seq; });
+    u64 stale = 0;
+    i64 max_token = 0;
+    for (const Commit& c : ordered) {
+      if (c.token < max_token) ++stale;
+      max_token = std::max(max_token, c.token);
+    }
+    return stale;
+  }
+  [[nodiscard]] u64 violations() const {
+    return belief_overlaps() + stale_commits();
+  }
+  [[nodiscard]] u64 writes() const { return writes_; }
+
+ private:
+  static constexpr Nanos kForever = std::numeric_limits<Nanos>::max();
+  struct Session {
+    Rank rank;
+    Nanos begin;
+    Nanos end;
+    bool open;
+  };
+  struct Commit {
+    i64 seq;
+    i64 token;
+  };
+  std::vector<Session> sessions_;
+  std::map<Rank, usize> open_;
+  std::vector<Commit> commits_;
+  u64 writes_ = 0;
 };
 
 /// Progress monitor for deadline/retry acquire paths: a bounded-retry

@@ -30,7 +30,9 @@ namespace {
 // pre-tear case keeps serializing byte-identically as v2. v4 adds the
 // gray-failure keys ("delays"/"partitions") under the same rule: emitted
 // (and the magic bumped) only when the gray model is armed, keeping every
-// pre-gray case byte-identical in its older format.
+// pre-gray case byte-identical in its older format. v5 adds the clock-drift
+// key ("drift") under the same rule again.
+const char kMagicV5[] = "rmalock-trace v5";
 const char kMagicV4[] = "rmalock-trace v4";
 const char kMagicV3[] = "rmalock-trace v3";
 const char kMagic[] = "rmalock-trace v2";
@@ -54,8 +56,11 @@ bool fail(std::string* error, const std::string& message) {
 
 std::string serialize_trace(const TraceCase& c) {
   const bool gray = c.max_delays != 0 || c.max_partitions != 0;
+  const bool drift = c.max_drift_events != 0;
   std::ostringstream out;
-  out << (gray ? kMagicV4 : (c.max_tears != 0 ? kMagicV3 : kMagic)) << "\n";
+  out << (drift ? kMagicV5
+                : (gray ? kMagicV4 : (c.max_tears != 0 ? kMagicV3 : kMagic)))
+      << "\n";
   out << "workload " << c.workload << "\n";
   out << "lock " << c.lock_name << "\n";
   out << "kind " << c.kind << "\n";
@@ -95,6 +100,10 @@ std::string serialize_trace(const TraceCase& c) {
     out << "partitions " << c.max_partitions << " " << c.partition_span
         << "\n";
   }
+  if (drift) {
+    out << "drift " << c.max_drift_events << " " << c.drift_chance_permille
+        << " " << c.max_drift_permille << " " << c.skew_window << "\n";
+  }
   out << "picks " << c.trace.picks.size() << "\n";
   for (usize i = 0; i < c.trace.picks.size(); ++i) {
     out << c.trace.picks[i] << ((i + 1) % 32 == 0 ? "\n" : " ");
@@ -108,8 +117,8 @@ bool parse_trace(const std::string& text, TraceCase* out, std::string* error) {
   std::string line;
   if (!std::getline(in, line) ||
       (line != kMagic && line != kMagicV1 && line != kMagicV3 &&
-       line != kMagicV4)) {
-    return fail(error, "missing 'rmalock-trace v1/v2/v3/v4' header");
+       line != kMagicV4 && line != kMagicV5)) {
+    return fail(error, "missing 'rmalock-trace v1/v2/v3/v4/v5' header");
   }
   *out = TraceCase{};
   while (std::getline(in, line)) {
@@ -183,6 +192,11 @@ bool parse_trace(const std::string& text, TraceCase* out, std::string* error) {
     } else if (key == "partitions") {
       if (!(fields >> out->max_partitions >> out->partition_span)) {
         return fail(error, "bad partitions line: " + line);
+      }
+    } else if (key == "drift") {
+      if (!(fields >> out->max_drift_events >> out->drift_chance_permille >>
+            out->max_drift_permille >> out->skew_window)) {
+        return fail(error, "bad drift line: " + line);
       }
     } else if (key == "picks") {
       usize count = 0;

@@ -7,11 +7,12 @@
 //   * TraceCase bundles a trace with everything needed to re-execute it —
 //     topology, world seed, workload shape, crash- and torn-read-injection
 //     knobs — in a line-oriented text format. The magic is "rmalock-trace
-//     v4" only when the gray-failure model is armed ("delays"/"partitions"
-//     lines then present) and "rmalock-trace v3" only when the torn-read
-//     fault model is armed (a "tears" line is then present); unarmed cases
-//     keep serializing byte-identically as v2, and v1 files (which predate
-//     the crash model) still parse. Crash decisions live in the same picks
+//     v5" only when the clock-drift model is armed (a "drift" line is then
+//     present), "rmalock-trace v4" only when the gray-failure model is
+//     armed ("delays"/"partitions" lines then present), and "rmalock-trace
+//     v3" only when the torn-read fault model is armed (a "tears" line is
+//     then present); unarmed cases keep serializing byte-identically as v2,
+//     and v1 files (which predate the crash model) still parse. Crash decisions live in the same picks
 //     stream as scheduling decisions, encoded as -(rank + 2); torn-read
 //     decisions as -(P + 2 + k) for a tear after a k-word prefix;
 //     gray-failure decisions in disjoint ranges below the tear span (see
@@ -70,6 +71,13 @@ struct TraceCase {
   i64 delay_factor = 16;
   i32 max_partitions = 0;
   Nanos partition_span = 50'000;
+  /// Clock-drift knobs of the recorded run (SimOptions equivalents);
+  /// max_drift_events == 0 means the clock model was off and the trace
+  /// serializes in the pre-drift (v4 or earlier) format.
+  i32 max_drift_events = 0;
+  u32 drift_chance_permille = 200;
+  u32 max_drift_permille = 200;
+  Nanos skew_window = 2'000;
   rma::ScheduleTrace trace;
 };
 

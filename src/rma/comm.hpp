@@ -187,6 +187,16 @@ class RmaComm {
   /// monotonic clock (ThreadWorld).
   [[nodiscard]] virtual Nanos now_ns() = 0;
 
+  /// This process's *local wall clock* — what a time-based lease reads.
+  /// Unlike now_ns() (the cost-model clock), this is subject to the clock
+  /// fault model: under SimWorld with SimOptions::max_drift_events armed it
+  /// runs fast or slow (± max_drift_permille) and steps within ±
+  /// skew_window, and may even move backward across a step. Disarmed (and
+  /// on runtimes without a clock model) it equals perfect shared time.
+  /// Protocols must never compare local_now_ns readings across ranks —
+  /// that is exactly the bug the drift campaigns exist to catch.
+  [[nodiscard]] virtual Nanos local_now_ns() { return now_ns(); }
+
   /// Collective barrier over all processes of the world. On return in
   /// SimWorld, all clocks are synchronized to the latest arrival — the
   /// harness brackets measurement phases with barriers.

@@ -92,6 +92,9 @@ class SimComm final : public RmaComm {
 
   void compute(Nanos ns) override { world_.execute_compute(rank_, ns); }
   [[nodiscard]] Nanos now_ns() override { return world_.proc_clock(rank_); }
+  [[nodiscard]] Nanos local_now_ns() override {
+    return world_.local_now(rank_);
+  }
   void barrier() override { world_.execute_barrier(rank_); }
   [[nodiscard]] Xoshiro256& rng() override { return world_.proc_rng(rank_); }
   [[nodiscard]] OpStats& stats() override { return world_.proc_stats(rank_); }
@@ -246,6 +249,11 @@ RunResult SimWorld::run(const std::function<void(RmaComm&)>& body) {
     proc.num_polls = 0;
     proc.crashed = false;
     proc.incarnation = 0;
+    proc.drift_anchor_wall = 0;
+    proc.drift_anchor_local = 0;
+    proc.drift_rate_permille = 0;
+    proc.drift_skew = 0;
+    proc.drift_events = 0;
     proc.rng = Xoshiro256(mix_seed(opts_.seed, static_cast<u64>(r)));
     if (!proc.stack) {
       proc.stack = StackPool::local().acquire(opts_.fiber_stack_bytes);
@@ -888,6 +896,15 @@ i64 SimWorld::execute_op(Rank origin, OpKind kind, Rank target,
   }
 
   for (;;) {
+    // Drift model: with the clock budget armed, every remote op is an
+    // explorable decision to re-anchor the caller's local clock map before
+    // the op — mirroring the armed gray structure below. Unarmed (or budget
+    // spent) ops make no decision and add no trace entry, keeping
+    // pre-drift-model traces bit-compatible.
+    if (dclass != 0 && drift_armed()) {
+      bump_step(origin);
+      decide_drift(origin);
+    }
     // Gray model: with a fault budget armed, every remote op is an
     // explorable fault decision (straggler delay / transient partition)
     // before the op itself — mirroring the armed-get_vec tear structure.
@@ -1040,7 +1057,12 @@ void SimWorld::execute_get_vec(Rank origin, Rank target, WinOffset offset,
                      windows_[static_cast<usize>(target)].size());
   const i32 dclass = dclass_of(origin, target);
 
-  // Gray fault decision first, mirroring execute_op's armed remote path.
+  // Drift then gray fault decisions first, mirroring execute_op's armed
+  // remote path.
+  if (dclass != 0 && drift_armed()) {
+    bump_step(origin);
+    decide_drift(origin);
+  }
   Nanos cost = opts_.latency.op_cost(OpKind::kGet, dclass);
   if (dclass != 0 && gray_armed()) {
     bump_step(origin);
@@ -1187,6 +1209,75 @@ SimWorld::GrayOutcome SimWorld::decide_gray(Rank origin, Rank target) {
   return outcome;
 }
 
+bool SimWorld::decide_drift(Rank origin) {
+  bool drift;
+  // The replay cursor is honored regardless of scheduling policy:
+  // virtual-time campaigns record ONLY fault-decision picks (the schedule
+  // itself is deterministic), so their traces replay under kVirtualTime
+  // with the picks consumed right here at the decision sites.
+  if (opts_.replay != nullptr) {
+    if (replay_pos_ < opts_.replay->picks.size()) {
+      const Rank pick = opts_.replay->picks[replay_pos_++];
+      drift = pick == drift_pick(origin);
+      // A pick naming neither outcome (shrunk/edited trace) falls back to
+      // the no-drift completion, counted like any other divergence.
+      if (!drift && pick != origin) ++result_.replay_divergences;
+    } else {
+      drift = false;  // exhausted (shrunk) trace: no-drift completion
+    }
+  } else if (opts_.pick_hook) {
+    // Candidates sorted ascending like every hook call; the caller's own
+    // rank is the no-drift choice. Consulted under ANY policy — the
+    // exhaustive drift explorer runs kVirtualTime scheduling and drives
+    // only these fault-decision sites, so its DFS enumerates drift
+    // placements over one deterministic schedule.
+    const std::vector<Rank> candidates{drift_pick(origin), origin};
+    drift = opts_.pick_hook(candidates) == drift_pick(origin);
+  } else if (opts_.policy == SchedPolicy::kReplay) {
+    drift = false;  // deterministic fallback, like smallest-rank picks
+  } else {
+    drift = sched_rng_.below(1000) < opts_.drift_chance_permille;
+  }
+  if (opts_.record_schedule) {
+    result_.schedule.picks.push_back(drift ? drift_pick(origin) : origin);
+  }
+  if (drift) apply_drift(origin);
+  return drift;
+}
+
+void SimWorld::apply_drift(Rank origin) {
+  Proc& self = *procs_[static_cast<usize>(origin)];
+  // Deterministic worst-case event — no rng draws, so a replayed pick
+  // stream reproduces the exact clock trajectory. The sign alternates per
+  // event and starts opposite on adjacent ranks, so one event on each of
+  // two ranks already produces the dangerous fast-claimant/slow-holder
+  // split; the explorer controls which ranks drift and how often, covering
+  // the other assignments.
+  const i32 sign =
+      ((static_cast<u32>(origin) + self.drift_events) % 2 == 0) ? 1 : -1;
+  const Nanos skew = sign * opts_.skew_window;
+  // Re-anchor at the origin's own current instant: the new local clock
+  // continues from the old reading stepped by the skew change (an NTP-style
+  // step, clamped to ± skew_window by construction), then advances at the
+  // extreme rate.
+  self.drift_anchor_local = local_now(origin) + (skew - self.drift_skew);
+  self.drift_anchor_wall = self.clock;
+  self.drift_skew = skew;
+  self.drift_rate_permille =
+      sign * static_cast<i32>(opts_.max_drift_permille);
+  ++self.drift_events;
+  ++result_.drift_events;
+  if (trace_) [[unlikely]] {
+    std::fprintf(stderr,
+                 "[trace %8llu] r%-4d DRIFT rate=%+d skew=%+lld "
+                 "(local %lld / clock %lld)\n",
+                 static_cast<unsigned long long>(steps_), origin,
+                 self.drift_rate_permille, static_cast<long long>(skew),
+                 static_cast<long long>(self.drift_anchor_local),
+                 static_cast<long long>(self.clock));
+  }
+}
+
 TryResult SimWorld::execute_try_op(Rank origin, OpKind kind, Rank target,
                                    WinOffset offset, i64 operand, i64 cmp,
                                    AccumOp aop, Nanos deadline_ns) {
@@ -1198,6 +1289,10 @@ TryResult SimWorld::execute_try_op(Rank origin, OpKind kind, Rank target,
                      windows_[static_cast<usize>(target)].size());
   const i32 dclass = dclass_of(origin, target);
 
+  if (dclass != 0 && drift_armed()) {
+    bump_step(origin);
+    decide_drift(origin);
+  }
   Nanos cost = opts_.latency.op_cost(kind, dclass);
   if (dclass != 0 && gray_armed()) {
     bump_step(origin);

@@ -51,6 +51,7 @@
 // order; virtual time is a faithful cost model, not a total order oracle.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <functional>
 #include <memory>
@@ -196,6 +197,35 @@ struct SimOptions {
   /// Virtual duration of one transient partition: remote ops against the
   /// partitioned target stall until `origin clock + partition_span`.
   Nanos partition_span = 50'000;
+
+  // --- clock skew / drift --------------------------------------------------
+  // Fault model for the synchronized-clock assumption every time-based
+  // lease leans on: per-process local clocks (RmaComm::local_now_ns) that
+  // run fast or slow relative to true time and step within a bounded skew
+  // window — the NTP reality the paper's model ignores. Disarmed,
+  // local_now_ns is the shared wall clock (perfect synchronization). With
+  // the budget armed, every remote op is an explorable decision — keep the
+  // caller's clock map, or re-anchor it to an extreme rate (±
+  // max_drift_permille) and skew step (± skew_window). Decisions share the
+  // pick stream (see ScheduleTrace) below the partition range, so
+  // record/replay, ddmin, and the exhaustive explorer cover every drift
+  // placement. 0 disables the machinery completely: no decision, no trace
+  // entry, recorded traces stay bit-compatible with the pre-drift-model
+  // format.
+
+  /// Maximum number of drift events the run may inject (budget, like
+  /// max_delays).
+  i32 max_drift_events = 0;
+  /// Chance (permille) of drifting at an armed remote op under the
+  /// stochastic policies (kVirtualTime/kRandom/kPct). kReplay takes the
+  /// decision from the trace / pick_hook instead.
+  u32 drift_chance_permille = 200;
+  /// Worst-case clock rate error (permille): a drifted clock advances at
+  /// (1000 ± this)/1000 of true time.
+  u32 max_drift_permille = 200;
+  /// Bound on the absolute skew offset a local clock can step to (the NTP
+  /// step clamp). A drift event sets the caller's skew to ± this.
+  Nanos skew_window = 2'000;
 };
 
 class SimWorld final : public World {
@@ -263,6 +293,14 @@ class SimWorld final : public World {
     /// RunResult report read it.
     bool crashed = false;
     u64 incarnation = 0;  // restarts survived (0 = original process)
+    // Clock-drift model: piecewise-linear map from the shared wall clock to
+    // this proc's local clock (RmaComm::local_now_ns). The default anchors
+    // are the identity map, so a proc that never drifts reads perfect time.
+    Nanos drift_anchor_wall = 0;
+    Nanos drift_anchor_local = 0;
+    i32 drift_rate_permille = 0;  // signed deviation from the nominal rate
+    Nanos drift_skew = 0;         // current skew offset, |skew| <= window
+    u32 drift_events = 0;         // drift events applied to this proc
     Xoshiro256 rng;
     OpStats stats;
   };
@@ -316,6 +354,13 @@ class SimWorld final : public World {
     return -(2 * nprocs() + kTearPickSpan + 3 + rank);
   }
 
+  /// Clock-drift decisions share the pick stream below the partition
+  /// range: a no-drift completion records the caller's rank, a drift event
+  /// on the caller's clock records drift_pick(origin).
+  [[nodiscard]] Rank drift_pick(Rank rank) const {
+    return -(3 * nprocs() + kTearPickSpan + 3 + rank);
+  }
+
   void grow_windows(usize words) override;
 
   // --- fiber plumbing ------------------------------------------------------
@@ -351,6 +396,18 @@ class SimWorld final : public World {
             result_.delays < static_cast<u64>(opts_.max_delays)) ||
            (opts_.max_partitions > 0 &&
             result_.partitions < static_cast<u64>(opts_.max_partitions));
+  }
+  /// The drift/no-drift decision at an armed remote op (clock model):
+  /// returns true iff a drift event was applied to origin's clock map.
+  bool decide_drift(Rank origin);
+  /// Re-anchors origin's clock map at the current wall time with an
+  /// extreme rate and skew step (deterministic — no rng draws, so replay
+  /// reproduces the exact clock trajectory).
+  void apply_drift(Rank origin);
+  /// True iff the drift budget still has events left.
+  [[nodiscard]] bool drift_armed() const {
+    return opts_.max_drift_events > 0 &&
+           result_.drift_events < static_cast<u64>(opts_.max_drift_events);
   }
   /// Deadline-aware single-attempt op (RmaComm::try_*): one engine step,
   /// never parks; fails fast without applying when the target is inside a
@@ -428,6 +485,22 @@ class SimWorld final : public World {
   // Per-process accessors used by SimComm.
   [[nodiscard]] Nanos proc_clock(Rank rank) const {
     return procs_[static_cast<usize>(rank)]->clock;
+  }
+  /// rank's local clock (RmaComm::local_now_ns): the drift/skew map applied
+  /// to the rank's own virtual clock — the instant its code is executing
+  /// at, which is the only "now" its watch can be asked at. (NOT the global
+  /// max over proc clocks: a rank whose clock trails a far-ahead peer would
+  /// read the future and then watch its local time freeze while its own
+  /// ops advance underneath the max.) A parked process's clock is bumped to
+  /// the waking instant on resume, so a paused holder's watch catches up —
+  /// and its lease reads as expired — the moment it next runs. Identity —
+  /// perfect synchronization — until a drift event re-anchors the map; may
+  /// step backward within the skew window.
+  [[nodiscard]] Nanos local_now(Rank rank) const {
+    const Proc& proc = *procs_[static_cast<usize>(rank)];
+    const Nanos elapsed = proc.clock - proc.drift_anchor_wall;
+    return proc.drift_anchor_local +
+           elapsed * (1000 + proc.drift_rate_permille) / 1000;
   }
   [[nodiscard]] Xoshiro256& proc_rng(Rank rank) {
     return procs_[static_cast<usize>(rank)]->rng;

@@ -54,6 +54,14 @@ namespace rmalock::rma {
 /// encodings occupy disjoint negative ranges, and with the gray model off
 /// remote ops make no fault decision — pre-gray-model traces stay
 /// bit-compatible.
+///
+/// Clock-drift decisions (SimOptions::max_drift_events > 0) share the
+/// stream below the partition range: at an armed remote op, keeping the
+/// caller's clock map records the caller's rank r and injecting a drift
+/// event records -(3P + kTearPickSpan + 3 + r). The event itself is a
+/// deterministic function of (rank, event count), so the pick alone
+/// reproduces the exact clock trajectory. With the drift model off, no
+/// decision is made — pre-drift-model traces stay bit-compatible.
 struct ScheduleTrace {
   std::vector<Rank> picks;
 
@@ -94,6 +102,9 @@ struct RunResult {
   /// Transient partitions opened at armed remote ops (SimWorld with
   /// SimOptions::max_partitions > 0; always 0 otherwise).
   u64 partitions = 0;
+  /// Clock-drift events injected at armed remote ops (SimWorld with
+  /// SimOptions::max_drift_events > 0; always 0 otherwise).
+  u64 drift_events = 0;
   /// Ranks that were dead when the run finished (fail-stop crashes, or
   /// crashes whose restart never got scheduled before the run ended).
   std::vector<Rank> crashed_ranks;

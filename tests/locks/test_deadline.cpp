@@ -1,0 +1,127 @@
+// RetryPolicy / Deadline edge cases. delay_for's contract is "never exceeds
+// cap_ns, jitter included, and never trips UB": exponential doubling up to
+// the cap, attempt numbers past the shift guard, multi-millisecond bases
+// whose naive base << attempt would overflow i64, non-positive bases, and
+// the jittered excursion being clamped at the cap. Plus Deadline expiry in
+// the caller's now_ns() timeline and a Backoff::pause escalation smoke.
+#include "locks/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/test_support.hpp"
+#include "common/backoff.hpp"
+#include "common/rng.hpp"
+
+namespace rmalock::locks {
+namespace {
+
+RetryPolicy no_jitter() {
+  RetryPolicy retry;
+  retry.jitter_permille = 0;
+  return retry;
+}
+
+TEST(RetryPolicy, NoBackoffMeansZeroDelay) {
+  RetryPolicy retry;
+  retry.backoff = false;
+  Xoshiro256 rng(1);
+  for (u32 attempt = 0; attempt < 40; ++attempt) {
+    EXPECT_EQ(retry.delay_for(attempt, rng), 0);
+  }
+}
+
+TEST(RetryPolicy, DoublesPerAttemptUpToTheCap) {
+  const RetryPolicy retry = no_jitter();  // base 500, cap 64'000
+  Xoshiro256 rng(2);
+  EXPECT_EQ(retry.delay_for(0, rng), 500);
+  EXPECT_EQ(retry.delay_for(1, rng), 1'000);
+  EXPECT_EQ(retry.delay_for(2, rng), 2'000);
+  EXPECT_EQ(retry.delay_for(6, rng), 32'000);
+  // 500 << 7 = 64'000 == cap; every later attempt stays pinned there.
+  for (u32 attempt = 7; attempt < 64; ++attempt) {
+    EXPECT_EQ(retry.delay_for(attempt, rng), 64'000) << attempt;
+  }
+}
+
+TEST(RetryPolicy, HugeBaseDoesNotOverflow) {
+  // base << attempt would overflow i64 from attempt 21 on even for small
+  // bases, and immediately for multi-millisecond ones. The safe-direction
+  // comparison must return the cap, not a shifted garbage value.
+  RetryPolicy retry = no_jitter();
+  retry.base_ns = i64{1} << 40;  // ~18 minutes
+  retry.cap_ns = 64'000;
+  Xoshiro256 rng(3);
+  for (const u32 attempt : {0u, 1u, 19u, 20u, 21u, 1000u, 0xffffffffu}) {
+    EXPECT_EQ(retry.delay_for(attempt, rng), 64'000) << attempt;
+  }
+}
+
+TEST(RetryPolicy, NonPositiveBaseFallsBackToTheCap) {
+  // Shifting a zero or negative i64 left is UB territory and a zero delay
+  // would spin the clock frozen (the livelock the backoff exists to
+  // avoid) — a degenerate base degrades to the cap instead.
+  for (const Nanos base : {Nanos{0}, Nanos{-500}}) {
+    RetryPolicy retry = no_jitter();
+    retry.base_ns = base;
+    Xoshiro256 rng(4);
+    for (u32 attempt = 0; attempt < 30; ++attempt) {
+      EXPECT_EQ(retry.delay_for(attempt, rng), retry.cap_ns) << base;
+    }
+  }
+}
+
+TEST(RetryPolicy, JitterNeverEscapesZeroToCap) {
+  // delay +- 25% jitter across every attempt and many draws: always within
+  // [0, cap_ns], never negative, never past the cap — the cap is the
+  // caller's worst-case-latency promise that deadline math is built on.
+  const RetryPolicy retry;  // jitter_permille = 250
+  Xoshiro256 rng(5);
+  for (u32 attempt = 0; attempt < 24; ++attempt) {
+    for (i32 draw = 0; draw < 200; ++draw) {
+      const Nanos delay = retry.delay_for(attempt, rng);
+      EXPECT_GE(delay, 0) << "attempt " << attempt;
+      EXPECT_LE(delay, retry.cap_ns) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(RetryPolicy, JitterActuallySpreadsTheDelay) {
+  // Below the cap the draw must explore both sides of the base delay;
+  // a constant stream would mean the jitter term is dead code.
+  const RetryPolicy retry;
+  Xoshiro256 rng(6);
+  bool below = false;
+  bool above = false;
+  for (i32 draw = 0; draw < 200; ++draw) {
+    const Nanos delay = retry.delay_for(2, rng);  // base delay 2'000
+    below = below || delay < 2'000;
+    above = above || delay > 2'000;
+  }
+  EXPECT_TRUE(below && above) << "jitter never left the base delay";
+}
+
+TEST(Deadline, ExpiresInTheCallersTimeline) {
+  auto world = test::make_sim(topo::Topology::uniform({}, 1));
+  world->run([&](rma::RmaComm& comm) {
+    const Deadline deadline = Deadline::in(comm, 1'000);
+    EXPECT_FALSE(deadline.expired(comm));
+    comm.compute(999);
+    EXPECT_FALSE(deadline.expired(comm));
+    comm.compute(1);  // at_ns reached: expiry is inclusive
+    EXPECT_TRUE(deadline.expired(comm));
+  });
+}
+
+TEST(Backoff, PauseEscalatesAndResetRestartsTheLadder) {
+  // Timing is untestable; the contract that is: pause() always returns
+  // (spin, yield, and the 50 us sleep tiers all terminate) and reset()
+  // re-enters the cheap spin tier without wedging.
+  Backoff backoff;
+  for (i32 i = 0; i < 30; ++i) backoff.pause();  // through all three tiers
+  backoff.reset();
+  for (i32 i = 0; i < 3; ++i) backoff.pause();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rmalock::locks

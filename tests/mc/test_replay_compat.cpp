@@ -5,7 +5,9 @@
 // goldens are v2 traces whose picks stream interleaves negative crash
 // decisions (crash of rank r = -(r + 2)); the torn-read golden is v3; the
 // gray-failure golden is v4, whose picks stream interleaves delay/partition
-// decisions below the tear range.
+// decisions below the tear range; the clock-drift golden is v5, recorded
+// under kVirtualTime (drift decisions are the only picks) with the drift
+// range below the partition range.
 //
 // The golden traces under tests/mc/data/ were recorded with kRandom
 // schedules of the mc_verification workloads. Replaying them asserts
@@ -82,6 +84,25 @@ mc::LeaseLockFactory lease_factory() {
   };
 }
 
+mc::DriftLeaseFactory drift_factory() {
+  // mc_verification's "drift:fenced" subject: correct margin, token check
+  // on — the clean configuration, so the golden run stays violation-free.
+  return [](rma::World& world) {
+    mc::DriftLeaseSubject subject;
+    locks::TimedLeaseParams params;
+    params.home = 0;
+    subject.lease = std::make_unique<locks::TimedLease>(world, params);
+    lockspace::LockSpaceConfig config;
+    config.backend = locks::Backend::kRmaMcs;
+    config.shards = 1;
+    config.slots_per_shard = 1;
+    config.payload_words = 2;
+    subject.space = std::make_unique<lockspace::LockSpace>(world, config);
+    subject.key = 0;
+    return subject;
+  };
+}
+
 mc::LockSpaceFactory optimistic_factory() {
   return [](rma::World& world) {
     lockspace::LockSpaceConfig config;
@@ -112,6 +133,16 @@ struct GoldenCase {
   // interleaves delay/partition decisions (encoded below the tear range).
   i32 max_delays = 0;
   i32 max_partitions = 0;
+  // Clock-drift knob: nonzero cases record v5 traces. Drift campaigns run
+  // under kVirtualTime (belief intervals are only comparable in
+  // virtual-time order), so the drift golden is recorded and replayed with
+  // that policy and its picks stream holds ONLY drift decisions.
+  i32 max_drift_events = 0;
+
+  [[nodiscard]] rma::SchedPolicy policy() const {
+    return max_drift_events > 0 ? rma::SchedPolicy::kVirtualTime
+                                : rma::SchedPolicy::kRandom;
+  }
 };
 
 std::vector<GoldenCase> golden_cases() {
@@ -136,6 +167,10 @@ std::vector<GoldenCase> golden_cases() {
        topo::Topology::uniform({}, 4), 51, 4, /*max_crashes=*/0,
        /*restart=*/false, /*max_tears=*/0, /*max_delays=*/2,
        /*max_partitions=*/1},
+      {"replay_drift_vtime_P2_s61.trace", "drift:fenced",
+       topo::Topology::uniform({}, 2), 61, 3, /*max_crashes=*/0,
+       /*restart=*/false, /*max_tears=*/0, /*max_delays=*/0,
+       /*max_partitions=*/0, /*max_drift_events=*/2},
   };
 }
 
@@ -168,6 +203,11 @@ mc::CheckConfig config_for(const GoldenCase& c) {
   config.max_partitions = c.max_partitions;
   // Same reasoning for the gray budgets: the recorded run must spend them.
   config.delay_chance_permille = 400;
+  config.policy = c.policy();
+  config.max_drift_events = c.max_drift_events;
+  // High per-op chance so the two-event drift budget is spent within the
+  // short recorded run.
+  config.drift_chance_permille = 600;
   return config;
 }
 
@@ -188,6 +228,9 @@ mc::ScheduleOutcome run_case(const GoldenCase& c, const mc::CheckConfig& config,
   if (std::string(c.workload) == "timeout:rma-mcs") {
     return mc::run_timeout_schedule(config, exclusive_factory(), opts);
   }
+  if (std::string(c.workload) == "drift:fenced") {
+    return mc::run_drift_schedule(config, drift_factory(), opts);
+  }
   return mc::run_exclusive_schedule(config, exclusive_factory(), opts);
 }
 
@@ -197,7 +240,7 @@ void regenerate() {
     const mc::CheckConfig config = config_for(c);
     rma::SimOptions opts = mc::schedule_options(config, 0);
     opts.seed = c.world_seed;
-    opts.policy = rma::SchedPolicy::kRandom;
+    opts.policy = c.policy();
     opts.record_schedule = true;
     const mc::ScheduleOutcome outcome = run_case(c, config, opts);
     ASSERT_TRUE(outcome.run.ok()) << c.file << ": golden run must be clean";
@@ -219,12 +262,16 @@ void regenerate() {
       ASSERT_GE(outcome.run.partitions, 1u)
           << c.file << ": recorded run injected no partition window";
     }
+    if (c.max_drift_events > 0) {
+      ASSERT_GE(outcome.run.drift_events, 1u)
+          << c.file << ": recorded run injected no drift event";
+    }
     mc::TraceCase golden;
     golden.workload = c.workload;
     golden.lock_name = outcome.lock_name;
     golden.kind = "none";
     golden.topology = c.topology;
-    golden.recorded_policy = rma::SchedPolicy::kRandom;
+    golden.recorded_policy = c.policy();
     golden.world_seed = c.world_seed;
     golden.acquires_per_proc = c.acquires;
     golden.writer_roles = config.writer_roles;
@@ -240,6 +287,10 @@ void regenerate() {
     golden.delay_factor = config.delay_factor;
     golden.max_partitions = config.max_partitions;
     golden.partition_span = config.partition_span;
+    golden.max_drift_events = config.max_drift_events;
+    golden.drift_chance_permille = config.drift_chance_permille;
+    golden.max_drift_permille = config.max_drift_permille;
+    golden.skew_window = config.skew_window;
     golden.trace = outcome.run.schedule;
     std::string error;
     ASSERT_TRUE(mc::write_trace_file(data_path(c.file), golden, &error))
@@ -289,6 +340,11 @@ TEST(ReplayCompat, GoldenTracesReplayBitIdentically) {
     if (c.max_partitions > 0) {
       EXPECT_GE(outcome.run.partitions, 1u)
           << "replay no longer reproduces the recorded partition window";
+    }
+    if (c.max_drift_events > 0) {
+      // The recorded drift decisions must re-fire at the same remote ops.
+      EXPECT_GE(outcome.run.drift_events, 1u)
+          << "replay no longer reproduces the recorded drift events";
     }
     // The decision-point structure must be unchanged: same number of
     // scheduler decisions, same pick at every one of them.
