@@ -107,6 +107,50 @@ bool points_equal(const FigureReport::SeriesPoint& a,
   return a.series == b.series && a.p == b.p && a.metrics == b.metrics;
 }
 
+/// One traced probe run: the self-check configuration with the event
+/// tracer armed, returning everything the determinism claim covers —
+/// the Chrome trace bytes, the latency histogram, and the per-shard
+/// gauges. Byte-identical across --jobs settings by construction.
+struct TracedProbe {
+  std::string trace_json;
+  obs::LogHistogram latency_hist_us;
+  std::vector<lockspace::LockSpace::ShardMetrics> shards;
+};
+
+TracedProbe traced_probe(const BenchEnv& env, i32 p) {
+  obs::Tracer tracer(p, /*capacity_per_rank=*/4096);
+  rma::SimOptions opts = env.sim_options_for(p);
+  opts.tracer = &tracer;
+  auto world = rma::SimWorld::create(opts);
+  lockspace::LockSpaceConfig sc;  // sharded rma-rw defaults
+  lockspace::LockSpace space(*world, sc);
+  const workload::WorkloadResult result = workload::run_workload(
+      *world, space,
+      base_workload(env, p, kServiceKeys, /*zipf_s=*/0.99,
+                    /*read_fraction=*/0.95));
+  TracedProbe probe;
+  probe.trace_json = obs::chrome_trace_json(tracer);
+  probe.latency_hist_us = result.latency_hist_us;
+  probe.shards = space.metrics();
+  return probe;
+}
+
+/// Exact byte rendering of a histogram (hex floats: bit-for-bit moments),
+/// so "histogram output identical across jobs" is a byte comparison too.
+std::string hist_bytes(const obs::LogHistogram& h) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "n=%llu min=%a max=%a mean=%a sd=%a",
+                static_cast<unsigned long long>(h.count()), h.min(), h.max(),
+                h.mean(), h.stddev());
+  std::string out = buf;
+  for (const auto& b : h.buckets()) {
+    std::snprintf(buf, sizeof buf, " [%a,%a)=%llu", b.lo, b.hi,
+                  static_cast<unsigned long long>(b.count));
+    out += buf;
+  }
+  return out;
+}
+
 }  // namespace
 }  // namespace rmalock::bench
 
@@ -202,6 +246,57 @@ int main(int argc, char** argv) {
                points_equal(inline_point, pooled[0]) &&
                    points_equal(inline_point, pooled[1]),
                "same config measured inline vs on 2 pool workers");
+
+  // The same claim extended to the observability outputs: the Chrome trace
+  // BYTES, the latency-histogram bytes (hex-float moments + buckets), and
+  // the per-shard gauges from one traced probe must be identical whether
+  // the probe ran inline or on a 2-worker pool.
+  const TracedProbe traced_inline = traced_probe(env, p0);
+  std::vector<TracedProbe> traced_pooled(2);
+  harness::TaskPool trace_pool(2);
+  trace_pool.run(
+      2, [&](u64 i) { traced_pooled[static_cast<usize>(i)] = traced_probe(env, p0); });
+  bool traces_equal = true;
+  bool hists_equal = true;
+  for (const TracedProbe& t : traced_pooled) {
+    traces_equal = traces_equal && t.trace_json == traced_inline.trace_json;
+    hists_equal = hists_equal && hist_bytes(t.latency_hist_us) ==
+                                     hist_bytes(traced_inline.latency_hist_us);
+  }
+  report.check("trace bytes identical across jobs", traces_equal,
+               "chrome_trace_json of the traced probe, inline vs 2 pool "
+               "workers (" +
+                   std::to_string(traced_inline.trace_json.size()) +
+                   " bytes)");
+  report.check("histogram bytes identical across jobs", hists_equal,
+               "hex-float moments and log-buckets of the probe latency "
+               "histogram, inline vs 2 pool workers");
+
+  // v2 JSON: the probe's histogram plus the service's per-shard gauges.
+  report.add_histogram("probe_latency_us", traced_inline.latency_hist_us);
+  for (const auto& sm : traced_inline.shards) {
+    const std::string prefix = "probe_shard" + std::to_string(sm.shard) + "_";
+    report.add_metric(prefix + "write_acquires",
+                      static_cast<double>(sm.write_acquires));
+    report.add_metric(prefix + "read_acquires",
+                      static_cast<double>(sm.read_acquires));
+    report.add_metric(prefix + "instantiated_slots",
+                      static_cast<double>(sm.instantiated_slots));
+  }
+  // --trace-out: the probe's trace bytes are already in hand — write them
+  // verbatim (the same bytes the determinism check just compared).
+  if (!harness::bench_trace_out_path().empty()) {
+    const std::string& out = harness::bench_trace_out_path();
+    if (std::FILE* f = std::fopen(out.c_str(), "wb")) {
+      std::fwrite(traced_inline.trace_json.data(), 1,
+                  traced_inline.trace_json.size(), f);
+      std::fclose(f);
+      std::printf("trace written to %s (%zu bytes)\n", out.c_str(),
+                  traced_inline.trace_json.size());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n", out.c_str());
+    }
+  }
 
   const i32 pmax = env.ps.back();
   const std::string big = "K=" + std::to_string(kServiceKeys);

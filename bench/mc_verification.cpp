@@ -296,6 +296,27 @@ void finish_json(harness::FigureReport& json) {
   }
 }
 
+/// Prints the flight-recorder post-mortem of a campaign's first failure —
+/// the tail of every rank's event ring from a deterministic re-run of the
+/// shrunk counterexample. Used by the planted-bug campaigns, where the
+/// failure is the expected catch and the post-mortem shows WHAT the
+/// interleaving did, next to the --replay repro line that shows how to
+/// re-execute it.
+void print_post_mortem(const mc::CheckReport& report) {
+  if (!report.has_first_failure) return;
+  const std::string& pm = report.first_failure.post_mortem;
+  if (pm.empty()) return;
+  std::printf("  flight recorder (shrunk counterexample):\n");
+  // Indent every line so the dump reads as part of the campaign block.
+  usize start = 0;
+  while (start < pm.size()) {
+    usize end = pm.find('\n', start);
+    if (end == std::string::npos) end = pm.size();
+    std::printf("  | %.*s\n", static_cast<int>(end - start), pm.data() + start);
+    start = end + 1;
+  }
+}
+
 mc::CheckConfig base_config(const topo::Topology& topology,
                             rma::SchedPolicy policy, u64 schedules,
                             i32 acquires, const std::string& trace_dir,
@@ -472,6 +493,7 @@ int run_randomized(bool quick, bool smoke, const std::string& trace_dir,
       const auto report = mc::check_optimistic(config, factory, keys);
       std::printf("skip-validation (%-7s): %s\n", policy_name,
                   report.summary().c_str());
+      print_post_mortem(report);
       const bool caught = report.mutex_violations > 0;
       if (!caught) std::printf("  ERROR: planted bug was NOT caught\n");
       all_ok = all_ok && caught;
@@ -561,6 +583,7 @@ int run_randomized(bool quick, bool smoke, const std::string& trace_dir,
         mc::check_lease(config, make_lease_factory("lease:mcs-nofence"));
     std::printf("no-fence lease (%-7s): %s\n", policy_name,
                 report.summary().c_str());
+    print_post_mortem(report);
     const bool caught = report.mutex_violations > 0;
     if (!caught) std::printf("  ERROR: planted bug was NOT caught\n");
     all_ok = all_ok && caught;
@@ -615,6 +638,7 @@ int run_randomized(bool quick, bool smoke, const std::string& trace_dir,
     const auto report =
         mc::check_timeout(config, make_timeout_factory("timeout:no-backoff"));
     std::printf("no-backoff retry (pct):   %s\n", report.summary().c_str());
+    print_post_mortem(report);
     const bool caught = report.livelock_violations > 0;
     if (!caught) std::printf("  ERROR: planted bug was NOT caught\n");
     all_ok = all_ok && caught;
@@ -676,6 +700,7 @@ int run_randomized(bool quick, bool smoke, const std::string& trace_dir,
     const auto report = mc::check_rehome(config, factory, keys);
     std::printf("%-16s P=2 random  %s\n", "rehome:nofence",
                 report.summary().c_str());
+    print_post_mortem(report);
     const bool caught = report.mutex_violations > 0;
     if (!caught) std::printf("  ERROR: planted bug was NOT caught\n");
     all_ok = all_ok && caught;
@@ -734,6 +759,7 @@ int run_randomized(bool quick, bool smoke, const std::string& trace_dir,
       const auto report = mc::check_drift(config, factory);
       std::printf("zero-margin (%-7s): %s\n", "vtime",
                   report.summary().c_str());
+      print_post_mortem(report);
       const bool caught = report.mutex_violations > 0;
       if (!caught) std::printf("  ERROR: planted bug was NOT caught\n");
       all_ok = all_ok && caught;
@@ -782,6 +808,7 @@ int run_randomized(bool quick, bool smoke, const std::string& trace_dir,
     config.max_drift_events = 2;
     const auto report = mc::check_drift(config, factory);
     std::printf("skip-token-check (vtime ): %s\n", report.summary().c_str());
+    print_post_mortem(report);
     const bool caught = report.mutex_violations > 0;
     if (!caught) std::printf("  ERROR: planted bug was NOT caught\n");
     all_ok = all_ok && caught;
@@ -1222,37 +1249,34 @@ int run_replay(const std::string& path) {
   // from the workload id so the replayed schedule spins the same way.
   if (repro.workload == "timeout:no-backoff") config.retry.backoff = false;
 
+  // One replay-options block for every workload family (the trace is
+  // consumed identically), with the flight recorder armed: the replay
+  // doubles as the trace-export path (--trace-out) and always ends with a
+  // post-mortem of the rings.
+  obs::Tracer flight(repro.topology.nprocs());
+  rma::SimOptions ropts =
+      mc::replay_options(config, repro.world_seed, repro.trace);
+  ropts.tracer = &flight;
+
   mc::ScheduleOutcome outcome;
   if (const auto drift = make_drift_factory(repro.workload)) {
-    outcome = mc::run_drift_schedule(
-        config, drift,
-        mc::replay_options(config, repro.world_seed, repro.trace));
+    outcome = mc::run_drift_schedule(config, drift, ropts);
   } else if (const auto timed = make_timeout_factory(repro.workload)) {
-    outcome = mc::run_timeout_schedule(
-        config, timed,
-        mc::replay_options(config, repro.world_seed, repro.trace));
+    outcome = mc::run_timeout_schedule(config, timed, ropts);
   } else if (const auto rehome = make_rehome_factory(repro.workload)) {
     const auto keys = mc::pick_cross_slot_keys(rehome, repro.topology, 1);
-    outcome = mc::run_rehome_schedule(
-        config, rehome, keys,
-        mc::replay_options(config, repro.world_seed, repro.trace));
+    outcome = mc::run_rehome_schedule(config, rehome, keys, ropts);
   } else if (const auto rw = make_rw_factory(repro.workload)) {
-    outcome = mc::run_rw_schedule(
-        config, rw, mc::replay_options(config, repro.world_seed, repro.trace));
+    outcome = mc::run_rw_schedule(config, rw, ropts);
   } else if (const auto ex = make_exclusive_factory(repro.workload)) {
-    outcome = mc::run_exclusive_schedule(
-        config, ex, mc::replay_options(config, repro.world_seed, repro.trace));
+    outcome = mc::run_exclusive_schedule(config, ex, ropts);
   } else if (const auto lease = make_lease_factory(repro.workload)) {
-    outcome = mc::run_lease_schedule(
-        config, lease,
-        mc::replay_options(config, repro.world_seed, repro.trace));
+    outcome = mc::run_lease_schedule(config, lease, ropts);
   } else if (const auto ls = make_lockspace_factory(repro.workload)) {
     // Keys are a pure function of (factory, topology) — the replay derives
     // the same K=2 cross-slot keys the campaign used.
     const auto keys = mc::pick_cross_slot_keys(ls, repro.topology, 2);
-    outcome = mc::run_lockspace_schedule(
-        config, ls, keys,
-        mc::replay_options(config, repro.world_seed, repro.trace));
+    outcome = mc::run_lockspace_schedule(config, ls, keys, ropts);
   } else if (const auto opt = make_optimistic_factory(repro.workload)) {
     // Same key-derivation convention as the campaigns: the P=2 exhaustive
     // sweep and the single-key planted-bug campaign use one key, the
@@ -1262,9 +1286,7 @@ int run_replay(const std::string& path) {
                       ? 1
                       : 2;
     const auto keys = mc::pick_cross_slot_keys(opt, repro.topology, k);
-    outcome = mc::run_optimistic_schedule(
-        config, opt, keys,
-        mc::replay_options(config, repro.world_seed, repro.trace));
+    outcome = mc::run_optimistic_schedule(config, opt, keys, ropts);
   } else {
     std::fprintf(stderr, "mc_verification: unknown workload id '%s'\n",
                  repro.workload.c_str());
@@ -1278,6 +1300,8 @@ int run_replay(const std::string& path) {
               outcome.run.deadlocked ? 1 : 0,
               static_cast<unsigned long long>(outcome.run.steps),
               static_cast<unsigned long long>(outcome.run.replay_divergences));
+  std::printf("\nflight recorder:\n%s", obs::render_post_mortem(flight).c_str());
+  harness::maybe_write_bench_trace(flight);
   const bool reproduced =
       (repro.kind == "mutex" && outcome.mutex_violations > 0) ||
       (repro.kind == "livelock" && outcome.livelock_violations > 0) ||
@@ -1297,7 +1321,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--smoke] [--quick] [--exhaustive] "
                  "[--replay <trace-file>] [--trace-dir <dir>] "
-                 "[--jobs <n>] [--json <path>]\n",
+                 "[--jobs <n>] [--json <path>] [--trace-out <path>]\n",
                  argv[0]);
     std::exit(2);
   };
@@ -1316,7 +1340,8 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage();
       trace_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 ||
-               std::strcmp(argv[i], "--jobs") == 0) {
+               std::strcmp(argv[i], "--jobs") == 0 ||
+               std::strcmp(argv[i], "--trace-out") == 0) {
       if (i + 1 >= argc) usage();
       passthrough.push_back(argv[i]);
       passthrough.push_back(argv[++i]);

@@ -98,6 +98,37 @@ int main(int argc, char** argv) {
     add_rates(report, "virtual-time/rma-mcs", p, run);
   }
 
+  // --- tracing overhead context ------------------------------------------
+  {
+    // The observability hooks must be free when disarmed (a single
+    // predictable null-test per instrumentation site). Both arms are
+    // recorded so BENCH_*.json comparisons can gate the disarmed rate
+    // against history AND against the armed rate; the in-process check is
+    // sanity-only, because wall-clock ratios flake on loaded hosts (same
+    // policy as the task-pool overhead gate below).
+    const i32 p = env.ps.front();
+    const i32 acquires = env.ops_for(p, /*total_target=*/60'000);
+    auto plain = rma::SimWorld::create(env.sim_options_for(p));
+    const EngineRun disarmed = run_lock_loop(*plain, acquires);
+    obs::Tracer tracer(p);
+    rma::SimOptions traced_opts = env.sim_options_for(p);
+    traced_opts.tracer = &tracer;
+    auto traced = rma::SimWorld::create(traced_opts);
+    const EngineRun armed = run_lock_loop(*traced, acquires);
+    add_rates(report, "tracer-disarmed/rma-mcs", p, disarmed);
+    add_rates(report, "tracer-armed/rma-mcs", p, armed);
+    report.add_metric("tracer_events_recorded",
+                      static_cast<double>(tracer.total_emitted()));
+    report.add_metric("tracer_armed_over_disarmed_wall",
+                      static_cast<double>(armed.wall_ns) /
+                          static_cast<double>(disarmed.wall_ns));
+    report.check("tracer recorded the armed run",
+                 tracer.total_emitted() > 0 && armed.steps == disarmed.steps,
+                 "armed arm emitted events and virtual execution was "
+                 "identical (same step count) to the disarmed arm");
+    harness::maybe_write_bench_trace(tracer);
+  }
+
   // --- kReplay path: repeated re-execution of one recorded schedule ------
   {
     const topo::Topology topology = topo::Topology::uniform({2}, 4);  // P=8

@@ -68,9 +68,25 @@ i32 BenchEnv::ops_for(i32 p, i32 total_target, i32 min_ops) const {
 
 namespace {
 std::string g_json_path;
+std::string g_trace_out_path;
 }  // namespace
 
 const std::string& bench_json_path() { return g_json_path; }
+
+const std::string& bench_trace_out_path() { return g_trace_out_path; }
+
+void maybe_write_bench_trace(const obs::Tracer& tracer) {
+  if (g_trace_out_path.empty()) return;
+  if (obs::write_chrome_trace(tracer, g_trace_out_path)) {
+    std::printf("trace written to %s (%llu events, %llu overwritten)\n",
+                g_trace_out_path.c_str(),
+                static_cast<unsigned long long>(tracer.total_emitted()),
+                static_cast<unsigned long long>(tracer.total_dropped()));
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 g_trace_out_path.c_str());
+  }
+}
 
 const char* bench_git_rev() {
 #ifdef RMALOCK_GIT_REV
@@ -95,10 +111,12 @@ void apply_bench_cli(int argc, char** argv) {
       setenv("RMALOCK_JOBS", argv[++i], /*overwrite=*/1);
     } else if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
       g_json_path = argv[++i];
+    } else if (std::strcmp(arg, "--trace-out") == 0 && i + 1 < argc) {
+      g_trace_out_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--quick] [--jobs <n>] "
-                   "[--json <path>]\n",
+                   "[--json <path>] [--trace-out <path>]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -150,6 +168,27 @@ void FigureReport::add_points(const std::vector<SeriesPoint>& points) {
 void FigureReport::check(const std::string& name, bool pass,
                          const std::string& detail) {
   checks_.push_back(Check{name, pass, detail});
+}
+
+void FigureReport::add_metric(const std::string& name, double value) {
+  for (auto& [existing, slot] : metrics_) {
+    if (existing == name) {
+      slot = value;
+      return;
+    }
+  }
+  metrics_.emplace_back(name, value);
+}
+
+void FigureReport::add_histogram(const std::string& name,
+                                 const obs::LogHistogram& hist) {
+  for (auto& [existing, slot] : histograms_) {
+    if (existing == name) {
+      slot = hist;
+      return;
+    }
+  }
+  histograms_.emplace_back(name, hist);
 }
 
 bool FigureReport::all_checks_passed() const {
@@ -242,7 +281,7 @@ bool FigureReport::write_json(const std::string& path) const {
   if (f == nullptr) return false;
   const BenchEnv env = BenchEnv::from_env();
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"rmalock-bench-v1\",\n");
+  std::fprintf(f, "  \"schema\": \"rmalock-bench-v2\",\n");
   std::fprintf(f, "  \"bench\": \"%s\",\n", json_escape(figure_id_).c_str());
   std::fprintf(f, "  \"title\": \"%s\",\n", json_escape(title_).c_str());
   std::fprintf(f, "  \"git_rev\": \"%s\",\n", json_escape(bench_git_rev()).c_str());
@@ -276,7 +315,36 @@ bool FigureReport::write_json(const std::string& path) const {
                  checks_[i].pass ? "true" : "false",
                  json_escape(checks_[i].detail).c_str());
   }
-  std::fprintf(f, "\n  ]\n}\n");
+  std::fprintf(f, "\n  ],\n");
+  // v2 additions: run-wide scalar gauges and histogram bucket summaries.
+  // Always emitted (empty when unused) so the v2 shape is uniform.
+  std::fprintf(f, "  \"metrics\": {");
+  for (usize i = 0; i < metrics_.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": %.9g", i == 0 ? "" : ",",
+                 json_escape(metrics_[i].first).c_str(), metrics_[i].second);
+  }
+  std::fprintf(f, "%s},\n", metrics_.empty() ? "" : "\n  ");
+  std::fprintf(f, "  \"histograms\": [");
+  for (usize i = 0; i < histograms_.size(); ++i) {
+    const obs::LogHistogram& h = histograms_[i].second;
+    std::fprintf(f,
+                 "%s\n    {\"name\": \"%s\", \"count\": %llu, "
+                 "\"min\": %.9g, \"max\": %.9g, \"mean\": %.9g, "
+                 "\"p50\": %.9g, \"p95\": %.9g, \"p99\": %.9g, "
+                 "\"buckets\": [",
+                 i == 0 ? "" : ",", json_escape(histograms_[i].first).c_str(),
+                 static_cast<unsigned long long>(h.count()), h.min(), h.max(),
+                 h.mean(), h.percentile(50), h.percentile(95),
+                 h.percentile(99));
+    const std::vector<obs::LogHistogram::Bucket> buckets = h.buckets();
+    for (usize b = 0; b < buckets.size(); ++b) {
+      std::fprintf(f, "%s{\"lo\": %.9g, \"hi\": %.9g, \"count\": %llu}",
+                   b == 0 ? "" : ", ", buckets[b].lo, buckets[b].hi,
+                   static_cast<unsigned long long>(buckets[b].count));
+    }
+    std::fprintf(f, "]}");
+  }
+  std::fprintf(f, "%s]\n}\n", histograms_.empty() ? "" : "\n  ");
   std::fclose(f);
   return true;
 }

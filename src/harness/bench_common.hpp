@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "common/timer.hpp"
+#include "obs/hist.hpp"
+#include "obs/trace.hpp"
 #include "rma/sim_world.hpp"
 #include "topo/topology.hpp"
 
@@ -64,15 +66,28 @@ struct BenchEnv {
 ///   --jobs <n>     campaign worker threads (RMALOCK_JOBS; 1 = sequential
 ///                  default, 0 = all hardware threads)
 ///   --json <path>  write the figure's results as a machine-readable
-///                  "rmalock-bench-v1" JSON record to <path> when the
+///                  "rmalock-bench-v2" JSON record to <path> when the
 ///                  report is printed (see docs/PERF.md for the schema and
 ///                  how to compare records across revisions)
+///   --trace-out <path>  arm the deterministic event tracer for (part of)
+///                  the run and write a Chrome trace-event / Perfetto JSON
+///                  file to <path> (see docs/OBSERVABILITY.md)
 /// Unknown arguments abort with a usage message. Must run before the first
 /// BenchEnv::from_env() call.
 void apply_bench_cli(int argc, char** argv);
 
 /// Path given via --json ("" when absent).
 [[nodiscard]] const std::string& bench_json_path();
+
+/// Path given via --trace-out ("" when absent). Benches that support trace
+/// export arm an obs::Tracer on one representative configuration when this
+/// is non-empty and hand it to maybe_write_bench_trace.
+[[nodiscard]] const std::string& bench_trace_out_path();
+
+/// Writes `tracer`'s events to bench_trace_out_path() as Chrome trace-event
+/// JSON (no-op when --trace-out was absent). Prints where the trace went;
+/// warns and keeps going on I/O failure — tracing must never kill a bench.
+void maybe_write_bench_trace(const obs::Tracer& tracer);
 
 /// Git revision the binary was built from (CMake configure-time stamp;
 /// "unknown" outside a git checkout).
@@ -111,16 +126,34 @@ class FigureReport {
   /// Records a qualitative comparison against the paper.
   void check(const std::string& name, bool pass, const std::string& detail);
 
+  /// Records one named scalar gauge for the JSON "metrics" object (v2):
+  /// run-wide observability counters that are not (series, P) sweep points —
+  /// per-shard LockSpace gauges, fault-event counts, tracer totals. Last
+  /// write wins; insertion order is preserved in the JSON.
+  void add_metric(const std::string& name, double value);
+
+  /// Records one named latency histogram for the JSON "histograms" array
+  /// (v2): bucket-level summaries (count/min/max/mean/p50/p95/p99 plus the
+  /// occupied log-buckets) of a streaming histogram. Last write wins;
+  /// insertion order is preserved in the JSON.
+  void add_histogram(const std::string& name, const obs::LogHistogram& hist);
+
   /// Prints the header, one pivot table per metric (rows = series,
   /// columns = P), all CSV lines, and the shape-check verdicts. Also writes
   /// the JSON record when --json was given (see write_json).
   void print() const;
 
-  /// Writes the report as one "rmalock-bench-v1" JSON object:
+  /// Writes the report as one "rmalock-bench-v2" JSON object:
   /// {schema, bench, title, git_rev, seed, quick, smoke, procs_per_node,
   ///  jobs, wall_time_s,
   ///  records: [{series, p, metric, value}...],
-  ///  checks: [{name, pass, detail}...]}.
+  ///  checks: [{name, pass, detail}...],
+  ///  metrics: {name: value, ...},
+  ///  histograms: [{name, count, min, max, mean, p50, p95, p99,
+  ///                buckets: [{lo, hi, count}...]}...]}.
+  /// Every v1 key keeps its v1 meaning, so v1 readers (which key off
+  /// "records"/"checks" and tolerate unknown keys) still parse v2 records;
+  /// "metrics" and "histograms" are the v2 additions (empty when unused).
   /// `jobs` is the resolved campaign worker count and `wall_time_s` the
   /// wall clock from report construction to this write — together they
   /// let cross-revision comparisons separate engine regressions from
@@ -146,6 +179,9 @@ class FigureReport {
   std::vector<i32> ps_;
   std::map<std::string, std::map<i32, std::map<std::string, double>>> data_;
   std::vector<Check> checks_;
+  // Insertion-ordered so the JSON byte layout is deterministic.
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, obs::LogHistogram>> histograms_;
   /// Started at construction; write_json() reports its elapsed seconds as
   /// the campaign's wall time.
   Timer wall_;

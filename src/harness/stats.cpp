@@ -40,4 +40,17 @@ Summary summarize(std::vector<double> values) {
   return s;
 }
 
+Summary summarize(const obs::LogHistogram& hist) {
+  Summary s;
+  s.n = static_cast<usize>(hist.count());
+  if (hist.empty()) return s;
+  s.mean = hist.mean();
+  s.median = hist.percentile(50);
+  s.p95 = hist.percentile(95);
+  s.min = hist.min();
+  s.max = hist.max();
+  s.stddev = hist.stddev();
+  return s;
+}
+
 }  // namespace rmalock::harness

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/hist.hpp"
 
 namespace rmalock::harness {
 
@@ -19,6 +20,12 @@ struct Summary {
 
 /// Summarizes a sample (copies and sorts internally; empty input -> zeros).
 Summary summarize(std::vector<double> values);
+
+/// Summarizes a streaming histogram: min/max/mean/stddev are exact (the
+/// histogram keeps exact moments), median and p95 carry the histogram's
+/// bounded relative error (<= 1/obs::LogHistogram::kSubBuckets). This is
+/// the O(1)-memory replacement for the sorted-vector path above.
+Summary summarize(const obs::LogHistogram& hist);
 
 /// Percentile of a sorted sample. The convention is linear interpolation
 /// between closest ranks over positions 0..n-1 (NIST/R-7: the value at

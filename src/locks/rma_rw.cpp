@@ -136,6 +136,14 @@ void RmaRw::reader_reset_counter(rma::RmaComm& comm, Rank counter) {
 // ---------------------------------------------------------------------------
 
 void RmaRw::acquire_read(rma::RmaComm& comm) {
+  {
+    rma::ObsSpan span(comm, obs::EventCode::kAcquireRead);
+    acquire_read_impl(comm);
+  }
+  rma::obs_event(comm, obs::EventCode::kReadSection, obs::Phase::kBegin);
+}
+
+void RmaRw::acquire_read_impl(rma::RmaComm& comm) {
   const Rank counter = counter_of(comm.rank());
   const Rank root_tail = tree_.tail_host(comm.rank(), 1);
   bool done = false;
@@ -191,36 +199,48 @@ void RmaRw::acquire_read(rma::RmaComm& comm) {
 AcquireResult RmaRw::try_acquire_read_for(rma::RmaComm& comm,
                                           Nanos deadline_ns,
                                           const RetryPolicy& retry) {
-  const Rank counter = counter_of(comm.rank());
-  const Rank root_tail = tree_.tail_host(comm.rank(), 1);
-  u32 attempts = 0;
-  for (;;) {
-    ++attempts;
-    const i64 current = comm.fao(1, counter, arrive_, rma::AccumOp::kSum);
-    comm.flush(counter);
-    if (current < params_.tr) {
-      return AcquireResult{AcquireStatus::kAcquired, attempts};
+  AcquireResult result{};
+  {
+    rma::ObsSpan span(comm, obs::EventCode::kAcquireRead, /*a=*/1);
+    const Rank counter = counter_of(comm.rank());
+    const Rank root_tail = tree_.tail_host(comm.rank(), 1);
+    u32 attempts = 0;
+    for (;;) {
+      ++attempts;
+      const i64 current = comm.fao(1, counter, arrive_, rma::AccumOp::kSum);
+      comm.flush(counter);
+      if (current < params_.tr) {
+        result = AcquireResult{AcquireStatus::kAcquired, attempts};
+        break;
+      }
+      // T_R overrun or WRITE mode: cancel the arrival — a timed-out reader
+      // must hold nothing — and retry with backoff instead of parking.
+      comm.iaccumulate(-1, counter, arrive_, rma::AccumOp::kSum);
+      comm.flush(counter);
+      if (current < kWriteFlagThreshold) {
+        // Plain overrun: keep the shared reader-side reset duty (see
+        // acquire_read) so timed readers do not strand a writer-free
+        // counter.
+        const i64 tail = comm.get(root_tail, tree_.tail_offset(1));
+        comm.flush(root_tail);
+        if (tail == kNilRank) reader_reset_counter(comm, counter);
+      }
+      if (attempts >= retry.max_attempts || comm.now_ns() >= deadline_ns) {
+        result = AcquireResult{AcquireStatus::kTimeout, attempts};
+        break;
+      }
+      const Nanos delay = retry.delay_for(attempts - 1, comm.rng());
+      if (delay > 0) comm.compute(delay);
     }
-    // T_R overrun or WRITE mode: cancel the arrival — a timed-out reader
-    // must hold nothing — and retry with backoff instead of parking.
-    comm.iaccumulate(-1, counter, arrive_, rma::AccumOp::kSum);
-    comm.flush(counter);
-    if (current < kWriteFlagThreshold) {
-      // Plain overrun: keep the shared reader-side reset duty (see
-      // acquire_read) so timed readers do not strand a writer-free counter.
-      const i64 tail = comm.get(root_tail, tree_.tail_offset(1));
-      comm.flush(root_tail);
-      if (tail == kNilRank) reader_reset_counter(comm, counter);
-    }
-    if (attempts >= retry.max_attempts || comm.now_ns() >= deadline_ns) {
-      return AcquireResult{AcquireStatus::kTimeout, attempts};
-    }
-    const Nanos delay = retry.delay_for(attempts - 1, comm.rng());
-    if (delay > 0) comm.compute(delay);
   }
+  if (result.status == AcquireStatus::kAcquired) {
+    rma::obs_event(comm, obs::EventCode::kReadSection, obs::Phase::kBegin);
+  }
+  return result;
 }
 
 void RmaRw::release_read(rma::RmaComm& comm) {
+  rma::obs_event(comm, obs::EventCode::kReadSection, obs::Phase::kEnd);
   const Rank counter = counter_of(comm.rank());
   comm.iaccumulate(1, counter, depart_, rma::AccumOp::kSum);
   comm.flush(counter);
@@ -231,11 +251,19 @@ void RmaRw::release_read(rma::RmaComm& comm) {
 // ---------------------------------------------------------------------------
 
 void RmaRw::acquire_write(rma::RmaComm& comm) {
-  for (i32 q = tree_.num_levels(); q >= 2; --q) {
-    const DistributedTree::LevelClaim claim = tree_.acquire_level(comm, q);
-    if (claim.acquired) return;  // lock passed within our element
+  {
+    rma::ObsSpan span(comm, obs::EventCode::kAcquire);
+    bool passed = false;
+    for (i32 q = tree_.num_levels(); q >= 2; --q) {
+      const DistributedTree::LevelClaim claim = tree_.acquire_level(comm, q);
+      if (claim.acquired) {  // lock passed within our element
+        passed = true;
+        break;
+      }
+    }
+    if (!passed) acquire_root_writer(comm);
   }
-  acquire_root_writer(comm);
+  rma::obs_event(comm, obs::EventCode::kCriticalSection, obs::Phase::kBegin);
 }
 
 // Listing 7.
@@ -330,44 +358,56 @@ void RmaRw::abandon_root_writer(rma::RmaComm& comm) {
 AcquireResult RmaRw::try_acquire_write_for(rma::RmaComm& comm,
                                            Nanos deadline_ns,
                                            const RetryPolicy& retry) {
-  u32 attempts = 0;
-  for (;;) {
-    ++attempts;
-    i32 q = tree_.num_levels();
-    bool won = true;
-    for (; q >= 1; --q) {
-      if (!tree_.try_enqueue_level(comm, q)) {
-        won = false;
+  AcquireResult result{};
+  {
+    rma::ObsSpan span(comm, obs::EventCode::kAcquire, /*a=*/1);
+    u32 attempts = 0;
+    for (;;) {
+      ++attempts;
+      i32 q = tree_.num_levels();
+      bool won = true;
+      for (; q >= 1; --q) {
+        if (!tree_.try_enqueue_level(comm, q)) {
+          won = false;
+          break;
+        }
+      }
+      if (won) {
+        // Sole entry at the root: take the lock from the readers, but bound
+        // the drain by the deadline — a straggling reader must not convert
+        // a timed acquire into an unbounded wait.
+        set_counters_to_write(comm);
+        if (try_drain_readers(comm, deadline_ns, retry)) {
+          result = AcquireResult{AcquireStatus::kAcquired, attempts};
+          break;
+        }
+        abandon_root_writer(comm);
+        for (i32 up = 2; up <= tree_.num_levels(); ++up) {
+          tree_.finish_release_upward(comm, up);
+        }
+      } else {
+        // Busy at level q (never entered it): abandon the levels we won.
+        for (i32 up = q + 1; up <= tree_.num_levels(); ++up) {
+          tree_.finish_release_upward(comm, up);
+        }
+      }
+      if (attempts >= retry.max_attempts || comm.now_ns() >= deadline_ns) {
+        result = AcquireResult{AcquireStatus::kTimeout, attempts};
         break;
       }
+      const Nanos delay = retry.delay_for(attempts - 1, comm.rng());
+      if (delay > 0) comm.compute(delay);
     }
-    if (won) {
-      // Sole entry at the root: take the lock from the readers, but bound
-      // the drain by the deadline — a straggling reader must not convert a
-      // timed acquire into an unbounded wait.
-      set_counters_to_write(comm);
-      if (try_drain_readers(comm, deadline_ns, retry)) {
-        return AcquireResult{AcquireStatus::kAcquired, attempts};
-      }
-      abandon_root_writer(comm);
-      for (i32 up = 2; up <= tree_.num_levels(); ++up) {
-        tree_.finish_release_upward(comm, up);
-      }
-    } else {
-      // Busy at level q (never entered it): abandon the levels we won.
-      for (i32 up = q + 1; up <= tree_.num_levels(); ++up) {
-        tree_.finish_release_upward(comm, up);
-      }
-    }
-    if (attempts >= retry.max_attempts || comm.now_ns() >= deadline_ns) {
-      return AcquireResult{AcquireStatus::kTimeout, attempts};
-    }
-    const Nanos delay = retry.delay_for(attempts - 1, comm.rng());
-    if (delay > 0) comm.compute(delay);
   }
+  if (result.status == AcquireStatus::kAcquired) {
+    rma::obs_event(comm, obs::EventCode::kCriticalSection,
+                   obs::Phase::kBegin);
+  }
+  return result;
 }
 
 void RmaRw::release_write(rma::RmaComm& comm) {
+  rma::obs_event(comm, obs::EventCode::kCriticalSection, obs::Phase::kEnd);
   i32 q = tree_.num_levels();
   while (q >= 2 && !tree_.try_pass_local(comm, q, locality_threshold(q))) {
     --q;

@@ -123,6 +123,10 @@ class RmaRw final : public RwLock {
   void reset_counters(rma::RmaComm& comm);
 
  private:
+  /// acquire_read's protocol body; split out so acquire_read can bracket it
+  /// with an observability span (the early returns stay structured).
+  void acquire_read_impl(rma::RmaComm& comm);
+
   [[nodiscard]] i64 locality_threshold(i32 q) const {
     return params_.locality[static_cast<usize>(q - 1)];
   }

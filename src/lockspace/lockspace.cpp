@@ -750,6 +750,37 @@ rma::OpStats LockSpace::shard_op_stats(i32 shard) const {
   return s.op_stats;
 }
 
+LockSpace::ShardMetrics LockSpace::shard_metrics(i32 shard) const {
+  const Shard& s = *shards_[static_cast<usize>(shard)];
+  ShardMetrics m;
+  m.shard = shard;
+  m.home = s.home;
+  m.write_acquires = s.write_acquires.load(std::memory_order_relaxed);
+  m.read_acquires = s.read_acquires.load(std::memory_order_relaxed);
+  m.timeouts = s.timeouts.load(std::memory_order_relaxed);
+  m.quarantined = s.quarantined.load(std::memory_order_relaxed);
+  const u32 first = static_cast<u32>(shard) *
+                    static_cast<u32>(config_.slots_per_shard);
+  for (i32 plane = 0; plane < planes(); ++plane) {
+    for (i32 slot = 0; slot < config_.slots_per_shard; ++slot) {
+      if (slots_[slot_index(plane, first + static_cast<u32>(slot))]
+              .ready.load(std::memory_order_acquire)) {
+        ++m.instantiated_slots;
+      }
+    }
+  }
+  return m;
+}
+
+std::vector<LockSpace::ShardMetrics> LockSpace::metrics() const {
+  std::vector<ShardMetrics> out;
+  out.reserve(static_cast<usize>(num_shards_));
+  for (i32 shard = 0; shard < num_shards_; ++shard) {
+    out.push_back(shard_metrics(shard));
+  }
+  return out;
+}
+
 std::string LockSpace::describe() const {
   std::ostringstream out;
   out << "LockSpace<" << locks::backend_name(config_.backend) << "> "

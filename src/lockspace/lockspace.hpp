@@ -319,6 +319,24 @@ class LockSpace {
   /// config.track_op_stats).
   [[nodiscard]] rma::OpStats shard_op_stats(i32 shard) const;
 
+  /// One shard's gauges, snapshot at call time — the unit of the bench
+  /// metrics export (rmalock-bench-v2 "metrics" object). Counters are
+  /// relaxed-atomic reads: exact after run() joins, advisory mid-run.
+  struct ShardMetrics {
+    i32 shard = 0;
+    Rank home = 0;
+    u64 write_acquires = 0;
+    u64 read_acquires = 0;
+    u64 timeouts = 0;
+    bool quarantined = false;
+    /// Backend instances constructed on this shard, summed over planes
+    /// (lazy instantiation makes this a working-set gauge).
+    u64 instantiated_slots = 0;
+  };
+  [[nodiscard]] ShardMetrics shard_metrics(i32 shard) const;
+  /// Every shard's gauges in shard-index order (deterministic export).
+  [[nodiscard]] std::vector<ShardMetrics> metrics() const;
+
  private:
   struct Shard {
     Rank home = 0;

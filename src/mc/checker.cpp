@@ -1,12 +1,14 @@
 #include "mc/checker.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "common/check.hpp"
 #include "harness/task_pool.hpp"
 #include "mc/monitor.hpp"
 #include "mc/schedule.hpp"
+#include "obs/trace.hpp"
 
 namespace rmalock::mc {
 
@@ -36,6 +38,10 @@ std::string CheckReport::summary() const {
     }
     if (!f.trace_path.empty()) {
       out << "; repro: mc_verification --replay " << f.trace_path;
+    }
+    if (!f.post_mortem_path.empty()) {
+      out << "; flight: " << f.post_mortem_path << " (perfetto: "
+          << f.flight_trace_path << ")";
     }
   }
   return out.str();
@@ -593,6 +599,23 @@ void capture_first_failure(
         shrink_trace(failure.trace, oracle, config.max_shrink_replays);
   }
 
+  // Flight recorder: re-run the (shrunk) counterexample once with the event
+  // tracer armed, so the repro line ships with each rank's last recorded
+  // moments. The run is deterministic — replayed from the shrunk trace, or
+  // re-seeded identically when no trace could be recorded — so the rings
+  // show exactly the failing execution. One extra schedule per campaign, and
+  // only on the first failure.
+  obs::Tracer flight(config.topology.nprocs());
+  {
+    rma::SimOptions flight_opts =
+        failure.trace.picks.empty()
+            ? opts
+            : replay_options(config, opts.seed, failure.trace);
+    flight_opts.tracer = &flight;
+    rerun(flight_opts);
+  }
+  failure.post_mortem = obs::render_post_mortem(flight);
+
   if (!config.trace_dir.empty()) {
     TraceCase repro;
     repro.workload = config.workload_id;
@@ -628,6 +651,24 @@ void capture_first_failure(
       failure.trace_path = name;
     }
     // On I/O failure the report still carries the in-memory trace.
+  }
+
+  // Flight-recorder artifacts land next to the counterexample trace so any
+  // harness that collects trace_dir (e.g. the extended-mc workflow) picks
+  // them up automatically: the human-readable post-mortem and a Chrome
+  // trace-event JSON of the failing run (loadable in Perfetto).
+  if (!failure.trace_path.empty()) {
+    const std::string pm_path = failure.trace_path + ".postmortem.txt";
+    if (std::FILE* f = std::fopen(pm_path.c_str(), "wb")) {
+      const bool ok = std::fwrite(failure.post_mortem.data(), 1,
+                                  failure.post_mortem.size(),
+                                  f) == failure.post_mortem.size();
+      if (std::fclose(f) == 0 && ok) failure.post_mortem_path = pm_path;
+    }
+    const std::string json_path = failure.trace_path + ".trace.json";
+    if (obs::write_chrome_trace(flight, json_path)) {
+      failure.flight_trace_path = json_path;
+    }
   }
 
   report.has_first_failure = true;

@@ -144,6 +144,15 @@ struct FirstFailure {
   rma::ScheduleTrace trace;      // shrunk counterexample (== raw when
                                  // shrinking is disabled or impossible)
   std::string trace_path;        // file written iff CheckConfig::trace_dir
+  /// Flight recorder: the (shrunk) counterexample re-run once with the
+  /// event tracer armed — the tail of every rank's event ring rendered
+  /// human-readable (obs::render_post_mortem). Always populated on failure.
+  std::string post_mortem;
+  /// Files written next to trace_path iff CheckConfig::trace_dir: the
+  /// post-mortem text and the full Chrome trace-event JSON of the failing
+  /// run (loadable in Perfetto / chrome://tracing).
+  std::string post_mortem_path;
+  std::string flight_trace_path;
 };
 
 struct CheckReport {

@@ -1,0 +1,122 @@
+#include "obs/hist.hpp"
+
+#include <cmath>
+
+namespace rmalock::obs {
+
+i32 LogHistogram::key_of(double v) {
+  int exp = 0;
+  const double mantissa = std::frexp(v, &exp);  // v = mantissa * 2^exp
+  const i32 sub =
+      static_cast<i32>((mantissa - 0.5) * 2.0 * kSubBuckets);  // [0, kSub)
+  return exp * kSubBuckets + (sub >= kSubBuckets ? kSubBuckets - 1 : sub);
+}
+
+LogHistogram::Bucket LogHistogram::bounds_of(i32 key) {
+  // Floor division: keys of sub-unit values are negative.
+  i32 exp = key / kSubBuckets;
+  i32 sub = key % kSubBuckets;
+  if (sub < 0) {
+    sub += kSubBuckets;
+    --exp;
+  }
+  Bucket b;
+  b.lo = std::ldexp(0.5 + static_cast<double>(sub) * (0.5 / kSubBuckets),
+                    exp);
+  b.hi = std::ldexp(0.5 + static_cast<double>(sub + 1) * (0.5 / kSubBuckets),
+                    exp);
+  return b;
+}
+
+void LogHistogram::record(double value) {
+  // Keep the function total: non-finite inputs (which the sorted-vector
+  // path would have let poison the sort) are recorded as 0.
+  if (!std::isfinite(value)) value = 0.0;
+  if (n_ == 0) {
+    min_ = max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++n_;
+  sum_ += value;
+  sum_sq_ += value * value;
+  if (value > 0.0) {
+    ++buckets_[key_of(value)];
+  } else {
+    ++zero_;
+  }
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  n_ += other.n_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  zero_ += other.zero_;
+  for (const auto& [key, count] : other.buckets_) buckets_[key] += count;
+}
+
+double LogHistogram::mean() const {
+  return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_);
+}
+
+double LogHistogram::stddev() const {
+  if (n_ < 2) return 0.0;
+  const double m = mean();
+  const double var =
+      (sum_sq_ - static_cast<double>(n_) * m * m) / static_cast<double>(n_ - 1);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double LogHistogram::percentile(double pct) const {
+  if (n_ == 0) return 0.0;
+  if (n_ == 1) return min_;
+  if (!(pct > 0.0)) return min_;  // NaN and pct <= 0 -> exact min
+  if (pct >= 100.0) return max_;
+  // Continuous rank over positions 0..n-1 (the R-7 convention the exact
+  // path used), located within the bucket sequence and interpolated
+  // linearly inside the bucket.
+  const double pos = pct / 100.0 * static_cast<double>(n_ - 1);
+  double cumulative = 0.0;
+  const auto estimate_in = [&](double lo, double hi, u64 count) {
+    const double frac = (pos - cumulative) / static_cast<double>(count);
+    double v = lo + frac * (hi - lo);
+    if (v < min_) v = min_;
+    if (v > max_) v = max_;
+    return v;
+  };
+  if (zero_ > 0 && pos < static_cast<double>(zero_)) {
+    return estimate_in(0.0, 0.0, zero_);
+  }
+  cumulative = static_cast<double>(zero_);
+  for (const auto& [key, count] : buckets_) {
+    if (pos < cumulative + static_cast<double>(count)) {
+      const Bucket b = bounds_of(key);
+      return estimate_in(b.lo, b.hi, count);
+    }
+    cumulative += static_cast<double>(count);
+  }
+  return max_;  // pos == n-1 exactly (fp slack): the last sample
+}
+
+std::vector<LogHistogram::Bucket> LogHistogram::buckets() const {
+  std::vector<Bucket> out;
+  out.reserve(buckets_.size() + (zero_ > 0 ? 1 : 0));
+  if (zero_ > 0) out.push_back(Bucket{0.0, 0.0, zero_});
+  for (const auto& [key, count] : buckets_) {
+    Bucket b = bounds_of(key);
+    b.count = count;
+    out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace rmalock::obs

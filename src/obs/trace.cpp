@@ -1,0 +1,232 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace rmalock::obs {
+
+namespace {
+
+/// Display names for the RMA op kinds carried in kRmaOp/kTryTimeout arg
+/// `a`. Kept in sync with rma::OpKind (rma/op.hpp) — obs sits below rma in
+/// the library layering, so the enum cannot be included here; a mismatch
+/// would mislabel a debug line, never corrupt data.
+constexpr const char* kOpNames[] = {"Put",  "Get", "Accumulate",
+                                    "FAO",  "CAS", "Flush"};
+
+const char* op_name(i64 kind) {
+  if (kind < 0 || kind >= static_cast<i64>(std::size(kOpNames))) return "?";
+  return kOpNames[kind];
+}
+
+}  // namespace
+
+const char* event_name(EventCode code) {
+  switch (code) {
+    case EventCode::kAcquire: return "acquire";
+    case EventCode::kAcquireRead: return "acquire-read";
+    case EventCode::kCriticalSection: return "critical-section";
+    case EventCode::kReadSection: return "read-section";
+    case EventCode::kRmaOp: return "rma-op";
+    case EventCode::kPark: return "park";
+    case EventCode::kWake: return "wake";
+    case EventCode::kCrash: return "crash";
+    case EventCode::kTear: return "tear";
+    case EventCode::kDelay: return "delay";
+    case EventCode::kPartition: return "partition";
+    case EventCode::kDrift: return "drift";
+    case EventCode::kTryTimeout: return "try-timeout";
+    case EventCode::kViolation: return "violation";
+    case EventCode::kMark: return "mark";
+  }
+  return "?";
+}
+
+std::vector<Event> RankRing::snapshot() const {
+  std::vector<Event> out;
+  const u64 kept = emitted_ - dropped();
+  out.reserve(static_cast<usize>(kept));
+  for (u64 i = dropped(); i < emitted_; ++i) {
+    out.push_back(ring_[static_cast<usize>(i % ring_.size())]);
+  }
+  return out;
+}
+
+Tracer::Tracer(i32 nranks, usize capacity_per_rank)
+    : next_seq_(static_cast<usize>(nranks), 0),
+      code_counts_(static_cast<usize>(nranks) * 256, 0) {
+  rings_.reserve(static_cast<usize>(nranks));
+  for (i32 r = 0; r < nranks; ++r) rings_.emplace_back(capacity_per_rank);
+}
+
+void Tracer::emit(i32 rank, EventCode code, Phase phase, Nanos ts_ns, i64 a,
+                  i64 b, i64 c) {
+  Event event;
+  event.ts_ns = ts_ns;
+  event.seq = next_seq_[static_cast<usize>(rank)]++;
+  event.code = code;
+  event.phase = phase;
+  event.rank = rank;
+  event.a = a;
+  event.b = b;
+  event.c = c;
+  rings_[static_cast<usize>(rank)].emit(event);
+  ++code_counts_[static_cast<usize>(rank) * 256 + static_cast<usize>(code)];
+  if (echo_stderr_) std::fprintf(stderr, "%s\n", format_text(event).c_str());
+}
+
+u64 Tracer::total_emitted() const {
+  u64 sum = 0;
+  for (const RankRing& ring : rings_) sum += ring.emitted();
+  return sum;
+}
+
+u64 Tracer::total_dropped() const {
+  u64 sum = 0;
+  for (const RankRing& ring : rings_) sum += ring.dropped();
+  return sum;
+}
+
+u64 Tracer::count(EventCode code) const {
+  u64 sum = 0;
+  for (usize r = 0; r < rings_.size(); ++r) {
+    sum += code_counts_[r * 256 + static_cast<usize>(code)];
+  }
+  return sum;
+}
+
+std::string format_text(const Event& e) {
+  char head[64];
+  std::snprintf(head, sizeof(head), "[trace %8lld] r%-4d ",
+                static_cast<long long>(e.ts_ns), e.rank);
+  char body[160];
+  switch (e.code) {
+    case EventCode::kRmaOp:
+      std::snprintf(body, sizeof(body), "%-10s t=%-4lld dclass=%lld",
+                    op_name(e.a), static_cast<long long>(e.b),
+                    static_cast<long long>(e.c));
+      break;
+    case EventCode::kPark:
+      std::snprintf(body, sizeof(body), "PARK on (%lld,%lld)",
+                    static_cast<long long>(e.a), static_cast<long long>(e.b));
+      break;
+    case EventCode::kWake:
+      std::snprintf(body, sizeof(body), "WAKE by write (%lld,%lld)",
+                    static_cast<long long>(e.a), static_cast<long long>(e.b));
+      break;
+    case EventCode::kCrash:
+      std::snprintf(body, sizeof(body), "CRASH (incarnation %lld)",
+                    static_cast<long long>(e.a));
+      break;
+    case EventCode::kTear:
+      std::snprintf(body, sizeof(body),
+                    "TEAR getvec t=%-4lld split=%lld/%lld",
+                    static_cast<long long>(e.a), static_cast<long long>(e.b),
+                    static_cast<long long>(e.c));
+      break;
+    case EventCode::kDelay:
+      std::snprintf(body, sizeof(body), "DELAY op to t=%lld (x%lld)",
+                    static_cast<long long>(e.a), static_cast<long long>(e.b));
+      break;
+    case EventCode::kPartition:
+      std::snprintf(body, sizeof(body), "PARTITION t=%lld until %lld",
+                    static_cast<long long>(e.a), static_cast<long long>(e.b));
+      break;
+    case EventCode::kDrift:
+      std::snprintf(body, sizeof(body), "DRIFT rate=%+lld skew=%+lld",
+                    static_cast<long long>(e.a), static_cast<long long>(e.b));
+      break;
+    case EventCode::kTryTimeout:
+      std::snprintf(body, sizeof(body), "TRY-%s t=%lld TIMEOUT",
+                    op_name(e.a), static_cast<long long>(e.b));
+      break;
+    default:
+      std::snprintf(body, sizeof(body), "%s%s a=%lld b=%lld c=%lld",
+                    event_name(e.code),
+                    e.phase == Phase::kBegin
+                        ? " begin"
+                        : (e.phase == Phase::kEnd ? " end" : ""),
+                    static_cast<long long>(e.a), static_cast<long long>(e.b),
+                    static_cast<long long>(e.c));
+      break;
+  }
+  return std::string(head) + body;
+}
+
+namespace {
+
+void append_chrome_event(std::string* out, const Event& e, bool first) {
+  char buf[256];
+  const char* ph = e.phase == Phase::kBegin
+                       ? "B"
+                       : (e.phase == Phase::kEnd ? "E" : "i");
+  // Chrome trace timestamps are microseconds; keep nanosecond resolution
+  // with a fixed three-decimal rendering so output bytes are a pure
+  // function of the integer virtual timestamps.
+  std::snprintf(buf, sizeof(buf),
+                "%s\n  {\"name\": \"%s\", \"cat\": \"rmalock\", "
+                "\"ph\": \"%s\", \"ts\": %lld.%03lld, \"pid\": 0, "
+                "\"tid\": %d%s",
+                first ? "" : ",", event_name(e.code), ph,
+                static_cast<long long>(e.ts_ns / 1000),
+                static_cast<long long>(e.ts_ns % 1000), e.rank,
+                e.phase == Phase::kInstant ? ", \"s\": \"t\"" : "");
+  *out += buf;
+  std::snprintf(buf, sizeof(buf),
+                ", \"args\": {\"seq\": %llu, \"a\": %lld, \"b\": %lld, "
+                "\"c\": %lld}}",
+                static_cast<unsigned long long>(e.seq),
+                static_cast<long long>(e.a), static_cast<long long>(e.b),
+                static_cast<long long>(e.c));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  std::string out = "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  bool first = true;
+  for (i32 r = 0; r < tracer.nranks(); ++r) {
+    for (const Event& e : tracer.ring(r).snapshot()) {
+      append_chrome_event(&out, e, first);
+      first = false;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_trace_json(tracer);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::string render_post_mortem(const Tracer& tracer, usize tail_per_rank) {
+  std::string out = "flight recorder — per-rank event ring tails "
+                    "(oldest first)\n";
+  for (i32 r = 0; r < tracer.nranks(); ++r) {
+    const RankRing& ring = tracer.ring(r);
+    const std::vector<Event> events = ring.snapshot();
+    const usize tail =
+        events.size() > tail_per_rank ? tail_per_rank : events.size();
+    char head[96];
+    std::snprintf(head, sizeof(head),
+                  "rank %d: %llu events recorded, %llu overwritten, "
+                  "last %zu:\n",
+                  r, static_cast<unsigned long long>(ring.emitted()),
+                  static_cast<unsigned long long>(ring.dropped()), tail);
+    out += head;
+    for (usize i = events.size() - tail; i < events.size(); ++i) {
+      out += "  ";
+      out += format_text(events[i]);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace rmalock::obs

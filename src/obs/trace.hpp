@@ -1,0 +1,165 @@
+// Deterministic tracing: per-rank ring-buffer event recorders.
+//
+// The observability layer records *structured* events — virtual-time-stamped
+// tuples, never preformatted text — into one fixed-capacity ring per rank.
+// One schema feeds every sink: the legacy RMALOCK_TRACE stderr lines, the
+// Chrome trace-event / Perfetto JSON exporter behind every bench binary's
+// --trace-out flag, and the model checker's flight-recorder post-mortem.
+//
+// Determinism contract: timestamps are the emitting runtime's virtual
+// clocks (or drift-aware local clocks, flagged per event), sequence numbers
+// are per-rank emission ordinals, and every export iterates ranks in rank
+// order and events in ring order. A SimWorld run therefore serializes to
+// byte-identical trace output however the surrounding campaign is
+// parallelized (--jobs) and under record/replay.
+//
+// Concurrency: each rank writes only its own ring. That is trivially safe
+// under SimWorld (one fiber runs at a time) and safe under ThreadWorld
+// because rings are disjoint per thread; exports happen after run() joins.
+//
+// Cost when disarmed: call sites guard on a null Tracer pointer, so the
+// disarmed path is one predictable test-and-branch (micro_engine gates the
+// overhead at < 2%).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rmalock::obs {
+
+/// What happened. Codes are stable identifiers: they appear by *name* in
+/// trace exports and post-mortems (see event_name) and by value nowhere
+/// persistent, so appending new codes is always compatible.
+enum class EventCode : u8 {
+  // Span events (kBegin/kEnd pairs) — lock protocol phases.
+  kAcquire = 0,      // exclusive acquire: begin=call, end=granted
+  kAcquireRead,      // shared acquire: begin=call, end=granted
+  kCriticalSection,  // granted -> release (exclusive)
+  kReadSection,      // granted -> release (shared)
+  // Instant events — engine / fault-model occurrences.
+  kRmaOp,       // a=op kind (OpKind), b=target rank, c=distance class
+  kPark,        // a=home rank of the first polled cell, b=offset, c=#cells
+  kWake,        // a=home rank of the written cell, b=offset
+  kCrash,       // a=incarnation
+  kTear,        // a=target rank, b=split prefix length, c=total words
+  kDelay,       // a=target rank, b=delay factor
+  kPartition,   // a=target rank, b=virtual time the window closes
+  kDrift,       // a=rate permille (signed), b=skew ns; ts is the LOCAL clock
+  kTryTimeout,  // a=op kind, b=target rank
+  kViolation,   // monitor-detected invariant violation; a=code-specific
+  kMark,        // free-form bench/test marker; a,b,c caller-defined
+};
+
+/// Span phase (Chrome trace-event "ph"): begin/end bracket a span on the
+/// emitting rank's timeline, instants are points.
+enum class Phase : u8 { kBegin, kEnd, kInstant };
+
+/// Stable display name of a code ("acquire", "rma-op", ...).
+[[nodiscard]] const char* event_name(EventCode code);
+
+/// One recorded event. `seq` is the rank's emission ordinal (monotonic even
+/// across ring wrap, so post-mortems can report how much history was lost).
+struct Event {
+  Nanos ts_ns = 0;
+  u32 seq = 0;
+  EventCode code = EventCode::kMark;
+  Phase phase = Phase::kInstant;
+  i32 rank = 0;
+  i64 a = 0;
+  i64 b = 0;
+  i64 c = 0;
+};
+
+/// Fixed-capacity overwrite-oldest ring of events for one rank. Overflow
+/// keeps the *tail* — the flight recorder wants the events nearest the
+/// failure, not the run's prologue.
+class RankRing {
+ public:
+  explicit RankRing(usize capacity) : ring_(capacity) {}
+
+  void emit(const Event& event) {
+    ring_[static_cast<usize>(emitted_ % ring_.size())] = event;
+    ++emitted_;
+  }
+
+  /// Events in emission order (oldest surviving first).
+  [[nodiscard]] std::vector<Event> snapshot() const;
+
+  [[nodiscard]] u64 emitted() const { return emitted_; }
+  [[nodiscard]] u64 dropped() const {
+    return emitted_ > ring_.size() ? emitted_ - ring_.size() : 0;
+  }
+  [[nodiscard]] usize capacity() const { return ring_.size(); }
+
+ private:
+  std::vector<Event> ring_;
+  u64 emitted_ = 0;
+};
+
+/// Per-rank ring tracer. Non-owning pointers to a Tracer are handed to the
+/// runtimes (SimOptions::tracer / ThreadOptions::tracer); a null pointer is
+/// the disarmed state and costs one branch per would-be event.
+class Tracer {
+ public:
+  /// Default ring capacity balances post-mortem depth against footprint
+  /// (sizeof(Event) * capacity * P).
+  static constexpr usize kDefaultCapacity = 1024;
+
+  explicit Tracer(i32 nranks, usize capacity_per_rank = kDefaultCapacity);
+
+  [[nodiscard]] i32 nranks() const { return static_cast<i32>(rings_.size()); }
+
+  void emit(i32 rank, EventCode code, Phase phase, Nanos ts_ns, i64 a = 0,
+            i64 b = 0, i64 c = 0);
+
+  [[nodiscard]] const RankRing& ring(i32 rank) const {
+    return rings_[static_cast<usize>(rank)];
+  }
+
+  /// Total events emitted (including overwritten ones), all ranks.
+  [[nodiscard]] u64 total_emitted() const;
+  /// Events lost to ring overwrite, all ranks.
+  [[nodiscard]] u64 total_dropped() const;
+  /// Emitted events of one code, all ranks (fault-event counters for the
+  /// bench metrics snapshot).
+  [[nodiscard]] u64 count(EventCode code) const;
+
+  /// Mirror every emitted event to stderr in the legacy RMALOCK_TRACE text
+  /// format (one schema, two sinks; see format_text).
+  void set_echo_stderr(bool echo) { echo_stderr_ = echo; }
+  [[nodiscard]] bool echo_stderr() const { return echo_stderr_; }
+
+ private:
+  std::vector<RankRing> rings_;
+  std::vector<u32> next_seq_;
+  // Per-rank code counters (rank * 256 + code): like the rings, each rank
+  // touches only its own slice, so ThreadWorld threads never share a
+  // counter. count() sums after run() joins.
+  std::vector<u64> code_counts_;
+  bool echo_stderr_ = false;
+};
+
+/// The legacy "[trace <ts>] r<rank> ..." stderr line for one event — the
+/// text sink of the shared schema (RMALOCK_TRACE keeps working on top of
+/// the structured events instead of a parallel ad-hoc format).
+[[nodiscard]] std::string format_text(const Event& event);
+
+/// Serializes every ring as Chrome trace-event JSON (the format Perfetto
+/// and chrome://tracing load): {"traceEvents":[...]}, one "tid" per rank,
+/// span events as ph B/E pairs, instants as ph "i". Timestamps are virtual
+/// microseconds. Output bytes are a pure function of the recorded events.
+[[nodiscard]] std::string chrome_trace_json(const Tracer& tracer);
+
+/// chrome_trace_json straight to a file; false when the file cannot be
+/// written (callers warn and keep going — tracing must never kill a run).
+bool write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+/// Human-readable post-mortem: the tail of every rank's ring (up to
+/// `tail_per_rank` events each, in rank order) plus dropped-event counts —
+/// what the model checker prints next to a shrunk counterexample.
+[[nodiscard]] std::string render_post_mortem(const Tracer& tracer,
+                                             usize tail_per_rank = 24);
+
+}  // namespace rmalock::obs

@@ -33,6 +33,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 #include "rma/op.hpp"
 #include "rma/op_stats.hpp"
 #include "topo/topology.hpp"
@@ -208,8 +209,67 @@ class RmaComm {
   /// Per-process op statistics.
   [[nodiscard]] virtual OpStats& stats() = 0;
 
+  /// The world's structured event tracer, or null when tracing is disarmed
+  /// (the default for runtimes without one). Lock protocols record their
+  /// phase spans through ObsSpan below; the null case costs one branch.
+  [[nodiscard]] virtual obs::Tracer* tracer() { return nullptr; }
+
  protected:
   RmaComm() = default;
+};
+
+/// Emits one event through comm's tracer, stamped with comm's clock; the
+/// disarmed (null-tracer) case is a single predictable branch. Use ObsSpan
+/// below for scope-shaped spans; this is for span edges that cross call
+/// boundaries (a critical section begins at the end of acquire() and ends
+/// at the start of release()).
+inline void obs_event(RmaComm& comm, obs::EventCode code, obs::Phase phase,
+                      i64 a = 0, i64 b = 0) {
+  obs::Tracer* tracer = comm.tracer();
+  if (tracer != nullptr) [[unlikely]] {
+    tracer->emit(comm.rank(), code, phase, comm.now_ns(), a, b);
+  }
+}
+
+/// RAII span recorder for lock-protocol phases: emits a kBegin event on
+/// construction and the matching kEnd on destruction (stack order gives
+/// well-nested spans per rank, the Chrome trace-event requirement), both
+/// stamped with the comm's virtual clock. Against a disarmed world
+/// (tracer() == nullptr) construction and destruction are each a single
+/// predictable branch — protocols may scope spans unconditionally.
+///
+/// The end event is emitted even when the scope unwinds through an
+/// exception (a SimWorld injected crash), so post-mortems show the phase
+/// the victim died in.
+class ObsSpan {
+ public:
+  ObsSpan(RmaComm& comm, obs::EventCode code, i64 a = 0, i64 b = 0)
+      : tracer_(comm.tracer()) {
+    if (tracer_ != nullptr) [[unlikely]] {
+      comm_ = &comm;
+      code_ = code;
+      a_ = a;
+      b_ = b;
+      tracer_->emit(comm.rank(), code, obs::Phase::kBegin, comm.now_ns(), a,
+                    b);
+    }
+  }
+  ~ObsSpan() {
+    if (tracer_ != nullptr) [[unlikely]] {
+      tracer_->emit(comm_->rank(), code_, obs::Phase::kEnd, comm_->now_ns(),
+                    a_, b_);
+    }
+  }
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  obs::Tracer* tracer_;
+  RmaComm* comm_ = nullptr;
+  obs::EventCode code_ = obs::EventCode::kMark;
+  i64 a_ = 0;
+  i64 b_ = 0;
 };
 
 }  // namespace rmalock::rma

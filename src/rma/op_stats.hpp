@@ -62,8 +62,11 @@ class OpStats {
 
   [[nodiscard]] u64 total_ops() const { return total_at_least(0); }
 
+  /// The `num_distance_classes` the stats were constructed with. The rows
+  /// hold one extra slot (class 0 = self), so this subtracts it back out
+  /// rather than reporting the raw row width.
   [[nodiscard]] i32 num_distance_classes() const {
-    return counts_.empty() ? 0 : static_cast<i32>(counts_[0].size());
+    return counts_.empty() ? 0 : static_cast<i32>(counts_[0].size()) - 1;
   }
 
   void reset() {

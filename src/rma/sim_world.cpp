@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 #include "rma/stack_pool.hpp"
 
 namespace rmalock::rma {
@@ -98,6 +99,7 @@ class SimComm final : public RmaComm {
   void barrier() override { world_.execute_barrier(rank_); }
   [[nodiscard]] Xoshiro256& rng() override { return world_.proc_rng(rank_); }
   [[nodiscard]] OpStats& stats() override { return world_.proc_stats(rank_); }
+  [[nodiscard]] obs::Tracer* tracer() override { return world_.tracer_; }
 
  private:
   SimWorld& world_;
@@ -110,7 +112,15 @@ class SimComm final : public RmaComm {
 
 SimWorld::SimWorld(SimOptions opts)
     : World(opts.topology), opts_(std::move(opts)) {
-  trace_ = trace_env_enabled();
+  // Tracer resolution: an external sink wins; otherwise RMALOCK_TRACE arms
+  // an internal one that mirrors the structured events to stderr in the
+  // legacy text format (same schema either way).
+  tracer_ = opts_.tracer;
+  if (tracer_ == nullptr && trace_env_enabled()) {
+    owned_tracer_ = std::make_unique<obs::Tracer>(nprocs());
+    owned_tracer_->set_echo_stderr(true);
+    tracer_ = owned_tracer_.get();
+  }
   if (opts_.latency.rma_ns.empty()) {
     opts_.latency = LatencyModel::xc30(topology_.num_levels());
   }
@@ -687,6 +697,17 @@ void SimWorld::remove_waiter(Rank target, WinOffset offset, Rank waiter) {
   }
 }
 
+void SimWorld::trace_event_slow(Rank origin, obs::EventCode code, i64 a,
+                                i64 b, i64 c) {
+  // kDrift is an event *about* the local clock, so it is stamped with the
+  // reading that clock just stepped to; everything else carries the
+  // emitting process's virtual clock.
+  const Nanos ts = code == obs::EventCode::kDrift
+                       ? local_now(origin)
+                       : procs_[static_cast<usize>(origin)]->clock;
+  tracer_->emit(origin, code, obs::Phase::kInstant, ts, a, b, c);
+}
+
 void SimWorld::wake_waiters(Rank target, WinOffset offset, Nanos write_time) {
   const usize cell = wait_cell(target, offset);
   i32 head = waiter_heads_[cell];
@@ -712,11 +733,7 @@ void SimWorld::wake_waiters(Rank target, WinOffset offset, Nanos write_time) {
     if (!registered) continue;
     proc.clock = std::max(proc.clock, write_time);
     proc.woken_by_write = true;
-    if (trace_) [[unlikely]] {
-      std::fprintf(stderr, "[trace %8llu] r%-4d WAKE by write (%d,%lld)\n",
-                   static_cast<unsigned long long>(steps_), r, target,
-                   static_cast<long long>(offset));
-    }
+    trace_event(r, obs::EventCode::kWake, target, offset);
     make_runnable(proc, r);
   }
 }
@@ -821,14 +838,9 @@ void SimWorld::park_until_cell_write(Rank origin) {
     register_waiter(entry.target, entry.offset, origin);
     self.wait_cells.emplace_back(entry.target, entry.offset);
   }
-  if (trace_) [[unlikely]] {
-    std::fprintf(stderr, "[trace %8llu] r%-4d PARK on",
-                 static_cast<unsigned long long>(steps_), origin);
-    for (const auto& [t, o] : self.wait_cells) {
-      std::fprintf(stderr, " (%d,%lld)", t, static_cast<long long>(o));
-    }
-    std::fprintf(stderr, "\n");
-  }
+  trace_event(origin, obs::EventCode::kPark, self.wait_cells[0].first,
+              self.wait_cells[0].second,
+              static_cast<i64>(self.wait_cells.size()));
   self.state = ProcState::kParked;
   self.woken_by_write = false;
   hand_off_from_blocked(origin);
@@ -963,18 +975,8 @@ i64 SimWorld::execute_op(Rank origin, OpKind kind, Rank target,
     bool wrote = false;
     const i64 result =
         apply_to_window(kind, target, offset, operand, cmp, aop, &wrote);
-    if (trace_) [[unlikely]] {
-      std::fprintf(stderr,
-                   "[trace %8llu] r%-4d %-10s t=%-4d off=%-3lld op=%lld "
-                   "-> %lld (now %lld)\n",
-                   static_cast<unsigned long long>(steps_), origin,
-                   op_kind_name(kind), target, static_cast<long long>(offset),
-                   static_cast<long long>(operand),
-                   static_cast<long long>(result),
-                   static_cast<long long>(
-                       windows_[static_cast<usize>(target)]
-                               [static_cast<usize>(offset)]));
-    }
+    trace_event(origin, obs::EventCode::kRmaOp, static_cast<i64>(kind),
+                target, dclass);
     if (wrote) {
       ++window_writes_;
       wake_waiters(target, offset, completion);
@@ -1114,13 +1116,8 @@ void SimWorld::execute_get_vec(Rank origin, Rank target, WinOffset offset,
   }
   if (split != 0) {
     ++result_.tears;
-    if (trace_) [[unlikely]] {
-      std::fprintf(stderr,
-                   "[trace %8llu] r%-4d TEAR getvec t=%-4d off=%-3lld "
-                   "split=%zu/%zu\n",
-                   static_cast<unsigned long long>(steps_), origin, target,
-                   static_cast<long long>(offset), split, n);
-    }
+    trace_event(origin, obs::EventCode::kTear, target,
+                static_cast<i64>(split), static_cast<i64>(n));
     // The torn window: hand the cpu back so concurrent writers can run
     // between the two halves, then read the suffix from the (possibly
     // updated) window.
@@ -1189,22 +1186,13 @@ SimWorld::GrayOutcome SimWorld::decide_gray(Rank origin, Rank target) {
   }
   if (outcome == GrayOutcome::kDelay) {
     ++result_.delays;
-    if (trace_) [[unlikely]] {
-      std::fprintf(stderr, "[trace %8llu] r%-4d DELAY op to t=%d (x%lld)\n",
-                   static_cast<unsigned long long>(steps_), origin, target,
-                   static_cast<long long>(opts_.delay_factor));
-    }
+    trace_event(origin, obs::EventCode::kDelay, target, opts_.delay_factor);
   } else if (outcome == GrayOutcome::kPartition) {
     ++result_.partitions;
     Nanos& until = partition_until_[static_cast<usize>(target)];
     until = std::max(until, procs_[static_cast<usize>(origin)]->clock +
                                 opts_.partition_span);
-    if (trace_) [[unlikely]] {
-      std::fprintf(stderr,
-                   "[trace %8llu] r%-4d PARTITION t=%d until %lld\n",
-                   static_cast<unsigned long long>(steps_), origin, target,
-                   static_cast<long long>(until));
-    }
+    trace_event(origin, obs::EventCode::kPartition, target, until);
   }
   return outcome;
 }
@@ -1267,15 +1255,7 @@ void SimWorld::apply_drift(Rank origin) {
       sign * static_cast<i32>(opts_.max_drift_permille);
   ++self.drift_events;
   ++result_.drift_events;
-  if (trace_) [[unlikely]] {
-    std::fprintf(stderr,
-                 "[trace %8llu] r%-4d DRIFT rate=%+d skew=%+lld "
-                 "(local %lld / clock %lld)\n",
-                 static_cast<unsigned long long>(steps_), origin,
-                 self.drift_rate_permille, static_cast<long long>(skew),
-                 static_cast<long long>(self.drift_anchor_local),
-                 static_cast<long long>(self.clock));
-  }
+  trace_event(origin, obs::EventCode::kDrift, self.drift_rate_permille, skew);
 }
 
 TryResult SimWorld::execute_try_op(Rank origin, OpKind kind, Rank target,
@@ -1320,15 +1300,8 @@ TryResult SimWorld::execute_try_op(Rank origin, OpKind kind, Rank target,
       // WITHOUT applying the op. The failed attempt still costs the caller
       // the time spent finding out (bounded by the deadline itself).
       self.clock = std::max(self.clock, deadline_ns);
-      if (trace_) [[unlikely]] {
-        std::fprintf(stderr,
-                     "[trace %8llu] r%-4d TRY-%s t=%d TIMEOUT (part until "
-                     "%lld > deadline %lld)\n",
-                     static_cast<unsigned long long>(steps_), origin,
-                     op_kind_name(kind), target,
-                     static_cast<long long>(until),
-                     static_cast<long long>(deadline_ns));
-      }
+      trace_event(origin, obs::EventCode::kTryTimeout,
+                  static_cast<i64>(kind), target);
       yield_cpu(origin);
       return TryResult{TryStatus::kTimeout, 0};
     }
@@ -1417,11 +1390,8 @@ void SimWorld::execute_crash_point(Rank origin) {
   // process state dies with the fiber.
   clear_polls(self);
   self.pending_acks.clear();
-  if (trace_) [[unlikely]] {
-    std::fprintf(stderr, "[trace %8llu] r%-4d CRASH (incarnation %llu)\n",
-                 static_cast<unsigned long long>(steps_), origin,
-                 static_cast<unsigned long long>(self.incarnation));
-  }
+  trace_event(origin, obs::EventCode::kCrash,
+              static_cast<i64>(self.incarnation));
   wake_all_parked_on_crash(origin);
   throw ProcCrashed{};
 }

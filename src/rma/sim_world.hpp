@@ -64,6 +64,11 @@
 #include "rma/latency_model.hpp"
 #include "rma/world.hpp"
 
+namespace rmalock::obs {
+enum class EventCode : u8;
+class Tracer;
+}  // namespace rmalock::obs
+
 namespace rmalock::rma {
 
 enum class SchedPolicy : u8 {
@@ -226,6 +231,17 @@ struct SimOptions {
   /// Bound on the absolute skew offset a local clock can step to (the NTP
   /// step clamp). A drift event sets the caller's skew to ± this.
   Nanos skew_window = 2'000;
+
+  // --- observability -------------------------------------------------------
+
+  /// Structured event sink (obs/trace.hpp): engine and fault-model events
+  /// are recorded into its per-rank rings, stamped with the emitting
+  /// process's virtual clock. Not owned; must outlive run(). Null (the
+  /// default) disarms tracing — every would-be emission costs one
+  /// predictable branch. When null and RMALOCK_TRACE is set, the world arms
+  /// an internal tracer that echoes the legacy text lines to stderr (one
+  /// event schema, two sinks).
+  obs::Tracer* tracer = nullptr;
 };
 
 class SimWorld final : public World {
@@ -509,6 +525,19 @@ class SimWorld final : public World {
     return procs_[static_cast<usize>(rank)]->stats;
   }
 
+  /// Records an instant event on origin's ring (virtual-clock timestamped;
+  /// kDrift stamps the drift-adjusted local clock instead, since the event
+  /// is *about* that clock). The disarmed path is this inline null test —
+  /// the only cost tracing adds to an untraced run.
+  void trace_event(Rank origin, obs::EventCode code, i64 a = 0, i64 b = 0,
+                   i64 c = 0) {
+    if (tracer_ != nullptr) [[unlikely]] {
+      trace_event_slow(origin, code, a, b, c);
+    }
+  }
+  void trace_event_slow(Rank origin, obs::EventCode code, i64 a, i64 b,
+                        i64 c);
+
   SimOptions opts_;
   std::vector<std::unique_ptr<Proc>> procs_;
   std::vector<std::vector<i64>> windows_;  // [rank][offset]
@@ -557,7 +586,10 @@ class SimWorld final : public World {
   std::vector<Rank> barrier_ranks_;
   bool stopping_ = false;
   bool running_ = false;
-  bool trace_ = false;  // RMALOCK_TRACE: log ops/park/wake to stderr
+  obs::Tracer* tracer_ = nullptr;  // armed event sink; null = disarmed
+  /// Backing tracer when RMALOCK_TRACE arms tracing with no external sink
+  /// supplied (echoes the legacy stderr lines).
+  std::unique_ptr<obs::Tracer> owned_tracer_;
   RunResult result_;
 };
 

@@ -149,6 +149,7 @@ class ThreadComm final : public RmaComm {
   [[nodiscard]] OpStats& stats() override {
     return world_.stats_[static_cast<usize>(rank_)];
   }
+  [[nodiscard]] obs::Tracer* tracer() override { return world_.opts_.tracer; }
 
  private:
   void account(OpKind kind, Rank target) {

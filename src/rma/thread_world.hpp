@@ -31,6 +31,12 @@ struct ThreadOptions {
   /// Busy-wait each op for its modeled cost (off by default: pure stress).
   bool inject_latency = false;
   LatencyModel latency{};
+  /// Structured event sink (obs/trace.hpp). Not owned; must outlive run().
+  /// Safe under real threads: each rank writes only its own ring and
+  /// counter slice. Timestamps are the real monotonic clock, so ThreadWorld
+  /// traces are diagnostics, not deterministic artifacts (that contract is
+  /// SimWorld's).
+  obs::Tracer* tracer = nullptr;
 };
 
 class ThreadWorld final : public World {

@@ -9,8 +9,11 @@ namespace rmalock::workload {
 namespace {
 
 struct PerProc {
-  std::vector<double> read_latencies_us;
-  std::vector<double> write_latencies_us;
+  // Streaming histograms instead of latency vectors: O(1) per request, and
+  // rank-order merging below reproduces one deterministic result however
+  // the surrounding campaign is parallelized.
+  obs::LogHistogram read_latencies_us;
+  obs::LogHistogram write_latencies_us;
   u64 optimistic_fallbacks = 0;
   u64 optimistic_retries = 0;
   Nanos t0 = 0;
@@ -108,7 +111,7 @@ WorkloadResult run_workload(rma::World& world, lockspace::LockSpace& space,
         const Nanos end = comm.now_ns();
         const Nanos delta = end > latency_from ? end - latency_from : 0;
         const double us = static_cast<double>(delta) / 1e3;
-        (read ? me.read_latencies_us : me.write_latencies_us).push_back(us);
+        (read ? me.read_latencies_us : me.write_latencies_us).record(us);
       }
       if (config.arrival == Arrival::kClosed && config.think_max_ns > 0) {
         comm.compute(comm.rng().range(config.think_min_ns,
@@ -147,31 +150,28 @@ WorkloadResult run_workload(rma::World& world, lockspace::LockSpace& space,
   RMALOCK_CHECK_MSG(run.ok(), "workload run failed (deadlock/step limit)");
 
   WorkloadResult result;
-  std::vector<double> all;
-  std::vector<double> reads;
-  std::vector<double> writes;
+  // Rank-order merge (then reads before writes for the combined histogram):
+  // the fixed order makes buckets and floating-point moments bit-identical
+  // across --jobs settings and worlds-with-the-same-virtual-times.
   for (Rank r = 0; r < nprocs; ++r) {
     PerProc& proc = per[static_cast<usize>(r)];
-    reads.insert(reads.end(), proc.read_latencies_us.begin(),
-                 proc.read_latencies_us.end());
-    writes.insert(writes.end(), proc.write_latencies_us.begin(),
-                  proc.write_latencies_us.end());
+    result.read_latency_hist_us.merge(proc.read_latencies_us);
+    result.write_latency_hist_us.merge(proc.write_latencies_us);
     result.optimistic_fallbacks += proc.optimistic_fallbacks;
     result.optimistic_retries += proc.optimistic_retries;
   }
-  all.reserve(reads.size() + writes.size());
-  all.insert(all.end(), reads.begin(), reads.end());
-  all.insert(all.end(), writes.begin(), writes.end());
+  result.latency_hist_us.merge(result.read_latency_hist_us);
+  result.latency_hist_us.merge(result.write_latency_hist_us);
 
-  result.read_ops = reads.size();
-  result.write_ops = writes.size();
-  result.total_ops = all.size();
+  result.read_ops = result.read_latency_hist_us.count();
+  result.write_ops = result.write_latency_hist_us.count();
+  result.total_ops = result.latency_hist_us.count();
   result.elapsed_ns = per[0].t1 - per[0].t0;
   result.throughput_mops_s = static_cast<double>(result.total_ops) /
                              static_cast<double>(result.elapsed_ns) * 1e3;
-  result.latency_us = harness::summarize(std::move(all));
-  result.read_latency_us = harness::summarize(std::move(reads));
-  result.write_latency_us = harness::summarize(std::move(writes));
+  result.latency_us = harness::summarize(result.latency_hist_us);
+  result.read_latency_us = harness::summarize(result.read_latency_hist_us);
+  result.write_latency_us = harness::summarize(result.write_latency_hist_us);
   result.instantiated_slots = space.instantiated_slots();
   return result;
 }

@@ -71,6 +71,14 @@ struct WorkloadResult {
   harness::Summary latency_us;        // all requests
   harness::Summary read_latency_us;   // shared-mode requests
   harness::Summary write_latency_us;  // exclusive-mode requests
+  /// The streaming histograms behind the summaries above (µs; recording is
+  /// O(1) per request instead of the former O(ops) latency vectors).
+  /// Per-process histograms are merged in rank order, so the buckets and
+  /// running moments are bit-identical however the surrounding campaign is
+  /// parallelized. latency_hist_us merges reads before writes.
+  obs::LogHistogram latency_hist_us;
+  obs::LogHistogram read_latency_hist_us;
+  obs::LogHistogram write_latency_hist_us;
   /// LockSpace slots instantiated by the end of the run (lazy-instantiation
   /// observability: how much of the grid the key mix actually touched).
   u64 instantiated_slots = 0;

@@ -1,11 +1,14 @@
-// Schema guard for the "rmalock-bench-v1" perf records.
+// Schema guard for the "rmalock-bench-v2" perf records.
 //
 // The perf-tracking workflow (docs/PERF.md) diffs BENCH_*.json files across
 // revisions; a silently dropped or renamed key would break every consumer
 // without failing any build. This test writes a real FigureReport through
 // write_json() and asserts the contract: schema tag, required top-level
 // keys (including the PR-4 additions `jobs` and `wall_time_s` and the
-// configure-time git rev), record triples, and check objects.
+// configure-time git rev), record triples, check objects, and the v2
+// additions: the `metrics` gauge object and the `histograms` array of
+// LogHistogram bucket summaries (both always present, empty when unused —
+// every v1 key survives unchanged, so v1 consumers keep working).
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -48,12 +51,14 @@ harness::FigureReport sample_report() {
 
 TEST_F(BenchJson, RequiredTopLevelKeysArePresent) {
   const std::string json = write_and_read(sample_report());
-  // The v1 contract: consumers key on exactly these fields.
+  // The v2 contract: consumers key on exactly these fields. Everything v1
+  // promised is still here; `metrics` and `histograms` are the v2 additions.
   for (const char* key :
-       {"\"schema\": \"rmalock-bench-v1\"", "\"bench\": \"figX\"",
+       {"\"schema\": \"rmalock-bench-v2\"", "\"bench\": \"figX\"",
         "\"title\":", "\"git_rev\":", "\"seed\":", "\"quick\":",
         "\"smoke\":", "\"procs_per_node\":", "\"jobs\":",
-        "\"wall_time_s\":", "\"records\":", "\"checks\":"}) {
+        "\"wall_time_s\":", "\"records\":", "\"checks\":", "\"metrics\":",
+        "\"histograms\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
 }
@@ -122,6 +127,49 @@ TEST_F(BenchJson, Fig9FaultKnobMetricsRoundTripUnchanged) {
         << "fault-knob record drifted: " << expect.str();
     value += 1.0;
   }
+}
+
+TEST_F(BenchJson, EmptyMetricsAndHistogramsRenderAsEmptyContainers) {
+  // A report that never calls add_metric/add_histogram still emits both v2
+  // keys, as an empty object/array — the shape is uniform so consumers can
+  // index unconditionally.
+  const std::string json = write_and_read(sample_report());
+  EXPECT_NE(json.find("\"metrics\": {},"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\": []"), std::string::npos);
+}
+
+TEST_F(BenchJson, MetricsObjectRoundTripsNamesAndValues) {
+  harness::FigureReport report = sample_report();
+  report.add_metric("tracer_events_recorded", 287.0);
+  report.add_metric("probe_shard0_write_acquires", 12.0);
+  report.add_metric("tracer_events_recorded", 300.0);  // last write wins
+  const std::string json = write_and_read(report);
+  EXPECT_NE(json.find("\"tracer_events_recorded\": 300"), std::string::npos);
+  EXPECT_NE(json.find("\"probe_shard0_write_acquires\": 12"),
+            std::string::npos);
+  // The overwritten value must not survive as a duplicate key.
+  EXPECT_EQ(json.find("\"tracer_events_recorded\": 287"), std::string::npos);
+}
+
+TEST_F(BenchJson, HistogramEntriesCarrySummaryAndBuckets) {
+  // Pin the per-histogram record vocabulary: summary scalars plus the
+  // bucket triples. fig7's probe_latency_us entry and the perf-tracking
+  // diff both key on these names.
+  harness::FigureReport report = sample_report();
+  obs::LogHistogram hist;
+  for (const double v : {1.0, 2.0, 4.0, 8.0, 16.0}) hist.record(v);
+  report.add_histogram("probe_latency_us", hist);
+  const std::string json = write_and_read(report);
+  EXPECT_NE(json.find("{\"name\": \"probe_latency_us\", \"count\": 5, "
+                      "\"min\": 1, \"max\": 16, "),
+            std::string::npos);
+  for (const char* key : {"\"mean\":", "\"p50\":", "\"p95\":", "\"p99\":",
+                          "\"buckets\": [{\"lo\": "}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  // One bucket object per occupied bucket, each a lo/hi/count triple.
+  EXPECT_NE(json.find("\"hi\": "), std::string::npos);
+  EXPECT_NE(json.find(", \"count\": 1}"), std::string::npos);
 }
 
 TEST_F(BenchJson, UnwritablePathReturnsFalse) {

@@ -9,7 +9,9 @@ namespace rmalock::harness {
 namespace {
 
 TEST(Stats, EmptySampleIsZeros) {
-  const Summary s = summarize({});
+  // Spelled out: bare {} would be ambiguous between the exact
+  // vector<double> overload and the obs::LogHistogram overload.
+  const Summary s = summarize(std::vector<double>{});
   EXPECT_EQ(s.n, 0u);
   EXPECT_EQ(s.mean, 0);
   EXPECT_EQ(s.median, 0);

@@ -80,6 +80,20 @@ TEST(OpStats, MergeIntoEmptyAdoptsShape) {
   EXPECT_EQ(empty.count(OpKind::kFlush, 0), 1u);
 }
 
+TEST(OpStats, NumDistanceClassesRoundTrips) {
+  // The constructor allocates num_distance_classes + 1 row slots (class 0 =
+  // self); the accessor must return what was passed in, not the raw row
+  // width. Pins the round trip.
+  EXPECT_EQ(OpStats().num_distance_classes(), 0);
+  EXPECT_EQ(OpStats(0).num_distance_classes(), 0);
+  EXPECT_EQ(OpStats(1).num_distance_classes(), 1);
+  EXPECT_EQ(OpStats(3).num_distance_classes(), 3);
+  // And the highest constructible class is exactly num_distance_classes.
+  OpStats s(3);
+  s.record(OpKind::kGet, 3);
+  EXPECT_EQ(s.count(OpKind::kGet, 3), 1u);
+}
+
 TEST(OpStats, Reset) {
   OpStats s(2);
   s.record(OpKind::kPut, 1);
